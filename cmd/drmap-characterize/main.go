@@ -1,0 +1,61 @@
+// Command drmap-characterize regenerates the DRMap paper's Fig. 1: the
+// DRAM cycles-per-access and energy-per-access of the five access
+// conditions (row buffer hit / miss / conflict, subarray- and
+// bank-level parallelism) on DDR3-1600 and the SALP architectures,
+// measured on the built-in cycle-accurate simulator and energy model.
+//
+// Usage:
+//
+//	drmap-characterize [-arch all|ddr3|salp1|salp2|masa] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drmap"
+	"drmap/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-characterize: ")
+	archFlag := flag.String("arch", "all", "DRAM to characterize: all, ddr3, salp1, salp2, masa, ddr4, lpddr3")
+	validate := flag.Bool("validate", false, "check the Fig. 1 shape relations and exit non-zero on violation")
+	flag.Parse()
+
+	var profiles []*drmap.Profile
+	if *archFlag == "all" {
+		ps, err := drmap.CharacterizeAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = ps
+	} else {
+		cfg, err := cli.ParseConfig(*archFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := drmap.Characterize(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = []*drmap.Profile{p}
+	}
+
+	fmt.Println("Fig. 1 - DRAM latency- and energy-per-access by access condition")
+	fmt.Println()
+	fmt.Print(drmap.RenderFig1(profiles))
+
+	if *validate {
+		for _, p := range profiles {
+			if err := p.Validate(); err != nil {
+				log.Fatalf("shape violation: %v", err)
+			}
+		}
+		fmt.Println("\nall shape relations hold (hit < conflict, SALP < DDR3 on subarrays, ...)")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,62 @@
+// Command drmap-dse runs the DRMap paper's Algorithm 1: the design
+// space exploration that, per CNN layer, searches all feasible layer
+// partitionings, scheduling schemes and DRAM mapping policies for the
+// minimum-EDP configuration on a chosen DRAM architecture.
+//
+// Usage:
+//
+//	drmap-dse [-arch ddr3|salp1|salp2|masa|all] [-network alexnet|vgg16|lenet5|resnet18]
+//	          [-batch N] [-print-mappings]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drmap"
+	"drmap/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-dse: ")
+	archFlag := flag.String("arch", "all", "DRAM architecture: ddr3, salp1, salp2, masa, all")
+	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
+	batch := flag.Int("batch", 1, "batch size")
+	printMappings := flag.Bool("print-mappings", false, "print Table I (the candidate mapping policies) and exit")
+	flag.Parse()
+
+	if *printMappings {
+		fmt.Println("Table I - DRAM mapping policies explored by the DSE:")
+		fmt.Print(drmap.RenderTableI())
+		return
+	}
+
+	net, err := cli.ParseNetwork(*networkFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wantArch drmap.Arch
+	if *archFlag != "all" {
+		wantArch, err = cli.ParseArch(*archFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	evs, err := drmap.Evaluators(drmap.TableII(), *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range evs {
+		if *archFlag != "all" && ev.Arch() != wantArch {
+			continue
+		}
+		res, err := drmap.RunDSE(net, ev, drmap.Schedules(), drmap.TableIPolicies())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(drmap.RenderDSE(res))
+		fmt.Println()
+	}
+}

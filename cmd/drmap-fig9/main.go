@@ -1,0 +1,80 @@
+// Command drmap-fig9 regenerates the DRMap paper's Fig. 9: the EDP of
+// every (layer, mapping policy, DRAM architecture) combination of
+// AlexNet under the four scheduling schemes, each point minimized over
+// all feasible layer partitionings - plus the derived headline tables
+// (DRMap's improvement over the worst mapping, and Key Observation 4's
+// SALP-vs-DDR3 gains).
+//
+// Usage:
+//
+//	drmap-fig9 [-schedule ifms|wghs|ofms|adaptive|all] [-network alexnet|vgg16|lenet5|resnet18]
+//	           [-batch N] [-improvements] [-salp-gains]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drmap"
+	"drmap/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-fig9: ")
+	scheduleFlag := flag.String("schedule", "all", "scheduling scheme: ifms, wghs, ofms, adaptive, all")
+	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
+	batch := flag.Int("batch", 1, "batch size")
+	improvements := flag.Bool("improvements", true, "print DRMap-vs-worst improvement table (adaptive schedule)")
+	salpGains := flag.Bool("salp-gains", true, "print Key Observation 4 SALP-vs-DDR3 table (adaptive schedule)")
+	chart := flag.Bool("chart", false, "render log-scale bar charts instead of tables")
+	flag.Parse()
+
+	net, err := cli.ParseNetwork(*networkFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schedules, err := cli.ParseSchedules(*scheduleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evs, err := drmap.Evaluators(drmap.TableII(), *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var adaptivePoints []drmap.Fig9Point
+	for _, s := range schedules {
+		points, err := drmap.Fig9Series(net, s, evs, drmap.TableIPolicies())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *chart {
+			fmt.Print(drmap.RenderFig9Chart(points, s.String()))
+		} else {
+			fmt.Print(drmap.RenderFig9(points, s.String()))
+		}
+		fmt.Println()
+		if s == drmap.AdaptiveReuse {
+			adaptivePoints = points
+		}
+	}
+
+	if adaptivePoints == nil && (*improvements || *salpGains) {
+		adaptivePoints, err = drmap.Fig9Series(net, drmap.AdaptiveReuse, evs, drmap.TableIPolicies())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *improvements {
+		fmt.Println("Key result - DRMap EDP improvement over the worst Table I mapping (adaptive-reuse, Total):")
+		fmt.Print(drmap.RenderImprovements(adaptivePoints))
+		fmt.Println()
+	}
+	if *salpGains {
+		fmt.Println("Key Observation 4 - EDP improvement of SALP architectures over DDR3 (adaptive-reuse, Total):")
+		fmt.Print(drmap.RenderSALPGains(adaptivePoints))
+	}
+}

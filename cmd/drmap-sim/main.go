@@ -1,0 +1,92 @@
+// Command drmap-sim runs the complete tool flow of the paper's Fig. 8
+// at the accelerator level: characterize the DRAM, run the DSE, then
+// report each layer's DRAM time against the 8x8 MAC array's compute
+// time under double buffering - showing which layers are memory-bound
+// and what the DRMap-optimized inference costs end to end. With
+// -validate it additionally replays the smallest layer's tile streams
+// through the cycle-accurate simulator and reports the analytical
+// model's error.
+//
+// Usage:
+//
+//	drmap-sim [-arch ddr3|salp1|salp2|masa] [-network alexnet|vgg16|lenet5|resnet18]
+//	          [-batch N] [-clock MHz] [-tensors] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drmap"
+	"drmap/internal/cli"
+	"drmap/internal/core"
+	"drmap/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-sim: ")
+	archFlag := flag.String("arch", "masa", "DRAM architecture: ddr3, salp1, salp2, masa")
+	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
+	batch := flag.Int("batch", 1, "batch size")
+	clock := flag.Float64("clock", 0, "accelerator clock in MHz (0 = 700 MHz default)")
+	tensors := flag.Bool("tensors", true, "print the per-tensor energy split")
+	validate := flag.Bool("validate", false, "replay the smallest layer through the cycle-accurate simulator")
+	flag.Parse()
+
+	cfg, err := cli.ParseConfig(*archFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := cli.ParseNetwork(*networkFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof, err := drmap.Characterize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := drmap.NewEvaluator(prof, drmap.TableII(), *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := core.BuildReport(net, ev, drmap.Schedules(), drmap.TableIPolicies(), *clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.NetworkTable(rep))
+	fmt.Println()
+	if *tensors {
+		fmt.Print(report.TensorTable(rep))
+		fmt.Println()
+	}
+
+	if *validate {
+		smallest := rep.Layers[0]
+		for _, l := range rep.Layers[1:] {
+			if l.Cost.Cycles < smallest.Cost.Cycles {
+				smallest = l
+			}
+		}
+		spec := drmap.LayerSpec{
+			Layer:    smallest.Layer,
+			Tiling:   smallest.Best.Tiling,
+			Schedule: smallest.Best.Schedule,
+			Batch:    *batch,
+		}
+		fmt.Printf("validating %s against the cycle-accurate simulator...\n", smallest.Layer.Name)
+		sim, err := drmap.SimulateLayer(cfg, smallest.Best.Policy, spec, drmap.TableII().BytesPerElement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  analytic: %.0f cycles, %.4g J\n", smallest.Cost.Cycles, smallest.Cost.Energy)
+		fmt.Printf("  simulated: %.0f cycles, %.4g J\n", sim.Cycles, sim.Energy)
+		fmt.Printf("  cycle error: %+.1f%%, energy error: %+.1f%%\n",
+			(smallest.Cost.Cycles/sim.Cycles-1)*100, (smallest.Cost.Energy/sim.Energy-1)*100)
+	}
+}

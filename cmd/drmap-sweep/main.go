@@ -1,0 +1,77 @@
+// Command drmap-sweep regenerates the reproduction's ablation tables:
+// subarrays-per-bank, on-chip buffer capacity, batch size and the
+// soundness of the paper's Table I policy pruning. Results print as
+// aligned text and can also be exported as CSV.
+//
+// Usage:
+//
+//	drmap-sweep [-kind subarrays|buffers|batch|pruning|all]
+//	            [-network alexnet|vgg16|lenet5|resnet18] [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drmap"
+	"drmap/internal/cli"
+	"drmap/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-sweep: ")
+	kind := flag.String("kind", "all", "sweep: subarrays, buffers, batch, pruning, all")
+	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
+	csvPath := flag.String("csv", "", "also write the (last) sweep as CSV to this file")
+	flag.Parse()
+
+	net, err := cli.ParseNetwork(*networkFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var last *sweep.Table
+	run := func(name string, build func() (*sweep.Table, error)) {
+		if *kind != "all" && *kind != name {
+			return
+		}
+		t, err := build()
+		if err != nil {
+			log.Fatalf("%s sweep: %v", name, err)
+		}
+		fmt.Print(t.Render())
+		fmt.Println()
+		last = t
+	}
+
+	run("subarrays", func() (*sweep.Table, error) {
+		return sweep.Subarrays([]int{2, 4, 8, 16}, net, 1)
+	})
+	run("buffers", func() (*sweep.Table, error) {
+		return sweep.Buffers([]int{32, 64, 128, 256}, drmap.DDR3, net, 1)
+	})
+	run("batch", func() (*sweep.Table, error) {
+		return sweep.Batches([]int{1, 2, 4, 8}, drmap.DDR3, net)
+	})
+	run("pruning", func() (*sweep.Table, error) {
+		return sweep.PolicyPruning(drmap.SALP1, net.Layers[1], 1)
+	})
+
+	if last == nil {
+		log.Fatalf("unknown sweep kind %q", *kind)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := last.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote CSV to %s\n", *csvPath)
+	}
+}

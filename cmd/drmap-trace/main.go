@@ -1,0 +1,126 @@
+// Command drmap-trace lays a tile out in DRAM with a chosen mapping
+// policy, optionally exports the request trace and the resulting DRAM
+// command log, and reports the cycle-accurate service statistics and
+// energy - the per-tile view of the paper's Fig. 8 tool flow.
+//
+// Usage:
+//
+//	drmap-trace [-policy 1..6|default] [-arch ddr3|salp1|salp2|masa]
+//	            [-bursts N] [-writes] [-requests file] [-commands file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drmap"
+	"drmap/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-trace: ")
+	policyFlag := flag.String("policy", "3", "mapping policy: 1-6 (Table I) or 'default'")
+	archFlag := flag.String("arch", "ddr3", "DRAM architecture: ddr3, salp1, salp2, masa")
+	bursts := flag.Int64("bursts", 8192, "tile size in burst-sized accesses (8 bytes each)")
+	writes := flag.Bool("writes", false, "issue writes instead of reads")
+	requestsPath := flag.String("requests", "", "write the request trace to this file")
+	commandsPath := flag.String("commands", "", "write the DRAM command log to this file")
+	flag.Parse()
+
+	pol, err := parsePolicy(*policyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := cli.ParseConfig(*archFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *bursts <= 0 {
+		log.Fatalf("bursts must be positive, got %d", *bursts)
+	}
+
+	addrs := pol.Addresses(*bursts, cfg.Geometry)
+	reqs := make([]drmap.Request, len(addrs))
+	for i, a := range addrs {
+		reqs[i] = drmap.Request{Addr: a}
+		if *writes {
+			reqs[i].Op = 1 // trace.Write
+		}
+	}
+
+	if *requestsPath != "" {
+		if err := writeFile(*requestsPath, func(f *os.File) error {
+			return drmap.WriteRequests(f, reqs)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d requests to %s\n", len(reqs), *requestsPath)
+	}
+
+	ctrl, err := drmap.NewController(cfg, drmap.ControllerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := ctrl.Run(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *commandsPath != "" {
+		if err := writeFile(*commandsPath, func(f *os.File) error {
+			return drmap.WriteCommands(f, sim.Commands)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d commands to %s\n", len(sim.Commands), *commandsPath)
+	}
+
+	model, err := drmap.NewEnergyModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	energy := drmap.EnergyOfRun(model, sim)
+
+	fmt.Printf("policy:            %v\n", pol)
+	fmt.Printf("architecture:      %v\n", cfg.Arch)
+	fmt.Printf("accesses:          %d\n", len(sim.Serviced))
+	fmt.Printf("total cycles:      %d (%.3f us)\n", sim.TotalCycles, cfg.Timing.Seconds(sim.TotalCycles)*1e6)
+	fmt.Printf("cycles/access:     %.2f\n", sim.AverageCyclesPerAccess())
+	kinds := map[string]int64{}
+	for k, v := range sim.Histogram() {
+		kinds[k.String()] = v
+	}
+	fmt.Printf("access breakdown:  %v\n", kinds)
+	fmt.Printf("energy:            %v\n", energy)
+	perAccess := energy.Total() / float64(len(sim.Serviced))
+	edp := energy.Total() * cfg.Timing.Seconds(sim.TotalCycles)
+	fmt.Printf("energy/access:     %.3f nJ\n", perAccess*1e9)
+	fmt.Printf("tile EDP:          %.4g J*s\n", edp)
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func parsePolicy(s string) (drmap.MappingPolicy, error) {
+	if s == "default" {
+		return drmap.DefaultPolicy(), nil
+	}
+	for _, p := range drmap.TableIPolicies() {
+		if fmt.Sprint(p.ID) == s {
+			return p, nil
+		}
+	}
+	return drmap.MappingPolicy{}, fmt.Errorf("unknown policy %q (want 1-6 or 'default')", s)
+}

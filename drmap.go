@@ -1,0 +1,352 @@
+// Package drmap is a from-scratch Go reproduction of "DRMap: A Generic
+// DRAM Data Mapping Policy for Energy-Efficient Processing of
+// Convolutional Neural Networks" (Putra, Hanif, Shafique - DAC 2020).
+//
+// The package is a facade over the implementation packages:
+//
+//   - a cycle-accurate DRAM command simulator with DDR3-1600 timing and
+//     the SALP-1 / SALP-2 / SALP-MASA subarray-parallel architectures
+//     (internal/dram, internal/memctrl - the Ramulator substitute);
+//   - a Micron-power-calc / VAMPIRE-style DRAM energy model
+//     (internal/vampire);
+//   - the Fig. 1 characterization harness (internal/profile);
+//   - CNN workloads, layer partitioning and the four reuse scheduling
+//     schemes (internal/cnn, internal/tiling, internal/accel);
+//   - the six Table I mapping policies including DRMap itself
+//     (internal/mapping);
+//   - the analytical EDP model (Eq. 2-3) and the DSE of Algorithm 1
+//     (internal/core);
+//   - paper-style table renderers (internal/report).
+//
+// # Quick start
+//
+//	profiles, _ := drmap.CharacterizeAll()
+//	ev, _ := drmap.NewEvaluator(profiles[0], drmap.TableII(), 1)
+//	res, _ := drmap.RunDSE(drmap.AlexNet(), ev, drmap.Schedules(), drmap.TableIPolicies())
+//	fmt.Println(drmap.RenderDSE(res))
+package drmap
+
+import (
+	"io"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/memctrl"
+	"drmap/internal/profile"
+	"drmap/internal/report"
+	"drmap/internal/tiling"
+	"drmap/internal/trace"
+	"drmap/internal/vampire"
+)
+
+// DRAM architecture and configuration types.
+type (
+	// Arch identifies a DRAM architecture (DDR3 or a SALP variant).
+	Arch = dram.Arch
+	// DRAMConfig bundles geometry, timing and power of a DRAM system.
+	DRAMConfig = dram.Config
+	// Geometry is the channel/rank/chip/bank/subarray/row/column shape.
+	Geometry = dram.Geometry
+	// Timing holds the JEDEC timing parameters in clock cycles.
+	Timing = dram.Timing
+	// Power holds IDD currents and related electrical parameters.
+	Power = dram.Power
+	// Address identifies one burst-sized DRAM location.
+	Address = dram.Address
+)
+
+// Architectures evaluated by the paper.
+const (
+	DDR3     = dram.DDR3
+	SALP1    = dram.SALP1
+	SALP2    = dram.SALP2
+	SALPMASA = dram.SALPMASA
+)
+
+// Archs lists the four architectures in paper order.
+func Archs() []Arch { return dram.Archs }
+
+// DDR3Config returns the paper's DDR3-1600 2Gb x8 configuration.
+func DDR3Config() DRAMConfig { return dram.DDR3Config() }
+
+// SALP1Config returns the SALP-1 configuration.
+func SALP1Config() DRAMConfig { return dram.SALP1Config() }
+
+// SALP2Config returns the SALP-2 configuration.
+func SALP2Config() DRAMConfig { return dram.SALP2Config() }
+
+// SALPMASAConfig returns the SALP-MASA configuration.
+func SALPMASAConfig() DRAMConfig { return dram.SALPMASAConfig() }
+
+// ConfigFor returns the preset configuration of an architecture.
+func ConfigFor(a Arch) DRAMConfig { return dram.ConfigFor(a) }
+
+// Workload types.
+type (
+	// Layer is one CNN layer's tensor geometry.
+	Layer = cnn.Layer
+	// Network is an ordered list of layers.
+	Network = cnn.Network
+	// AccelConfig is the TPU-like accelerator of Table II.
+	AccelConfig = accel.Config
+)
+
+// AlexNet returns the paper's evaluation workload.
+func AlexNet() Network { return cnn.AlexNet() }
+
+// VGG16 returns the VGG-16 extension workload.
+func VGG16() Network { return cnn.VGG16() }
+
+// LeNet5 returns a small smoke-test workload.
+func LeNet5() Network { return cnn.LeNet5() }
+
+// ResNet18 returns the ResNet-18 extension workload.
+func ResNet18() Network { return cnn.ResNet18() }
+
+// TableII returns the paper's accelerator configuration.
+func TableII() AccelConfig { return accel.TableII() }
+
+// Partitioning and scheduling types.
+type (
+	// Tiling fixes the outer-loop step sizes (layer partitioning).
+	Tiling = tiling.Tiling
+	// Schedule is a DRAM access scheduling scheme (reuse priority).
+	Schedule = tiling.Schedule
+	// Traffic aggregates DRAM element volumes of a layer.
+	Traffic = tiling.Traffic
+)
+
+// The four scheduling schemes of the paper.
+const (
+	IfmsReuse     = tiling.IfmsReuse
+	WghsReuse     = tiling.WghsReuse
+	OfmsReuse     = tiling.OfmsReuse
+	AdaptiveReuse = tiling.AdaptiveReuse
+)
+
+// Schedules lists the four scheduling schemes in paper order.
+func Schedules() []Schedule { return tiling.Schedules }
+
+// EnumerateTilings returns every divisor-aligned partitioning of the
+// layer that fits the accelerator's buffers.
+func EnumerateTilings(l Layer, cfg AccelConfig) []Tiling { return tiling.Enumerate(l, cfg) }
+
+// EstimateTraffic computes the DRAM traffic of a layer under a tiling
+// and schedule.
+func EstimateTraffic(l Layer, t Tiling, s Schedule, batch int) Traffic {
+	return tiling.Estimate(l, t, s, batch)
+}
+
+// Mapping policy types.
+type (
+	// MappingPolicy is a DRAM data-mapping loop order.
+	MappingPolicy = mapping.Policy
+	// AccessCounts splits a tile stream into the four access categories.
+	AccessCounts = mapping.Counts
+)
+
+// TableIPolicies returns the six mapping policies of the paper's
+// Table I.
+func TableIPolicies() []MappingPolicy { return mapping.TableI() }
+
+// DRMapPolicy returns the paper's proposed policy (Mapping-3).
+func DRMapPolicy() MappingPolicy { return mapping.DRMap() }
+
+// DefaultPolicy returns the commodity subarray-unaware mapping.
+func DefaultPolicy() MappingPolicy { return mapping.Default() }
+
+// Simulation and characterization types.
+type (
+	// Controller is the cycle-accurate DRAM memory controller.
+	Controller = memctrl.Controller
+	// ControllerOptions tune the controller (page policy, refresh...).
+	ControllerOptions = memctrl.Options
+	// SimResult is a controller run's command log and cycle accounting.
+	SimResult = memctrl.Result
+	// Request is one burst-sized DRAM transaction.
+	Request = trace.Request
+	// EnergyModel is the VAMPIRE-style DRAM energy model.
+	EnergyModel = vampire.Model
+	// EnergyBreakdown itemizes a run's energy in joules.
+	EnergyBreakdown = vampire.Breakdown
+	// Profile is a Fig. 1 characterization of one architecture.
+	Profile = profile.Profile
+	// AccessKind classifies a DRAM access by its row-buffer condition.
+	AccessKind = trace.AccessKind
+	// AccessCost is a per-access (cycles, energy) pair.
+	AccessCost = profile.Cost
+)
+
+// The five access conditions of Fig. 1.
+const (
+	AccessRowHit         = trace.AccessRowHit
+	AccessRowMiss        = trace.AccessRowMiss
+	AccessRowConflict    = trace.AccessRowConflict
+	AccessSubarraySwitch = trace.AccessSubarraySwitch
+	AccessBankSwitch     = trace.AccessBankSwitch
+)
+
+// NewController builds a cycle-accurate controller for a configuration.
+func NewController(cfg DRAMConfig, opt ControllerOptions) (*Controller, error) {
+	return memctrl.New(cfg, opt)
+}
+
+// NewEnergyModel builds the energy model for a configuration.
+func NewEnergyModel(cfg DRAMConfig) (*EnergyModel, error) { return vampire.New(cfg) }
+
+// Characterize measures one architecture's per-access-condition costs
+// (the paper's Fig. 1).
+func Characterize(cfg DRAMConfig) (*Profile, error) { return profile.Characterize(cfg) }
+
+// CharacterizeAll measures every preset architecture in paper order.
+func CharacterizeAll() ([]*Profile, error) { return profile.CharacterizeAll() }
+
+// EDP model and DSE types.
+type (
+	// Evaluator prices layer/tiling/schedule/mapping combinations.
+	Evaluator = core.Evaluator
+	// LayerEDP is the modeled DRAM cost of a layer.
+	LayerEDP = core.LayerEDP
+	// DSEResult is Algorithm 1's outcome for a network.
+	DSEResult = core.DSEResult
+	// Fig9Point is one bar of the paper's Fig. 9.
+	Fig9Point = core.Fig9Point
+	// LayerSpec bundles the inputs of a trace-driven layer simulation.
+	LayerSpec = core.LayerSpec
+)
+
+// SimulateLayer prices a layer by running its tile streams through the
+// cycle-accurate controller and energy model instead of the analytical
+// category counts - the validation path of the paper's tool flow.
+func SimulateLayer(cfg DRAMConfig, pol MappingPolicy, spec LayerSpec, bytesPerElement int) (LayerEDP, error) {
+	return core.SimulateLayer(cfg, pol, spec, bytesPerElement)
+}
+
+// TotalLayerName labels Fig. 9's aggregate pseudo-layer.
+const TotalLayerName = core.TotalLayerName
+
+// NewEvaluator builds an EDP evaluator from a characterization profile.
+func NewEvaluator(p *Profile, cfg AccelConfig, batch int) (*Evaluator, error) {
+	return core.NewEvaluator(p, cfg, batch)
+}
+
+// RunDSE executes Algorithm 1 over a network.
+func RunDSE(net Network, ev *Evaluator, schedules []Schedule, policies []MappingPolicy) (*DSEResult, error) {
+	return core.RunDSE(net, ev, schedules, policies)
+}
+
+// Objective selects what the DSE minimizes (EDP, energy or delay).
+type Objective = core.Objective
+
+// The supported DSE objectives.
+const (
+	MinimizeEDP    = core.MinimizeEDP
+	MinimizeEnergy = core.MinimizeEnergy
+	MinimizeDelay  = core.MinimizeDelay
+)
+
+// RunDSEObjective is RunDSE under an explicit optimization objective.
+func RunDSEObjective(net Network, ev *Evaluator, schedules []Schedule, policies []MappingPolicy, obj Objective) (*DSEResult, error) {
+	return core.RunDSEObjective(net, ev, schedules, policies, obj)
+}
+
+// Fig9Series regenerates one subplot of the paper's Fig. 9.
+func Fig9Series(net Network, s Schedule, evs []*Evaluator, policies []MappingPolicy) ([]Fig9Point, error) {
+	return core.Fig9Series(net, s, evs, policies)
+}
+
+// DRMapImprovement returns DRMap's EDP improvement over the worst
+// mapping for one architecture (the paper's headline result).
+func DRMapImprovement(points []Fig9Point, arch Arch) (float64, error) {
+	return core.DRMapImprovement(points, arch)
+}
+
+// SALPImprovement returns a SALP architecture's EDP improvement over
+// DDR3 for one mapping policy (Key Observation 4).
+func SALPImprovement(points []Fig9Point, policyID int, arch Arch) (float64, error) {
+	return core.SALPImprovement(points, policyID, arch)
+}
+
+// EnergyOfRun computes the energy breakdown of a controller run under
+// an energy model, wiring the controller's cycle accounting into the
+// model's activity summary.
+func EnergyOfRun(model *EnergyModel, sim *SimResult) EnergyBreakdown {
+	act := vampire.ActivityFrom(sim.Commands, sim.DeviceActiveCycles, sim.TotalCycles)
+	act.ExtraOpenSubarrayCycles = sim.ExtraOpenSubarrayCycles
+	return model.Energy(act)
+}
+
+// WriteRequests encodes a request stream in the text trace format.
+func WriteRequests(w io.Writer, reqs []Request) error { return trace.WriteRequests(w, reqs) }
+
+// ReadRequests decodes a request stream from the text trace format.
+func ReadRequests(r io.Reader) ([]Request, error) { return trace.ReadRequests(r) }
+
+// WriteCommands encodes a controller command log as text.
+func WriteCommands(w io.Writer, cmds []Command) error { return trace.WriteCommands(w, cmds) }
+
+// Command is one DRAM command with its issue cycle.
+type Command = trace.Command
+
+// Report renderers.
+
+// RenderFig1 renders the characterization table.
+func RenderFig1(profiles []*Profile) string { return report.Fig1Table(profiles) }
+
+// RenderTableI renders the six mapping policies.
+func RenderTableI() string { return report.TableI() }
+
+// RenderFig9 renders one Fig. 9 subplot as a table.
+func RenderFig9(points []Fig9Point, schedule string) string {
+	return report.Fig9Table(points, schedule)
+}
+
+// RenderImprovements renders the headline improvement percentages.
+func RenderImprovements(points []Fig9Point) string { return report.ImprovementsTable(points) }
+
+// RenderSALPGains renders Key Observation 4's table.
+func RenderSALPGains(points []Fig9Point) string { return report.SALPGainsTable(points) }
+
+// RenderDSE renders Algorithm 1's per-layer outcome.
+func RenderDSE(res *DSEResult) string { return report.DSETable(res) }
+
+// RenderFig9Chart renders one Fig. 9 subplot as a log-scale bar chart,
+// the way the paper draws it.
+func RenderFig9Chart(points []Fig9Point, schedule string) string {
+	return report.Fig9Chart(points, schedule)
+}
+
+// Multi-channel placements (DRMap flowchart step 5 and its parallel
+// generalization).
+
+// RankSpillAddresses lays a tile out rank by rank (the literal step 5).
+func RankSpillAddresses(p MappingPolicy, bursts int64, g Geometry) []Address {
+	return mapping.RankSpill(p, bursts, g)
+}
+
+// ChannelInterleavedAddresses spreads a tile round-robin across all
+// channel/rank units, exploiting channel-level parallelism.
+func ChannelInterleavedAddresses(p MappingPolicy, bursts int64, g Geometry) []Address {
+	return mapping.ChannelInterleaved(p, bursts, g)
+}
+
+// Evaluators builds one evaluator per preset architecture, sharing an
+// accelerator configuration - the common setup for Fig. 9 runs.
+func Evaluators(cfg AccelConfig, batch int) ([]*Evaluator, error) {
+	profiles, err := CharacterizeAll()
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]*Evaluator, 0, len(profiles))
+	for _, p := range profiles {
+		ev, err := NewEvaluator(p, cfg, batch)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}

@@ -1,0 +1,231 @@
+package drmap_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"drmap"
+)
+
+// Characterization is deterministic and moderately expensive, so tests
+// and benchmarks share one evaluator set.
+var (
+	facadeOnce sync.Once
+	facadeEvs  []*drmap.Evaluator
+	facadeErr  error
+)
+
+func getEvaluators() ([]*drmap.Evaluator, error) {
+	facadeOnce.Do(func() {
+		facadeEvs, facadeErr = drmap.Evaluators(drmap.TableII(), 1)
+	})
+	return facadeEvs, facadeErr
+}
+
+func facadeEvaluators(t *testing.T) []*drmap.Evaluator {
+	t.Helper()
+	evs, err := getEvaluators()
+	if err != nil {
+		t.Fatalf("Evaluators: %v", err)
+	}
+	return evs
+}
+
+func TestFacadePresets(t *testing.T) {
+	if got := len(drmap.Archs()); got != 4 {
+		t.Fatalf("Archs() returned %d, want 4", got)
+	}
+	for _, a := range drmap.Archs() {
+		cfg := drmap.ConfigFor(a)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v preset invalid: %v", a, err)
+		}
+	}
+	if drmap.DDR3Config().Arch != drmap.DDR3 {
+		t.Error("DDR3Config arch mismatch")
+	}
+	if drmap.SALPMASAConfig().Arch != drmap.SALPMASA {
+		t.Error("SALPMASAConfig arch mismatch")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, net := range []drmap.Network{drmap.AlexNet(), drmap.VGG16(), drmap.LeNet5(), drmap.ResNet18()} {
+		if err := net.Validate(); err != nil {
+			t.Errorf("%s: %v", net.Name, err)
+		}
+	}
+	if len(drmap.Schedules()) != 4 {
+		t.Error("expected 4 schedules")
+	}
+	if len(drmap.TableIPolicies()) != 6 {
+		t.Error("expected 6 Table I policies")
+	}
+	if drmap.DRMapPolicy().ID != 3 {
+		t.Error("DRMapPolicy is not Mapping-3")
+	}
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// The README quick-start must work end to end on a small network.
+	evs := facadeEvaluators(t)
+	res, err := drmap.RunDSE(drmap.LeNet5(), evs[0], drmap.Schedules(), drmap.TableIPolicies())
+	if err != nil {
+		t.Fatalf("RunDSE: %v", err)
+	}
+	out := drmap.RenderDSE(res)
+	if !strings.Contains(out, "Mapping-3") {
+		t.Errorf("DSE table does not pick DRMap:\n%s", out)
+	}
+}
+
+func TestFacadeSimulatorAndEnergyModel(t *testing.T) {
+	ctrl, err := drmap.NewController(drmap.DDR3Config(), drmap.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := drmap.DRMapPolicy().Addresses(512, drmap.DDR3Config().Geometry)
+	reqs := make([]drmap.Request, len(addrs))
+	for i, a := range addrs {
+		reqs[i] = drmap.Request{Addr: a}
+	}
+	sim, err := ctrl.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalCycles <= 0 {
+		t.Fatal("simulation produced no cycles")
+	}
+	model, err := drmap.NewEnergyModel(drmap.DDR3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := model.ActEnergy(); e <= 0 {
+		t.Errorf("ActEnergy = %g", e)
+	}
+}
+
+func TestFacadeRenderers(t *testing.T) {
+	evs := facadeEvaluators(t)
+	pts, err := drmap.Fig9Series(drmap.LeNet5(), drmap.AdaptiveReuse, evs, drmap.TableIPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := drmap.RenderTableI(); !strings.Contains(s, "column, bank, subarray, row") {
+		t.Errorf("RenderTableI missing DRMap order:\n%s", s)
+	}
+	if s := drmap.RenderImprovements(pts); !strings.Contains(s, "DDR3") {
+		t.Errorf("RenderImprovements malformed:\n%s", s)
+	}
+	if s := drmap.RenderSALPGains(pts); !strings.Contains(s, "SALP-MASA") {
+		t.Errorf("RenderSALPGains malformed:\n%s", s)
+	}
+	if s := drmap.RenderFig9(pts, "adaptive-reuse"); !strings.Contains(s, "Total") {
+		t.Errorf("RenderFig9 malformed:\n%s", s)
+	}
+	imp, err := drmap.DRMapImprovement(pts, drmap.DDR3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp <= 0 {
+		t.Errorf("DRMap improvement on LeNet-5 = %g, want positive", imp)
+	}
+	gain, err := drmap.SALPImprovement(pts, 2, drmap.SALPMASA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 0 {
+		t.Errorf("MASA gain for Mapping-2 = %g, want positive", gain)
+	}
+}
+
+func TestFacadeTrafficHelpers(t *testing.T) {
+	l := drmap.AlexNet().Layers[1]
+	tilings := drmap.EnumerateTilings(l, drmap.TableII())
+	if len(tilings) == 0 {
+		t.Fatal("no tilings enumerated")
+	}
+	tr := drmap.EstimateTraffic(l, tilings[len(tilings)/2], drmap.AdaptiveReuse, 1)
+	if tr.TotalElems() <= 0 {
+		t.Error("traffic estimate is zero")
+	}
+}
+
+func TestFacadeObjectives(t *testing.T) {
+	evs := facadeEvaluators(t)
+	for _, obj := range []drmap.Objective{drmap.MinimizeEDP, drmap.MinimizeEnergy, drmap.MinimizeDelay} {
+		res, err := drmap.RunDSEObjective(drmap.LeNet5(), evs[0], drmap.Schedules(),
+			drmap.TableIPolicies(), obj)
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		if res.TotalEDP() <= 0 {
+			t.Errorf("%v: degenerate total EDP", obj)
+		}
+	}
+}
+
+func TestFacadeSimulateLayer(t *testing.T) {
+	spec := drmap.LayerSpec{
+		Layer:    drmap.LeNet5().Layers[1],
+		Tiling:   drmap.Tiling{Th: 10, Tw: 10, Tj: 16, Ti: 6},
+		Schedule: drmap.OfmsReuse,
+		Batch:    1,
+	}
+	cost, err := drmap.SimulateLayer(drmap.DDR3Config(), drmap.DRMapPolicy(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Cycles <= 0 || cost.Energy <= 0 {
+		t.Errorf("degenerate simulated cost %+v", cost)
+	}
+}
+
+func TestFacadeMultiChannelPlacements(t *testing.T) {
+	g := drmap.DDR3Config().Geometry
+	g.Channels = 2
+	inter := drmap.ChannelInterleavedAddresses(drmap.DRMapPolicy(), 64, g)
+	if len(inter) != 64 {
+		t.Fatalf("interleaved: %d addresses", len(inter))
+	}
+	for i, a := range inter {
+		if a.Channel != i%2 {
+			t.Fatalf("address %d on channel %d", i, a.Channel)
+		}
+	}
+	spill := drmap.RankSpillAddresses(drmap.DRMapPolicy(), 64, g)
+	for i, a := range spill {
+		if a.Channel != 0 {
+			t.Fatalf("rank-spill address %d left channel 0", i)
+		}
+	}
+}
+
+func TestFacadeFig9Chart(t *testing.T) {
+	evs := facadeEvaluators(t)
+	pts, err := drmap.Fig9Series(drmap.LeNet5(), drmap.AdaptiveReuse, evs, drmap.TableIPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := drmap.RenderFig9Chart(pts, "adaptive-reuse")
+	if !strings.Contains(chart, "#") || !strings.Contains(chart, "DRMap") {
+		t.Errorf("chart malformed:\n%s", chart)
+	}
+}
+
+func TestFacadeCharacterize(t *testing.T) {
+	p, err := drmap.Characterize(drmap.SALP1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arch != drmap.SALP1 {
+		t.Errorf("profile arch = %v", p.Arch)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("profile shape: %v", err)
+	}
+	if s := drmap.RenderFig1([]*drmap.Profile{p}); !strings.Contains(s, "SALP-1") {
+		t.Errorf("RenderFig1 malformed:\n%s", s)
+	}
+}

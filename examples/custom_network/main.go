@@ -1,0 +1,66 @@
+// Custom network and custom DRAM: the library is not hard-wired to
+// AlexNet or to the paper's 2Gb x8 die. This example defines a small
+// depthwise-separable-style edge CNN and a 4Gb x16 DRAM with 16
+// subarrays per bank, characterizes it, and runs the DSE - exactly what
+// a user adapting DRMap to their own accelerator would do.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drmap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small edge CNN: ofm HxWxJ, input depth I, kernel PxQ.
+	net := drmap.Network{
+		Name: "EdgeNet",
+		Layers: []drmap.Layer{
+			{Name: "STEM", Kind: 0, H: 56, W: 56, J: 32, I: 3, P: 3, Q: 3, Stride: 2, Pad: 1},
+			{Name: "PW1", Kind: 0, H: 56, W: 56, J: 64, I: 32, P: 1, Q: 1, Stride: 1},
+			{Name: "CONV2", Kind: 0, H: 28, W: 28, J: 128, I: 64, P: 3, Q: 3, Stride: 2, Pad: 1},
+			{Name: "PW2", Kind: 0, H: 28, W: 28, J: 128, I: 128, P: 1, Q: 1, Stride: 1},
+			{Name: "HEAD", Kind: 1, H: 1, W: 1, J: 100, I: 128, P: 1, Q: 1, Stride: 1},
+		},
+	}
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom SALP-MASA part: 4 Gb x16, 2 KB page, 16 subarrays/bank.
+	cfg := drmap.SALPMASAConfig()
+	cfg.Geometry.ChipBits = 16
+	cfg.Geometry.Rows = 32768
+	cfg.Geometry.Columns = 128 // 128 BL8 bursts x 16 bits = 2 KB page
+	cfg.Geometry.Subarrays = 16
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DRAM: %v\n", cfg)
+
+	prof, err := drmap.Characterize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncharacterization:")
+	fmt.Print(drmap.RenderFig1([]*drmap.Profile{prof}))
+
+	// A smaller edge accelerator: 4x4 MACs, 32 KB buffers.
+	acfg := drmap.TableII()
+	acfg.MACRows, acfg.MACCols = 4, 4
+	acfg.IfmBufBytes, acfg.WgtBufBytes, acfg.OfmBufBytes = 32*1024, 32*1024, 32*1024
+
+	ev, err := drmap.NewEvaluator(prof, acfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := drmap.RunDSE(net, ev, drmap.Schedules(), drmap.TableIPolicies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(drmap.RenderDSE(res))
+}

@@ -1,0 +1,83 @@
+// Package accel models the TPU-like CNN accelerator of the DRMap
+// paper's Table II: an 8x8 MAC processing array fed by three separate
+// on-chip SRAM buffers - iB for input feature maps, wB for weights and
+// oB for output feature maps, 64 KB each. The buffers bound the legal
+// tile sizes explored by the DSE; the MAC array provides a compute-time
+// reference for utilization reporting.
+package accel
+
+import (
+	"fmt"
+
+	"drmap/internal/cnn"
+)
+
+// Config describes the accelerator.
+type Config struct {
+	MACRows int // processing-array rows
+	MACCols int // processing-array columns
+
+	IfmBufBytes int // iB capacity
+	WgtBufBytes int // wB capacity
+	OfmBufBytes int // oB capacity
+
+	// BytesPerElement is the datatype width; the TPU-like design uses
+	// int8 activations and weights.
+	BytesPerElement int
+}
+
+// TableII returns the paper's accelerator configuration: an 8x8 MAC
+// array with 64 KB per buffer and int8 tensors.
+func TableII() Config {
+	return Config{
+		MACRows:         8,
+		MACCols:         8,
+		IfmBufBytes:     64 * 1024,
+		WgtBufBytes:     64 * 1024,
+		OfmBufBytes:     64 * 1024,
+		BytesPerElement: 1,
+	}
+}
+
+// Validate reports a descriptive error for inconsistent configuration.
+func (c Config) Validate() error {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"MACRows", c.MACRows}, {"MACCols", c.MACCols},
+		{"IfmBufBytes", c.IfmBufBytes}, {"WgtBufBytes", c.WgtBufBytes},
+		{"OfmBufBytes", c.OfmBufBytes}, {"BytesPerElement", c.BytesPerElement},
+	}
+	for _, f := range fields {
+		if f.v <= 0 {
+			return fmt.Errorf("accel: %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// MACsPerCycle returns the peak multiply-accumulates per cycle.
+func (c Config) MACsPerCycle() int { return c.MACRows * c.MACCols }
+
+// ComputeCycles returns the ideal (fully utilized) cycle count to
+// compute the layer for the given batch.
+func (c Config) ComputeCycles(l cnn.Layer, batch int) int64 {
+	macs := l.MACs() * int64(batch)
+	per := int64(c.MACsPerCycle())
+	return (macs + per - 1) / per
+}
+
+// BufElems returns each buffer's capacity in elements:
+// ifms, weights, ofms.
+func (c Config) BufElems() (ifm, wgt, ofm int64) {
+	b := int64(c.BytesPerElement)
+	return int64(c.IfmBufBytes) / b, int64(c.WgtBufBytes) / b, int64(c.OfmBufBytes) / b
+}
+
+// String summarizes the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("%dx%d MACs, iB %dKB wB %dKB oB %dKB, %dB/elem",
+		c.MACRows, c.MACCols, c.IfmBufBytes/1024, c.WgtBufBytes/1024, c.OfmBufBytes/1024,
+		c.BytesPerElement)
+}

@@ -1,0 +1,88 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"drmap/internal/cnn"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	c := TableII()
+	if c.MACRows != 8 || c.MACCols != 8 {
+		t.Errorf("MAC array = %dx%d, want 8x8", c.MACRows, c.MACCols)
+	}
+	if c.IfmBufBytes != 65536 || c.WgtBufBytes != 65536 || c.OfmBufBytes != 65536 {
+		t.Errorf("buffers = %d/%d/%d, want 64KB each", c.IfmBufBytes, c.WgtBufBytes, c.OfmBufBytes)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACsPerCycle(t *testing.T) {
+	if got := TableII().MACsPerCycle(); got != 64 {
+		t.Errorf("MACs/cycle = %d, want 64", got)
+	}
+}
+
+func TestComputeCycles(t *testing.T) {
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.Conv, H: 4, W: 4, J: 4, I: 4, P: 1, Q: 1, Stride: 1}
+	// 4*4*4*4 = 256 MACs at 64/cycle = 4 cycles.
+	if got := c.ComputeCycles(l, 1); got != 4 {
+		t.Errorf("compute cycles = %d, want 4", got)
+	}
+	if got := c.ComputeCycles(l, 2); got != 8 {
+		t.Errorf("batch-2 compute cycles = %d, want 8", got)
+	}
+}
+
+func TestComputeCyclesRoundsUp(t *testing.T) {
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.Conv, H: 1, W: 1, J: 1, I: 1, P: 1, Q: 1, Stride: 1}
+	if got := c.ComputeCycles(l, 1); got != 1 {
+		t.Errorf("1 MAC should still cost 1 cycle, got %d", got)
+	}
+}
+
+func TestBufElems(t *testing.T) {
+	c := TableII()
+	i, w, o := c.BufElems()
+	if i != 65536 || w != 65536 || o != 65536 {
+		t.Errorf("buffer elems = %d/%d/%d, want 65536 each at 1B/elem", i, w, o)
+	}
+	c.BytesPerElement = 2
+	i, w, o = c.BufElems()
+	if i != 32768 || w != 32768 || o != 32768 {
+		t.Errorf("buffer elems = %d/%d/%d at 2B/elem", i, w, o)
+	}
+}
+
+func TestValidateRejectsZeroFields(t *testing.T) {
+	base := TableII()
+	muts := []func(*Config){
+		func(c *Config) { c.MACRows = 0 },
+		func(c *Config) { c.MACCols = 0 },
+		func(c *Config) { c.IfmBufBytes = 0 },
+		func(c *Config) { c.WgtBufBytes = 0 },
+		func(c *Config) { c.OfmBufBytes = 0 },
+		func(c *Config) { c.BytesPerElement = 0 },
+	}
+	for i, mut := range muts {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := TableII().String()
+	for _, sub := range []string{"8x8", "64KB"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("config string %q missing %q", s, sub)
+		}
+	}
+}

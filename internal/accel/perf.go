@@ -1,0 +1,67 @@
+package accel
+
+import (
+	"fmt"
+
+	"drmap/internal/cnn"
+)
+
+// DefaultClockMHz is the accelerator clock used when a Config does not
+// set one: 700 MHz, the TPU-v1 figure.
+const DefaultClockMHz = 700.0
+
+// Perf summarizes how one layer executes on the accelerator when its
+// DRAM traffic takes the given time: the compute time of the MAC array,
+// the DRAM time, and the double-buffered overlap of the two.
+type Perf struct {
+	ComputeSeconds float64
+	DRAMSeconds    float64
+	// TotalSeconds assumes double buffering: tile transfers overlap
+	// compute, so the layer takes the longer of the two streams.
+	TotalSeconds float64
+	// MemoryBound reports whether DRAM time dominates compute time.
+	MemoryBound bool
+	// Utilization is the MAC array's busy fraction under the overlap.
+	Utilization float64
+}
+
+// String summarizes the perf result.
+func (p Perf) String() string {
+	bound := "compute-bound"
+	if p.MemoryBound {
+		bound = "memory-bound"
+	}
+	return fmt.Sprintf("compute %.3gs dram %.3gs total %.3gs (%s, %.0f%% util)",
+		p.ComputeSeconds, p.DRAMSeconds, p.TotalSeconds, bound, p.Utilization*100)
+}
+
+// ComputeSeconds returns the ideal MAC-array time for a layer at the
+// given clock (DefaultClockMHz when clockMHz is zero or negative).
+func (c Config) ComputeSeconds(l cnn.Layer, batch int, clockMHz float64) float64 {
+	if clockMHz <= 0 {
+		clockMHz = DefaultClockMHz
+	}
+	return float64(c.ComputeCycles(l, batch)) / (clockMHz * 1e6)
+}
+
+// LayerPerf models a layer's execution with double-buffered tile
+// transfers: compute and DRAM streams overlap, so the total is the
+// maximum of the two.
+func (c Config) LayerPerf(l cnn.Layer, batch int, dramSeconds, clockMHz float64) Perf {
+	compute := c.ComputeSeconds(l, batch, clockMHz)
+	total := compute
+	if dramSeconds > total {
+		total = dramSeconds
+	}
+	util := 0.0
+	if total > 0 {
+		util = compute / total
+	}
+	return Perf{
+		ComputeSeconds: compute,
+		DRAMSeconds:    dramSeconds,
+		TotalSeconds:   total,
+		MemoryBound:    dramSeconds > compute,
+		Utilization:    util,
+	}
+}

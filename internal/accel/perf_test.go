@@ -1,0 +1,79 @@
+package accel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"drmap/internal/cnn"
+)
+
+func TestComputeSecondsDefaultClock(t *testing.T) {
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.Conv, H: 8, W: 8, J: 8, I: 8, P: 1, Q: 1, Stride: 1}
+	// 4096 MACs / 64 per cycle = 64 cycles at 700 MHz.
+	want := 64.0 / 700e6
+	if got := c.ComputeSeconds(l, 1, 0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("ComputeSeconds = %g, want %g", got, want)
+	}
+	// Explicit clock.
+	want = 64.0 / 1000e6
+	if got := c.ComputeSeconds(l, 1, 1000); math.Abs(got-want) > 1e-15 {
+		t.Errorf("ComputeSeconds@1GHz = %g, want %g", got, want)
+	}
+}
+
+func TestLayerPerfMemoryBound(t *testing.T) {
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.Conv, H: 8, W: 8, J: 8, I: 8, P: 1, Q: 1, Stride: 1}
+	compute := c.ComputeSeconds(l, 1, 0)
+	p := c.LayerPerf(l, 1, compute*10, 0)
+	if !p.MemoryBound {
+		t.Error("10x DRAM time should be memory-bound")
+	}
+	if p.TotalSeconds != compute*10 {
+		t.Errorf("total = %g, want DRAM time %g", p.TotalSeconds, compute*10)
+	}
+	if math.Abs(p.Utilization-0.1) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.1", p.Utilization)
+	}
+}
+
+func TestLayerPerfComputeBound(t *testing.T) {
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.Conv, H: 16, W: 16, J: 64, I: 64, P: 3, Q: 3, Stride: 1}
+	compute := c.ComputeSeconds(l, 1, 0)
+	p := c.LayerPerf(l, 1, compute/4, 0)
+	if p.MemoryBound {
+		t.Error("quarter DRAM time should be compute-bound")
+	}
+	if p.TotalSeconds != compute {
+		t.Errorf("total = %g, want compute time %g", p.TotalSeconds, compute)
+	}
+	if math.Abs(p.Utilization-1) > 1e-9 {
+		t.Errorf("utilization = %g, want 1", p.Utilization)
+	}
+}
+
+func TestPerfStringMentionsBound(t *testing.T) {
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.FC, H: 1, W: 1, J: 10, I: 10, P: 1, Q: 1, Stride: 1}
+	mem := c.LayerPerf(l, 1, 1.0, 0)
+	if !strings.Contains(mem.String(), "memory-bound") {
+		t.Errorf("perf string %q missing bound", mem.String())
+	}
+	comp := c.LayerPerf(l, 1, 0, 0)
+	if !strings.Contains(comp.String(), "compute-bound") {
+		t.Errorf("perf string %q missing bound", comp.String())
+	}
+}
+
+func TestLayerPerfZeroTotal(t *testing.T) {
+	// Degenerate inputs must not divide by zero.
+	c := TableII()
+	l := cnn.Layer{Name: "t", Kind: cnn.FC, H: 1, W: 1, J: 1, I: 1, P: 1, Q: 1, Stride: 1}
+	p := c.LayerPerf(l, 1, 0, 0)
+	if math.IsNaN(p.Utilization) || math.IsInf(p.Utilization, 0) {
+		t.Errorf("utilization = %v", p.Utilization)
+	}
+}

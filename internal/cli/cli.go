@@ -1,0 +1,79 @@
+// Package cli holds the flag-value parsers shared by the drmap command
+// line tools, so that every tool accepts the same spellings for
+// architectures, workloads and schedules.
+package cli
+
+import (
+	"fmt"
+
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+	"drmap/internal/tiling"
+)
+
+// ParseArch maps a flag value to an architecture.
+func ParseArch(s string) (dram.Arch, error) {
+	switch s {
+	case "ddr3":
+		return dram.DDR3, nil
+	case "salp1":
+		return dram.SALP1, nil
+	case "salp2":
+		return dram.SALP2, nil
+	case "masa":
+		return dram.SALPMASA, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q (want ddr3, salp1, salp2, masa)", s)
+	}
+}
+
+// ParseConfig maps a flag value to a preset DRAM configuration,
+// including the generality presets.
+func ParseConfig(s string) (dram.Config, error) {
+	switch s {
+	case "ddr4":
+		return dram.DDR4Config(), nil
+	case "lpddr3":
+		return dram.LPDDR3Config(), nil
+	}
+	arch, err := ParseArch(s)
+	if err != nil {
+		return dram.Config{}, fmt.Errorf("unknown DRAM %q (want ddr3, salp1, salp2, masa, ddr4, lpddr3)", s)
+	}
+	return dram.ConfigFor(arch), nil
+}
+
+// ParseNetwork maps a flag value to a built-in workload.
+func ParseNetwork(s string) (cnn.Network, error) {
+	switch s {
+	case "alexnet":
+		return cnn.AlexNet(), nil
+	case "vgg16":
+		return cnn.VGG16(), nil
+	case "lenet5":
+		return cnn.LeNet5(), nil
+	case "resnet18":
+		return cnn.ResNet18(), nil
+	default:
+		return cnn.Network{}, fmt.Errorf("unknown network %q (want alexnet, vgg16, lenet5, resnet18)", s)
+	}
+}
+
+// ParseSchedules maps a flag value to scheduling schemes; "all" expands
+// to the paper's four.
+func ParseSchedules(s string) ([]tiling.Schedule, error) {
+	switch s {
+	case "ifms":
+		return []tiling.Schedule{tiling.IfmsReuse}, nil
+	case "wghs":
+		return []tiling.Schedule{tiling.WghsReuse}, nil
+	case "ofms":
+		return []tiling.Schedule{tiling.OfmsReuse}, nil
+	case "adaptive":
+		return []tiling.Schedule{tiling.AdaptiveReuse}, nil
+	case "all":
+		return tiling.Schedules, nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q (want ifms, wghs, ofms, adaptive, all)", s)
+	}
+}

@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"testing"
+
+	"drmap/internal/dram"
+	"drmap/internal/tiling"
+)
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]dram.Arch{
+		"ddr3": dram.DDR3, "salp1": dram.SALP1, "salp2": dram.SALP2, "masa": dram.SALPMASA,
+	}
+	for s, want := range cases {
+		got, err := ParseArch(s)
+		if err != nil || got != want {
+			t.Errorf("ParseArch(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseArch("ddr5"); err == nil {
+		t.Error("ParseArch accepted ddr5")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	for _, s := range []string{"ddr3", "salp1", "salp2", "masa", "ddr4", "lpddr3"} {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", s, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ParseConfig(%q) invalid: %v", s, err)
+		}
+	}
+	if _, err := ParseConfig("hbm"); err == nil {
+		t.Error("ParseConfig accepted hbm")
+	}
+}
+
+func TestParseNetwork(t *testing.T) {
+	for _, s := range []string{"alexnet", "vgg16", "lenet5", "resnet18"} {
+		net, err := ParseNetwork(s)
+		if err != nil {
+			t.Errorf("ParseNetwork(%q): %v", s, err)
+			continue
+		}
+		if err := net.Validate(); err != nil {
+			t.Errorf("network %q invalid: %v", s, err)
+		}
+	}
+	if _, err := ParseNetwork("inception"); err == nil {
+		t.Error("ParseNetwork accepted inception")
+	}
+}
+
+func TestParseSchedules(t *testing.T) {
+	one, err := ParseSchedules("wghs")
+	if err != nil || len(one) != 1 || one[0] != tiling.WghsReuse {
+		t.Errorf("ParseSchedules(wghs) = %v, %v", one, err)
+	}
+	all, err := ParseSchedules("all")
+	if err != nil || len(all) != 4 {
+		t.Errorf("ParseSchedules(all) = %v, %v", all, err)
+	}
+	if _, err := ParseSchedules("psum"); err == nil {
+		t.Error("ParseSchedules accepted psum")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/memctrl"
+	"drmap/internal/trace"
+)
+
+// multiChannelConfig clones the DDR3 preset with the given channel count.
+func multiChannelConfig(channels int) dram.Config {
+	cfg := dram.DDR3Config()
+	cfg.Geometry.Channels = channels
+	return cfg
+}
+
+func runStream(t *testing.T, cfg dram.Config, addrs []dram.Address) *memctrl.Result {
+	t.Helper()
+	ctrl, err := memctrl.New(cfg, memctrl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]trace.Request, len(addrs))
+	for i, a := range addrs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: a}
+	}
+	res, err := ctrl.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestChannelInterleaveSpeedupInSimulation(t *testing.T) {
+	// DRMap's step 5 generalized: spreading a DRMap-ordered tile across
+	// independent channels must cut the measured service time nearly in
+	// half per doubling, because each channel has its own data bus.
+	const bursts = 4096
+	pol := mapping.DRMap()
+	base := runStream(t, multiChannelConfig(1),
+		mapping.ChannelInterleaved(pol, bursts, multiChannelConfig(1).Geometry))
+	two := runStream(t, multiChannelConfig(2),
+		mapping.ChannelInterleaved(pol, bursts, multiChannelConfig(2).Geometry))
+	four := runStream(t, multiChannelConfig(4),
+		mapping.ChannelInterleaved(pol, bursts, multiChannelConfig(4).Geometry))
+
+	r2 := float64(base.TotalCycles) / float64(two.TotalCycles)
+	r4 := float64(base.TotalCycles) / float64(four.TotalCycles)
+	if r2 < 1.8 || r2 > 2.2 {
+		t.Errorf("2-channel speedup = %.2fx, want ~2x", r2)
+	}
+	if r4 < 3.5 || r4 > 4.5 {
+		t.Errorf("4-channel speedup = %.2fx, want ~4x", r4)
+	}
+}
+
+func TestRankSpillKeepsSingleChannelBusy(t *testing.T) {
+	// The literal step-5 placement (fill rank 0 first) gains nothing for
+	// a tile that fits one rank: it must match the plain layout exactly.
+	cfg := multiChannelConfig(2)
+	pol := mapping.DRMap()
+	plain := runStream(t, cfg, pol.Addresses(2048, cfg.Geometry))
+	spill := runStream(t, cfg, mapping.RankSpill(pol, 2048, cfg.Geometry))
+	if plain.TotalCycles != spill.TotalCycles {
+		t.Errorf("rank-spill (%d cycles) differs from plain (%d) for an in-rank tile",
+			spill.TotalCycles, plain.TotalCycles)
+	}
+}
+
+func TestInterleaveAnalyticApproximatesSimulation(t *testing.T) {
+	// Analytic multi-channel pricing: per-unit counts priced serially,
+	// divided by EffectiveParallelism. Must land within 20% of the
+	// simulator for a DRMap stream.
+	const bursts = 4096
+	cfg := multiChannelConfig(2)
+	pol := mapping.DRMap()
+	ev := evaluatorFor(t, dram.DDR3) // per-access costs are per-channel
+	counts := mapping.InterleavedCounts(pol, bursts, cfg.Geometry)
+	serial := ev.Price(counts)
+	analytic := serial.Cycles / mapping.EffectiveParallelism(cfg.Geometry)
+	sim := runStream(t, cfg, mapping.ChannelInterleaved(pol, bursts, cfg.Geometry))
+	ratio := analytic / float64(sim.TotalCycles)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("analytic %-8.0f vs simulated %d cycles (ratio %.2f)",
+			analytic, sim.TotalCycles, ratio)
+	}
+}

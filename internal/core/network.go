@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/tiling"
+)
+
+// DataTypeCost splits a layer's DRAM cost by tensor: input feature
+// maps, weights and output feature maps.
+type DataTypeCost struct {
+	Ifm LayerEDP
+	Wgt LayerEDP
+	Ofm LayerEDP
+}
+
+// Total sums the three tensors' costs.
+func (d DataTypeCost) Total() LayerEDP {
+	var t LayerEDP
+	t.Add(d.Ifm)
+	t.Add(d.Wgt)
+	t.Add(d.Ofm)
+	return t
+}
+
+// EvaluateLayerByDataType prices a layer like EvaluateLayer but keeps
+// the per-tensor contributions separate; used by the analysis report to
+// show which tensor dominates a layer's DRAM cost.
+func (ev *Evaluator) EvaluateLayerByDataType(l cnn.Layer, tl tiling.Tiling, s tiling.Schedule, pol mapping.Policy) DataTypeCost {
+	if s == tiling.AdaptiveReuse {
+		s = tiling.ResolveAdaptive(l, tl, ev.Batch)
+	}
+	var out DataTypeCost
+	// TileGroups emits groups in tensor order: ifm tiles first, then
+	// weights, then ofm reads/writes. Rebuild the split from the
+	// per-tensor traffic identities instead of relying on order: price
+	// each tensor's groups separately using a single-tensor expansion.
+	out.Ifm = ev.priceTensor(l, tl, s, pol, tensorIfm)
+	out.Wgt = ev.priceTensor(l, tl, s, pol, tensorWgt)
+	out.Ofm = ev.priceTensor(l, tl, s, pol, tensorOfm)
+	return out
+}
+
+type tensorKind int
+
+const (
+	tensorIfm tensorKind = iota
+	tensorWgt
+	tensorOfm
+)
+
+// priceTensor prices only the tile streams of one tensor by expanding
+// the full group set and masking by the tensor's group signature.
+func (ev *Evaluator) priceTensor(l cnn.Layer, tl tiling.Tiling, s tiling.Schedule, pol mapping.Policy, kind tensorKind) LayerEDP {
+	groups := tiling.TileGroupsByTensor(l, tl, s, ev.Batch)
+	var selected []tiling.TileGroup
+	switch kind {
+	case tensorIfm:
+		selected = groups.Ifm
+	case tensorWgt:
+		selected = groups.Wgt
+	case tensorOfm:
+		selected = groups.Ofm
+	}
+	return ev.Price(ev.GroupCounts(pol, selected))
+}
+
+// LayerReport combines the DSE outcome of one layer with the
+// accelerator performance model and the per-tensor cost split.
+type LayerReport struct {
+	Layer       cnn.Layer
+	Best        Combo
+	Cost        LayerEDP
+	EDP         float64
+	ByTensor    DataTypeCost
+	Perf        accel.Perf
+	DRAMSeconds float64
+}
+
+// NetworkReport is the end-to-end outcome of the tool flow for one
+// network on one architecture.
+type NetworkReport struct {
+	Network string
+	Arch    dram.Arch
+	Layers  []LayerReport
+}
+
+// TotalSeconds sums the double-buffered layer times.
+func (r *NetworkReport) TotalSeconds() float64 {
+	var t float64
+	for _, l := range r.Layers {
+		t += l.Perf.TotalSeconds
+	}
+	return t
+}
+
+// TotalEnergy sums the DRAM energy of all layers.
+func (r *NetworkReport) TotalEnergy() float64 {
+	var e float64
+	for _, l := range r.Layers {
+		e += l.Cost.Energy
+	}
+	return e
+}
+
+// TotalEDP sums per-layer EDPs (the Fig. 9 aggregation).
+func (r *NetworkReport) TotalEDP() float64 {
+	var v float64
+	for _, l := range r.Layers {
+		v += l.EDP
+	}
+	return v
+}
+
+// MemoryBoundLayers counts layers whose DRAM stream dominates compute.
+func (r *NetworkReport) MemoryBoundLayers() int {
+	n := 0
+	for _, l := range r.Layers {
+		if l.Perf.MemoryBound {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildReport runs Algorithm 1 on the network and augments each layer's
+// winning design point with the per-tensor cost split and the
+// accelerator performance model (clockMHz <= 0 uses the default).
+func BuildReport(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, clockMHz float64) (*NetworkReport, error) {
+	res, err := RunDSE(net, ev, schedules, policies)
+	if err != nil {
+		return nil, err
+	}
+	tm := ev.Timing()
+	report := &NetworkReport{Network: net.Name, Arch: ev.Arch()}
+	for _, lr := range res.Layers {
+		dramSeconds := lr.Cost.Seconds(tm)
+		rep := LayerReport{
+			Layer:       lr.Layer,
+			Best:        lr.Best,
+			Cost:        lr.Cost,
+			EDP:         lr.MinEDP,
+			ByTensor:    ev.EvaluateLayerByDataType(lr.Layer, lr.Best.Tiling, lr.Best.Schedule, lr.Best.Policy),
+			Perf:        ev.Accel.LayerPerf(lr.Layer, ev.Batch, dramSeconds, clockMHz),
+			DRAMSeconds: dramSeconds,
+		}
+		report.Layers = append(report.Layers, rep)
+	}
+	return report, nil
+}
+
+// Validate cross-checks the report's internal consistency: the tensor
+// split must sum to the layer cost.
+func (r *NetworkReport) Validate() error {
+	for _, l := range r.Layers {
+		sum := l.ByTensor.Total()
+		if relDiff(sum.Cycles, l.Cost.Cycles) > 1e-6 || relDiff(sum.Energy, l.Cost.Energy) > 1e-6 {
+			return fmt.Errorf("core: layer %s: tensor split (%.6g cyc) disagrees with total (%.6g cyc)",
+				l.Layer.Name, sum.Cycles, l.Cost.Cycles)
+		}
+	}
+	return nil
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / m
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/tiling"
+)
+
+func TestTensorSplitSumsToTotal(t *testing.T) {
+	// The per-tensor cost split must reproduce EvaluateLayer exactly for
+	// every schedule and mapping.
+	ev := evaluatorFor(t, dram.SALP1)
+	l := cnn.AlexNet().Layers[1]
+	tl := tiling.Tiling{Th: 9, Tw: 9, Tj: 32, Ti: 16}
+	for _, s := range tiling.Schedules {
+		for _, pol := range mapping.TableI() {
+			whole := ev.EvaluateLayer(l, tl, s, pol)
+			split := ev.EvaluateLayerByDataType(l, tl, s, pol).Total()
+			if math.Abs(whole.Cycles-split.Cycles) > whole.Cycles*1e-9 {
+				t.Errorf("%v/%s: cycles split %.6g != whole %.6g", s, pol.Name, split.Cycles, whole.Cycles)
+			}
+			if math.Abs(whole.Energy-split.Energy) > whole.Energy*1e-9 {
+				t.Errorf("%v/%s: energy split %.6g != whole %.6g", s, pol.Name, split.Energy, whole.Energy)
+			}
+		}
+	}
+}
+
+func TestFCLayersAreWeightDominated(t *testing.T) {
+	// Sanity of the split: AlexNet FC6's DRAM cost must be dominated by
+	// weights, CONV1's by activations.
+	ev := evaluatorFor(t, dram.DDR3)
+	net := cnn.AlexNet()
+	fc6 := net.Layers[5]
+	tilings := tiling.Enumerate(fc6, ev.Accel)
+	best, _ := ev.MinOverTilings(fc6, tilings, tiling.AdaptiveReuse, mapping.DRMap())
+	split := ev.EvaluateLayerByDataType(fc6, best, tiling.AdaptiveReuse, mapping.DRMap())
+	if split.Wgt.Energy < 5*(split.Ifm.Energy+split.Ofm.Energy) {
+		t.Errorf("FC6 not weight-dominated: ifm %.3g wgt %.3g ofm %.3g",
+			split.Ifm.Energy, split.Wgt.Energy, split.Ofm.Energy)
+	}
+	conv1 := net.Layers[0]
+	tilings = tiling.Enumerate(conv1, ev.Accel)
+	best, _ = ev.MinOverTilings(conv1, tilings, tiling.AdaptiveReuse, mapping.DRMap())
+	split = ev.EvaluateLayerByDataType(conv1, best, tiling.AdaptiveReuse, mapping.DRMap())
+	if split.Wgt.Energy > split.Ifm.Energy+split.Ofm.Energy {
+		t.Errorf("CONV1 weight traffic (%.3g) should not dominate activations (%.3g)",
+			split.Wgt.Energy, split.Ifm.Energy+split.Ofm.Energy)
+	}
+}
+
+func TestBuildReportAlexNet(t *testing.T) {
+	ev := evaluatorFor(t, dram.SALPMASA)
+	rep, err := BuildReport(cnn.AlexNet(), ev, tiling.Schedules, mapping.TableI(), 0)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report inconsistent: %v", err)
+	}
+	if len(rep.Layers) != 8 {
+		t.Fatalf("%d layer reports", len(rep.Layers))
+	}
+	if rep.TotalSeconds() <= 0 || rep.TotalEnergy() <= 0 || rep.TotalEDP() <= 0 {
+		t.Errorf("degenerate totals: %g s, %g J, %g Js",
+			rep.TotalSeconds(), rep.TotalEnergy(), rep.TotalEDP())
+	}
+	// The paper's motivation: CNN accelerators are DRAM-limited; at
+	// least some AlexNet layers must be memory-bound on this 8x8 array.
+	if rep.MemoryBoundLayers() == 0 {
+		t.Error("no memory-bound layers on an 8x8 MAC array; traffic model suspicious")
+	}
+	for _, lr := range rep.Layers {
+		if lr.Perf.TotalSeconds < lr.DRAMSeconds {
+			t.Errorf("%s: total %.3g below DRAM time %.3g", lr.Layer.Name, lr.Perf.TotalSeconds, lr.DRAMSeconds)
+		}
+		if lr.Best.Policy.ID != 3 {
+			t.Errorf("%s: report's DSE winner is %s", lr.Layer.Name, lr.Best.Policy.Name)
+		}
+	}
+}
+
+func TestBuildReportPropagatesErrors(t *testing.T) {
+	ev := evaluatorFor(t, dram.DDR3)
+	if _, err := BuildReport(cnn.Network{Name: "empty"}, ev, tiling.Schedules, mapping.TableI(), 0); err == nil {
+		t.Error("BuildReport accepted empty network")
+	}
+}
+
+func TestValidateDetectsCorruptedReport(t *testing.T) {
+	ev := evaluatorFor(t, dram.DDR3)
+	rep, err := BuildReport(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Layers[0].Cost.Cycles *= 2
+	if err := rep.Validate(); err == nil {
+		t.Error("Validate accepted corrupted report")
+	}
+}
+
+func TestDataTypeCostTotal(t *testing.T) {
+	d := DataTypeCost{
+		Ifm: LayerEDP{Cycles: 1, Energy: 10},
+		Wgt: LayerEDP{Cycles: 2, Energy: 20},
+		Ofm: LayerEDP{Cycles: 3, Energy: 30},
+	}
+	tot := d.Total()
+	if tot.Cycles != 6 || tot.Energy != 60 {
+		t.Errorf("Total = %+v", tot)
+	}
+}

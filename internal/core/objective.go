@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"drmap/internal/dram"
+)
+
+// Objective selects the scalar the DSE minimizes. The paper optimizes
+// EDP (Eq. 1); energy-only and delay-only objectives are provided for
+// the objective ablation - they confirm that DRMap's win does not hinge
+// on the EDP formulation.
+type Objective int
+
+const (
+	// MinimizeEDP minimizes energy x delay, the paper's Eq. 1.
+	MinimizeEDP Objective = iota
+	// MinimizeEnergy minimizes DRAM access energy alone.
+	MinimizeEnergy
+	// MinimizeDelay minimizes DRAM access latency alone.
+	MinimizeDelay
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinimizeEDP:
+		return "min-EDP"
+	case MinimizeEnergy:
+		return "min-energy"
+	case MinimizeDelay:
+		return "min-delay"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Value maps a layer cost onto the objective's scalar.
+func (o Objective) Value(e LayerEDP, tm dram.Timing) float64 {
+	switch o {
+	case MinimizeEnergy:
+		return e.Energy
+	case MinimizeDelay:
+		return e.Seconds(tm)
+	default:
+		return e.EDP(tm)
+	}
+}
+
+// Objectives lists all supported objectives.
+var Objectives = []Objective{MinimizeEDP, MinimizeEnergy, MinimizeDelay}

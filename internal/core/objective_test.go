@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/tiling"
+)
+
+func TestObjectiveStrings(t *testing.T) {
+	cases := map[Objective]string{
+		MinimizeEDP:    "min-EDP",
+		MinimizeEnergy: "min-energy",
+		MinimizeDelay:  "min-delay",
+		Objective(7):   "Objective(7)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Objective(%d) = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestObjectiveValues(t *testing.T) {
+	tm := dram.DDR3Config().Timing
+	e := LayerEDP{Cycles: 800, Energy: 3e-9}
+	within := func(got, want float64) bool {
+		return got > want*(1-1e-12) && got < want*(1+1e-12)
+	}
+	if got := MinimizeEnergy.Value(e, tm); !within(got, 3e-9) {
+		t.Errorf("energy objective = %g", got)
+	}
+	if got := MinimizeDelay.Value(e, tm); !within(got, 1e-6) {
+		t.Errorf("delay objective = %g", got)
+	}
+	if got := MinimizeEDP.Value(e, tm); !within(got, 3e-15) {
+		t.Errorf("EDP objective = %g", got)
+	}
+}
+
+func TestDRMapWinsUnderEveryObjective(t *testing.T) {
+	// Ablation: DRMap's win does not depend on the EDP formulation -
+	// it also minimizes energy alone and delay alone, because its access
+	// mix is hit-dominated on both axes. Tiny layers whose whole tile
+	// fits one DRAM row tie across column-inner policies, so the
+	// assertion is "nothing strictly beats the DRMap-only search".
+	ev := evaluatorFor(t, dram.SALP1)
+	for _, obj := range Objectives {
+		free, err := RunDSEObjective(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI(), obj)
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		only, err := RunDSEObjective(cnn.LeNet5(), ev, tiling.Schedules,
+			[]mapping.Policy{mapping.DRMap()}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lr := range free.Layers {
+			if lr.MinEDP < only.Layers[i].MinEDP*(1-1e-9) {
+				t.Errorf("%v/%s: some mapping (%s) strictly beats DRMap: %.6g < %.6g",
+					obj, lr.Layer.Name, lr.Best.Policy.Name, lr.MinEDP, only.Layers[i].MinEDP)
+			}
+		}
+	}
+}
+
+func TestObjectiveChangesChosenDesignPointValue(t *testing.T) {
+	// The chosen tiling/schedule may legitimately differ between
+	// objectives, but the reported MinEDP must always be the EDP of the
+	// chosen point - and the min-EDP objective must report the lowest.
+	ev := evaluatorFor(t, dram.DDR3)
+	edp, err := RunDSEObjective(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI(), MinimizeEDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []Objective{MinimizeEnergy, MinimizeDelay} {
+		other, err := RunDSEObjective(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI(), obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.TotalEDP() < edp.TotalEDP()*(1-1e-9) {
+			t.Errorf("%v found lower EDP (%.4g) than the EDP objective (%.4g)",
+				obj, other.TotalEDP(), edp.TotalEDP())
+		}
+	}
+}
+
+func TestGeneralityDDR4AndLPDDR3(t *testing.T) {
+	// Sec. V-B's claim: DRMap applies to any DRAM with the same
+	// organization. Characterize commodity DDR4 and LPDDR3 and their
+	// MASA variants; the DSE must still land on Mapping-3 everywhere.
+	bases := []dram.Config{dram.DDR4Config(), dram.LPDDR3Config()}
+	for _, base := range bases {
+		for _, cfg := range []dram.Config{base, dram.WithSALP(base, dram.SALPMASA)} {
+			prof, err := profile.Characterize(cfg)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg, err)
+			}
+			ev, err := NewEvaluator(prof, accel.TableII(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			free, err := RunDSE(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI())
+			if err != nil {
+				t.Fatal(err)
+			}
+			only, err := RunDSE(cnn.LeNet5(), ev, tiling.Schedules, []mapping.Policy{mapping.DRMap()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, lr := range free.Layers {
+				if lr.MinEDP < only.Layers[i].MinEDP*(1-1e-9) {
+					t.Errorf("%v/%s: %s strictly beats DRMap (%.6g < %.6g)",
+						cfg.Arch, lr.Layer.Name, lr.Best.Policy.Name,
+						lr.MinEDP, only.Layers[i].MinEDP)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package dram
+
+// Presets for the configurations evaluated in the DRMap paper (Table II):
+// DDR3-1600 2Gb x8 with 8 banks per chip, and SALP variants of the same
+// device with 8 subarrays per bank. Timing values are DDR3-1600K
+// (11-11-11) in 800 MHz command-clock cycles (tCK = 1.25 ns); power
+// values are datasheet-typical for a Micron MT41J256M8-class die.
+
+// geometry2GbX8 is the 2 Gb x8 die used throughout the paper: 8 banks x
+// 32768 rows x 1 KB page (1024 byte columns = 128 BL8 burst locations)
+// = 2 Gbit per chip; one chip per rank, one rank, one channel.
+func geometry2GbX8(subarrays int) Geometry {
+	return Geometry{
+		Channels:    1,
+		Ranks:       1,
+		Chips:       1,
+		Banks:       8,
+		Subarrays:   subarrays,
+		Rows:        32768,
+		Columns:     128,
+		ChipBits:    8,
+		BurstLength: 8,
+	}
+}
+
+// timingDDR31600 is DDR3-1600K (11-11-11) timing at tCK = 1.25 ns.
+func timingDDR31600() Timing {
+	return Timing{
+		TCKNanos: 1.25,
+		CL:       11,
+		CWL:      8,
+		TRCD:     11,
+		TRP:      11,
+		TRAS:     28,
+		TRC:      39,
+		TBL:      4, // BL8 occupies 4 command clocks (double data rate)
+		TCCD:     4,
+		TRTP:     6,
+		TWR:      12,
+		TWTR:     6,
+		TRRD:     5,
+		TFAW:     24,
+		TRFC:     128,  // 160 ns for a 2 Gb die
+		TREFI:    6240, // 7.8 us
+		TSASEL:   1,
+	}
+}
+
+// power2GbX8 holds datasheet-typical IDD values for a 2 Gb x8
+// DDR3-1600 die at VDD = 1.5 V.
+func power2GbX8() Power {
+	return Power{
+		VDD:                1.5,
+		IDD0:               75,
+		IDD2N:              23,
+		IDD2P:              10,
+		IDD3N:              38,
+		IDD3P:              30,
+		IDD4R:              135,
+		IDD4W:              130,
+		IDD5B:              190,
+		ReadIOPicoJPerBit:  2.5,
+		WriteIOPicoJPerBit: 3.5,
+		SubarrayActFactor:  1.0,
+	}
+}
+
+// DDR3Config returns the paper's commodity DDR3-1600 2Gb x8 system.
+// The physical die has subarrays, but commodity DDR3 cannot exploit
+// them; the controller still needs the subarray geometry so that
+// mapping policies can place data subarray-consciously.
+func DDR3Config() Config {
+	return Config{
+		Arch:     DDR3,
+		Geometry: geometry2GbX8(8),
+		Timing:   timingDDR31600(),
+		Power:    power2GbX8(),
+	}
+}
+
+// SALP1Config returns the SALP-1 variant: precharge/activate overlap
+// across subarrays of the same bank.
+func SALP1Config() Config {
+	return Config{
+		Arch:     SALP1,
+		Geometry: geometry2GbX8(8),
+		Timing:   timingDDR31600(),
+		Power:    power2GbX8(),
+	}
+}
+
+// SALP2Config returns the SALP-2 variant: SALP-1 plus write-recovery
+// overlap across subarrays. Its row-address latches let two subarrays
+// of a bank stay open, which costs a little latch background power.
+func SALP2Config() Config {
+	c := Config{
+		Arch:     SALP2,
+		Geometry: geometry2GbX8(8),
+		Timing:   timingDDR31600(),
+		Power:    power2GbX8(),
+	}
+	c.Power.SubarrayLatchFraction = 0.05
+	return c
+}
+
+// SALPMASAConfig returns the MASA variant: multiple subarrays of a bank
+// may be activated concurrently. Keeping several local row buffers
+// latched costs a little extra activation energy (Kim et al. estimate
+// the designated-bit circuitry overhead to be small; we charge 5%).
+func SALPMASAConfig() Config {
+	c := Config{
+		Arch:     SALPMASA,
+		Geometry: geometry2GbX8(8),
+		Timing:   timingDDR31600(),
+		Power:    power2GbX8(),
+	}
+	c.Power.SubarrayActFactor = 1.05
+	c.Power.SubarrayLatchFraction = 0.05
+	return c
+}
+
+// ConfigFor returns the preset for the given architecture.
+func ConfigFor(a Arch) Config {
+	switch a {
+	case DDR3:
+		return DDR3Config()
+	case SALP1:
+		return SALP1Config()
+	case SALP2:
+		return SALP2Config()
+	case SALPMASA:
+		return SALPMASAConfig()
+	default:
+		panic("dram: unknown architecture")
+	}
+}
+
+// AllConfigs returns presets for every architecture in paper order.
+func AllConfigs() []Config {
+	cfgs := make([]Config, 0, len(Archs))
+	for _, a := range Archs {
+		cfgs = append(cfgs, ConfigFor(a))
+	}
+	return cfgs
+}

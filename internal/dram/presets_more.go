@@ -1,0 +1,134 @@
+package dram
+
+// Additional commodity presets beyond the paper's DDR3-1600 testbed.
+// Sec. V-B argues DRMap generalizes to any DRAM whose organization is
+// channel/rank/chip/bank/subarray/row/column; these presets let the
+// generality experiments check that claim on DDR4 and LPDDR3 timing and
+// power points. Note that Arch describes the *subarray capability* a
+// controller can exploit, not the device generation: a commodity DDR4
+// part uses the DDR3 (no-SALP) semantics.
+
+// DDR4Config returns a DDR4-2400 (17-17-17) 4Gb x8 part: 16 banks,
+// 1 KB page, tCK = 0.833 ns, VDD = 1.2 V. Bank-group timing (tCCD_L vs
+// tCCD_S) is flattened to the short value; see EXPERIMENTS.md.
+func DDR4Config() Config {
+	return Config{
+		Arch: DDR3, // commodity: no subarray-level parallelism
+		Geometry: Geometry{
+			Channels:    1,
+			Ranks:       1,
+			Chips:       1,
+			Banks:       16,
+			Subarrays:   8,
+			Rows:        32768,
+			Columns:     128,
+			ChipBits:    8,
+			BurstLength: 8,
+		},
+		Timing: Timing{
+			TCKNanos: 0.833,
+			CL:       17,
+			CWL:      12,
+			TRCD:     17,
+			TRP:      17,
+			TRAS:     39,
+			TRC:      56,
+			TBL:      4,
+			TCCD:     4,
+			TRTP:     9,
+			TWR:      18,
+			TWTR:     9,
+			TRRD:     6,
+			TFAW:     26,
+			TRFC:     312,
+			TREFI:    9360,
+			TSASEL:   1,
+		},
+		Power: Power{
+			VDD:                1.2,
+			IDD0:               58,
+			IDD2N:              34,
+			IDD2P:              25,
+			IDD3N:              44,
+			IDD3P:              38,
+			IDD4R:              150,
+			IDD4W:              145,
+			IDD5B:              250,
+			ReadIOPicoJPerBit:  2.0,
+			WriteIOPicoJPerBit: 2.8,
+			SubarrayActFactor:  1.0,
+		},
+	}
+}
+
+// LPDDR3Config returns an LPDDR3-1600 4Gb x16 mobile part: 8 banks,
+// 2 KB page, very low standby currents and unterminated I/O.
+func LPDDR3Config() Config {
+	return Config{
+		Arch: DDR3,
+		Geometry: Geometry{
+			Channels:    1,
+			Ranks:       1,
+			Chips:       1,
+			Banks:       8,
+			Subarrays:   8,
+			Rows:        32768,
+			Columns:     128, // 2 KB page: 128 BL8 bursts x 16 bits
+			ChipBits:    16,
+			BurstLength: 8,
+		},
+		Timing: Timing{
+			TCKNanos: 1.25,
+			CL:       12,
+			CWL:      6,
+			TRCD:     15,
+			TRP:      15,
+			TRAS:     34,
+			TRC:      49,
+			TBL:      4,
+			TCCD:     4,
+			TRTP:     6,
+			TWR:      12,
+			TWTR:     6,
+			TRRD:     8,
+			TFAW:     40,
+			TRFC:     168,
+			TREFI:    3120,
+			TSASEL:   1,
+		},
+		Power: Power{
+			VDD:                1.2,
+			IDD0:               30,
+			IDD2N:              8,
+			IDD2P:              1.5,
+			IDD3N:              15,
+			IDD3P:              5,
+			IDD4R:              200,
+			IDD4W:              180,
+			IDD5B:              130,
+			ReadIOPicoJPerBit:  1.2,
+			WriteIOPicoJPerBit: 1.6,
+			SubarrayActFactor:  1.0,
+		},
+	}
+}
+
+// WithSALP converts a commodity configuration into the given
+// subarray-parallel variant, applying the same latch/activation energy
+// overheads as the paper's SALP presets. It panics on DDR3 (use the
+// base config directly).
+func WithSALP(base Config, arch Arch) Config {
+	if !arch.HasSALP() {
+		panic("dram: WithSALP requires a SALP architecture")
+	}
+	cfg := base
+	cfg.Arch = arch
+	switch arch {
+	case SALP2:
+		cfg.Power.SubarrayLatchFraction = 0.05
+	case SALPMASA:
+		cfg.Power.SubarrayActFactor *= 1.05
+		cfg.Power.SubarrayLatchFraction = 0.05
+	}
+	return cfg
+}

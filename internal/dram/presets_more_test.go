@@ -1,0 +1,72 @@
+package dram
+
+import "testing"
+
+func TestDDR4ConfigValid(t *testing.T) {
+	cfg := DDR4Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DDR4 preset invalid: %v", err)
+	}
+	// 4 Gb x8 = 512 MB.
+	if got := cfg.Geometry.ChipBytes(); got != 512*1024*1024 {
+		t.Errorf("DDR4 chip = %d bytes, want 512 MiB", got)
+	}
+	if cfg.Arch.HasSALP() {
+		t.Error("commodity DDR4 must not report SALP capability")
+	}
+	if cfg.Geometry.Banks != 16 {
+		t.Errorf("DDR4 banks = %d, want 16", cfg.Geometry.Banks)
+	}
+}
+
+func TestLPDDR3ConfigValid(t *testing.T) {
+	cfg := LPDDR3Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("LPDDR3 preset invalid: %v", err)
+	}
+	// 4 Gb x16 = 512 MB.
+	if got := cfg.Geometry.ChipBytes(); got != 512*1024*1024 {
+		t.Errorf("LPDDR3 chip = %d bytes, want 512 MiB", got)
+	}
+	// Mobile DRAM: standby far below the DDR3 desktop part.
+	if cfg.Power.IDD2N >= DDR3Config().Power.IDD2N {
+		t.Error("LPDDR3 standby current should undercut DDR3")
+	}
+	// 2 KB page: 256 bursts x 16 bits.
+	if got := cfg.Geometry.RowBytes(); got != 2048 {
+		t.Errorf("LPDDR3 page = %d bytes, want 2048", got)
+	}
+}
+
+func TestWithSALPVariants(t *testing.T) {
+	base := DDR4Config()
+	for _, arch := range []Arch{SALP1, SALP2, SALPMASA} {
+		cfg := WithSALP(base, arch)
+		if cfg.Arch != arch {
+			t.Errorf("WithSALP arch = %v, want %v", cfg.Arch, arch)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("WithSALP(%v) invalid: %v", arch, err)
+		}
+	}
+	masa := WithSALP(base, SALPMASA)
+	if masa.Power.SubarrayActFactor <= base.Power.SubarrayActFactor {
+		t.Error("MASA variant must carry activation overhead")
+	}
+	if masa.Power.SubarrayLatchFraction == 0 {
+		t.Error("MASA variant must carry latch overhead")
+	}
+	s1 := WithSALP(base, SALP1)
+	if s1.Power.SubarrayLatchFraction != 0 {
+		t.Error("SALP-1 holds one subarray open; no latch overhead expected")
+	}
+}
+
+func TestWithSALPPanicsOnDDR3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithSALP(DDR3) did not panic")
+		}
+	}()
+	WithSALP(DDR4Config(), DDR3)
+}

@@ -1,0 +1,660 @@
+// Package memctrl implements a command-level, cycle-accurate DRAM memory
+// controller in the spirit of Ramulator (Kim et al., IEEE CAL 2016). It
+// services burst-sized requests in FCFS order under an open-row (or
+// optionally closed-row) page policy, translating each request into ACT,
+// PRE, RD, WR and SASEL commands whose issue cycles respect the JEDEC
+// DDR3 timing constraints and - for the SALP architectures of Kim et al.
+// (ISCA 2012) - the inter-subarray overlap rules of SALP-1, SALP-2 and
+// SALP-MASA.
+//
+// The controller is the "cycle-accurate DRAM simulator" box of the
+// DRMap paper's tool flow (Fig. 8): package profile drives it with
+// microbench patterns to characterize the per-access-condition cycle
+// counts of Fig. 1, and tests use it to validate the analytical model.
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"drmap/internal/dram"
+	"drmap/internal/trace"
+)
+
+// PagePolicy selects what happens to a row after a column access.
+type PagePolicy int
+
+const (
+	// OpenRow leaves rows open until a conflict or refresh closes them.
+	// This is the policy of the paper's Table II.
+	OpenRow PagePolicy = iota
+	// ClosedRow precharges a bank as soon as its access completes,
+	// modeling an auto-precharge controller. Used by the row-miss
+	// characterization and by the page-policy ablation.
+	ClosedRow
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	if p == ClosedRow {
+		return "closed-row"
+	}
+	return "open-row"
+}
+
+// Options tune controller behaviour.
+type Options struct {
+	PagePolicy    PagePolicy
+	Scheduler     Scheduler
+	EnableRefresh bool
+	// ArrivalGap, when positive, spaces request arrivals by that many
+	// cycles: request i may not issue its first command before
+	// i*ArrivalGap. A gap larger than any service latency isolates each
+	// request, which is how package profile measures the per-condition
+	// isolated latencies of Fig. 1; zero (the default) lets requests
+	// stream back-to-back.
+	ArrivalGap int
+}
+
+// Result is the outcome of servicing a request stream.
+type Result struct {
+	Commands []trace.Command
+	Serviced []trace.ServicedRequest
+	// TotalCycles is the cycle at which the last data burst left the bus.
+	TotalCycles int64
+	// DeviceActiveCycles counts cycles during which at least one bank of
+	// the device had an open row (drives active-standby background
+	// energy in package vampire).
+	DeviceActiveCycles int64
+	// ExtraOpenSubarrayCycles accumulates, over all banks, the
+	// cycle-weighted count of open subarrays beyond the first in each
+	// bank. Only SALP-2 and MASA can make it non-zero; it drives the
+	// subarray latch background energy in package vampire.
+	ExtraOpenSubarrayCycles int64
+	// Refreshes counts REF commands issued.
+	Refreshes int64
+}
+
+// CommandCount returns the number of commands of the given kind.
+func (r *Result) CommandCount(kind trace.CommandKind) int64 {
+	var n int64
+	for _, c := range r.Commands {
+		if c.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// AverageCyclesPerAccess returns TotalCycles divided by the number of
+// serviced requests; it is the steady-state cost metric reported by the
+// Fig. 1 characterization.
+func (r *Result) AverageCyclesPerAccess() float64 {
+	if len(r.Serviced) == 0 {
+		return 0
+	}
+	return float64(r.TotalCycles) / float64(len(r.Serviced))
+}
+
+// Histogram counts serviced requests by access condition.
+func (r *Result) Histogram() map[trace.AccessKind]int64 {
+	h := make(map[trace.AccessKind]int64)
+	for _, s := range r.Serviced {
+		h[s.Kind]++
+	}
+	return h
+}
+
+// subarrayState tracks one subarray's row buffer.
+type subarrayState struct {
+	openRow   int   // -1 when closed
+	lastACT   int64 // issue cycle of the most recent ACT
+	lastPRE   int64 // issue cycle of the most recent PRE
+	readyCol  int64 // earliest legal RD/WR (ACT + tRCD)
+	lastRD    int64 // issue cycle of the most recent RD
+	lastWREnd int64 // cycle the most recent write burst finished
+	lastUse   int64 // recency for victim selection
+}
+
+// bankState tracks one bank and its subarrays.
+type bankState struct {
+	sub      []subarrayState
+	selected int   // MASA: subarray currently driving the global bitlines
+	lastACT  int64 // most recent ACT to any subarray of this bank
+	// lastOpenEvent is the cycle of the last change to the bank's open
+	// subarray count, for latch-energy accounting.
+	lastOpenEvent int64
+}
+
+func (b *bankState) openCount() int {
+	n := 0
+	for i := range b.sub {
+		if b.sub[i].openRow >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Controller services request streams against one DRAM configuration.
+// It is not safe for concurrent use; create one per goroutine.
+type Controller struct {
+	cfg dram.Config
+	opt Options
+
+	// stateSubarrays is the number of independently tracked subarrays
+	// per bank: 1 for DDR3 (the controller cannot see subarrays), the
+	// geometric count for SALP variants.
+	stateSubarrays int
+	// maxOpen caps concurrently activated subarrays per bank:
+	// 1 for DDR3 and SALP-1, 2 for SALP-2, all for MASA.
+	maxOpen int
+
+	banks []bankState // flattened [channel][rank][bank]
+
+	// busBusy records occupied command-bus cycles per channel. The
+	// controller schedules each command at the first free cycle that
+	// satisfies its timing constraints; commands generated for a later
+	// request may therefore slot in front of an earlier request's tail,
+	// exactly as a real FCFS controller with a visible queue window
+	// issues them.
+	busBusy     []map[int64]struct{}
+	dataBusFree []int64   // per channel: cycle the data bus frees up
+	lastColCmd  []int64   // per channel: issue cycle of last RD/WR
+	lastRDIssue []int64   // per rank (flattened): last RD issue
+	lastWREnd   []int64   // per rank: last write burst end
+	actTimes    [][]int64 // per rank: recent ACT issue cycles (tFAW window)
+
+	nextRefresh int64
+	reqFloor    int64
+
+	deviceOpenBanks  int
+	deviceActiveFrom int64
+	result           Result
+
+	prevAddr    dram.Address
+	hasPrevAddr bool
+}
+
+// New builds a controller for the configuration. It returns an error if
+// the configuration is invalid.
+func New(cfg dram.Config, opt Options) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("memctrl: %w", err)
+	}
+	c := &Controller{cfg: cfg, opt: opt}
+	c.reset()
+	return c, nil
+}
+
+func (c *Controller) reset() {
+	g := c.cfg.Geometry
+	switch c.cfg.Arch {
+	case dram.DDR3:
+		c.stateSubarrays = 1
+		c.maxOpen = 1
+	case dram.SALP1:
+		c.stateSubarrays = g.Subarrays
+		c.maxOpen = 1
+	case dram.SALP2:
+		c.stateSubarrays = g.Subarrays
+		c.maxOpen = 2
+	case dram.SALPMASA:
+		c.stateSubarrays = g.Subarrays
+		c.maxOpen = g.Subarrays
+	}
+
+	nBanks := g.Channels * g.Ranks * g.Banks
+	c.banks = make([]bankState, nBanks)
+	for i := range c.banks {
+		c.banks[i] = bankState{
+			sub:      make([]subarrayState, c.stateSubarrays),
+			selected: -1,
+			lastACT:  -1 << 40,
+		}
+		for s := range c.banks[i].sub {
+			c.banks[i].sub[s] = subarrayState{
+				openRow: -1, lastACT: -1 << 40, lastPRE: -1 << 40,
+				readyCol: 0, lastRD: -1 << 40, lastWREnd: -1 << 40,
+			}
+		}
+	}
+	c.busBusy = make([]map[int64]struct{}, g.Channels)
+	for i := range c.busBusy {
+		c.busBusy[i] = make(map[int64]struct{})
+	}
+	c.dataBusFree = make([]int64, g.Channels)
+	c.lastColCmd = make([]int64, g.Channels)
+	for i := range c.lastColCmd {
+		c.lastColCmd[i] = -1 << 40
+	}
+	nRanks := g.Channels * g.Ranks
+	c.lastRDIssue = make([]int64, nRanks)
+	c.lastWREnd = make([]int64, nRanks)
+	for i := 0; i < nRanks; i++ {
+		c.lastRDIssue[i] = -1 << 40
+		c.lastWREnd[i] = -1 << 40
+	}
+	c.actTimes = make([][]int64, nRanks)
+	c.nextRefresh = int64(c.cfg.Timing.TREFI)
+	c.reqFloor = 0
+	c.deviceOpenBanks = 0
+	c.deviceActiveFrom = 0
+	c.result = Result{}
+	c.hasPrevAddr = false
+}
+
+func (c *Controller) bankIndex(a dram.Address) int {
+	g := c.cfg.Geometry
+	return (a.Channel*g.Ranks+a.Rank)*g.Banks + a.Bank
+}
+
+func (c *Controller) rankIndex(a dram.Address) int {
+	return a.Channel*c.cfg.Geometry.Ranks + a.Rank
+}
+
+// stateSubarray maps an address to the controller-visible subarray index.
+func (c *Controller) stateSubarray(a dram.Address) int {
+	if c.stateSubarrays == 1 {
+		return 0
+	}
+	return a.Subarray(c.cfg.Geometry)
+}
+
+// Run services the requests and returns the timing result. The
+// controller is reset before the stream starts; the configured
+// scheduler decides the service order (FCFS preserves arrival order).
+func (c *Controller) Run(reqs []trace.Request) (*Result, error) {
+	c.reset()
+	g := c.cfg.Geometry
+	for i, r := range reqs {
+		if !r.Addr.Valid(g) {
+			return nil, fmt.Errorf("memctrl: request %d: address %v outside geometry", i, r.Addr)
+		}
+	}
+	for i, idx := range c.schedule(reqs) {
+		if c.opt.ArrivalGap > 0 {
+			c.reqFloor = int64(i) * int64(c.opt.ArrivalGap)
+		}
+		c.service(reqs[idx])
+	}
+	c.closeActiveAccounting(c.result.TotalCycles)
+	for bi := range c.banks {
+		c.accountExtraOpen(&c.banks[bi], c.result.TotalCycles)
+	}
+	sort.SliceStable(c.result.Commands, func(i, j int) bool {
+		return c.result.Commands[i].Cycle < c.result.Commands[j].Cycle
+	})
+	res := c.result
+	return &res, nil
+}
+
+// classify derives the Fig. 1 access condition for a request, given the
+// previous request in the stream and the current row-buffer state.
+func (c *Controller) classify(r trace.Request) trace.AccessKind {
+	bank := &c.banks[c.bankIndex(r.Addr)]
+	sa := c.stateSubarray(r.Addr)
+	geomSA := r.Addr.Subarray(c.cfg.Geometry)
+	if c.hasPrevAddr {
+		prev := c.prevAddr
+		if prev.Channel != r.Addr.Channel || prev.Rank != r.Addr.Rank || prev.Bank != r.Addr.Bank {
+			return trace.AccessBankSwitch
+		}
+		if prev.Subarray(c.cfg.Geometry) != geomSA {
+			return trace.AccessSubarraySwitch
+		}
+	}
+	switch {
+	case bank.sub[sa].openRow == r.Addr.Row:
+		return trace.AccessRowHit
+	case bank.sub[sa].openRow < 0:
+		return trace.AccessRowMiss
+	default:
+		return trace.AccessRowConflict
+	}
+}
+
+// issueCmd places a command on the channel's command bus at the first
+// free cycle at or after `earliest`, honouring refresh windows, appends
+// it to the log, and returns the issue cycle.
+func (c *Controller) issueCmd(kind trace.CommandKind, addr dram.Address, earliest int64) int64 {
+	ch := addr.Channel
+	t := earliest
+	if t < c.reqFloor {
+		t = c.reqFloor
+	}
+	if t < 0 {
+		t = 0
+	}
+	if c.opt.EnableRefresh {
+		t = c.applyRefresh(addr, t)
+	}
+	busy := c.busBusy[ch]
+	for {
+		if _, taken := busy[t]; !taken {
+			break
+		}
+		t++
+	}
+	busy[t] = struct{}{}
+	c.result.Commands = append(c.result.Commands, trace.Command{Kind: kind, Addr: addr, Cycle: t})
+	return t
+}
+
+// applyRefresh blocks commands that would land inside a refresh window
+// and closes all rows of the refreshed rank at each tREFI boundary.
+func (c *Controller) applyRefresh(addr dram.Address, t int64) int64 {
+	tm := c.cfg.Timing
+	for t >= c.nextRefresh {
+		refCycle := c.nextRefresh
+		// All banks are precharged by the refresh; account and close.
+		c.closeAllRows(refCycle)
+		c.result.Commands = append(c.result.Commands, trace.Command{
+			Kind: trace.CmdREF, Addr: dram.Address{Channel: addr.Channel, Rank: addr.Rank}, Cycle: refCycle,
+		})
+		c.result.Refreshes++
+		end := refCycle + int64(tm.TRFC)
+		if t < end {
+			t = end
+		}
+		c.nextRefresh += int64(tm.TREFI)
+	}
+	return t
+}
+
+func (c *Controller) closeAllRows(cycle int64) {
+	for bi := range c.banks {
+		b := &c.banks[bi]
+		open := b.openCount()
+		if open == 0 {
+			continue
+		}
+		c.accountExtraOpen(b, cycle)
+		for s := range b.sub {
+			if b.sub[s].openRow >= 0 {
+				b.sub[s].openRow = -1
+				b.sub[s].lastPRE = cycle
+			}
+		}
+		b.selected = -1
+		c.noteBankClosed(cycle)
+	}
+}
+
+// accountExtraOpen charges the latch accounting of a bank up to `now`,
+// given its current open-subarray count, before that count changes.
+// Command issue cycles are not globally monotonic (the scheduler can
+// slot a command before an earlier-generated one), so stale intervals
+// are skipped rather than charged negatively.
+func (c *Controller) accountExtraOpen(bank *bankState, now int64) {
+	if now <= bank.lastOpenEvent {
+		return
+	}
+	if extra := int64(bank.openCount()) - 1; extra > 0 {
+		c.result.ExtraOpenSubarrayCycles += extra * (now - bank.lastOpenEvent)
+	}
+	bank.lastOpenEvent = now
+}
+
+// noteBankOpened / noteBankClosed maintain the device-active accounting
+// used for background energy.
+func (c *Controller) noteBankOpened(cycle int64) {
+	if c.deviceOpenBanks == 0 {
+		c.deviceActiveFrom = cycle
+	}
+	c.deviceOpenBanks++
+}
+
+func (c *Controller) noteBankClosed(cycle int64) {
+	c.deviceOpenBanks--
+	if c.deviceOpenBanks == 0 {
+		c.result.DeviceActiveCycles += cycle - c.deviceActiveFrom
+	}
+}
+
+func (c *Controller) closeActiveAccounting(endCycle int64) {
+	if c.deviceOpenBanks > 0 {
+		c.result.DeviceActiveCycles += endCycle - c.deviceActiveFrom
+		c.deviceActiveFrom = endCycle
+	}
+}
+
+// earliestPRE computes the first legal PRE cycle for a subarray.
+func (c *Controller) earliestPRE(sub *subarrayState) int64 {
+	tm := c.cfg.Timing
+	t := sub.lastACT + int64(tm.TRAS)
+	if v := sub.lastRD + int64(tm.TRTP); v > t {
+		t = v
+	}
+	if v := sub.lastWREnd + int64(tm.TWR); v > t {
+		t = v
+	}
+	return t
+}
+
+// precharge issues a PRE to the given subarray and updates state.
+func (c *Controller) precharge(addr dram.Address, bank *bankState, sa int) int64 {
+	sub := &bank.sub[sa]
+	preAddr := addr
+	preAddr.Row = sub.openRow
+	t := c.issueCmd(trace.CmdPRE, preAddr, c.earliestPRE(sub))
+	c.accountExtraOpen(bank, t)
+	sub.openRow = -1
+	sub.lastPRE = t
+	if bank.selected == sa {
+		bank.selected = -1
+	}
+	if bank.openCount() == 0 {
+		c.noteBankClosed(t)
+	}
+	return t
+}
+
+// earliestACT computes the first legal ACT cycle for a subarray,
+// covering same-subarray tRP/tRC, intra-bank spacing, rank tRRD and tFAW.
+func (c *Controller) earliestACT(addr dram.Address, bank *bankState, sa int) int64 {
+	tm := c.cfg.Timing
+	sub := &bank.sub[sa]
+	t := sub.lastPRE + int64(tm.TRP)
+	if v := sub.lastACT + int64(tm.TRC); v > t {
+		t = v
+	}
+	// Intra-bank ACT-to-ACT spacing across subarrays: SALP-2 and MASA can
+	// pipeline subarray activations like banks (tRRD); DDR3 is covered by
+	// the single-subarray state; SALP-1 is serialized by the PRE-then-ACT
+	// rule handled in ensureRowOpen.
+	if c.cfg.Arch == dram.SALP2 || c.cfg.Arch == dram.SALPMASA {
+		if v := bank.lastACT + int64(tm.TRRD); v > t {
+			t = v
+		}
+	}
+	ri := c.rankIndex(addr)
+	times := c.actTimes[ri]
+	if n := len(times); n > 0 {
+		if v := times[n-1] + int64(tm.TRRD); v > t {
+			t = v
+		}
+		if n >= 4 {
+			if v := times[n-4] + int64(tm.TFAW); v > t {
+				t = v
+			}
+		}
+	}
+	return t
+}
+
+// activate issues an ACT for the row and updates state. floor is an
+// additional lower bound on the issue cycle (used to order an ACT after
+// the PRE commands that freed its activation slot).
+func (c *Controller) activate(addr dram.Address, bank *bankState, sa int, floor int64) int64 {
+	tm := c.cfg.Timing
+	sub := &bank.sub[sa]
+	wasClosedBank := bank.openCount() == 0
+	earliest := c.earliestACT(addr, bank, sa)
+	if floor > earliest {
+		earliest = floor
+	}
+	t := c.issueCmd(trace.CmdACT, addr, earliest)
+	c.accountExtraOpen(bank, t)
+	sub.openRow = addr.Row
+	sub.lastACT = t
+	sub.readyCol = t + int64(tm.TRCD)
+	bank.lastACT = t
+	bank.selected = sa
+	ri := c.rankIndex(addr)
+	c.actTimes[ri] = append(c.actTimes[ri], t)
+	if n := len(c.actTimes[ri]); n > 16 { // keep the tFAW window bounded
+		c.actTimes[ri] = c.actTimes[ri][n-8:]
+	}
+	if wasClosedBank {
+		c.noteBankOpened(t)
+	}
+	return t
+}
+
+// victim picks the least-recently-used open subarray of the bank,
+// excluding `keep`.
+func (bank *bankState) victim(keep int) int {
+	best := -1
+	var bestUse int64
+	for s := range bank.sub {
+		if s == keep || bank.sub[s].openRow < 0 {
+			continue
+		}
+		if best < 0 || bank.sub[s].lastUse < bestUse {
+			best = s
+			bestUse = bank.sub[s].lastUse
+		}
+	}
+	return best
+}
+
+// ensureRowOpen makes addr.Row available in its subarray's row buffer,
+// issuing whatever PRE/ACT/SASEL commands the architecture requires.
+// It returns the earliest cycle a column command may be issued and
+// whether a SASEL had to be inserted.
+func (c *Controller) ensureRowOpen(addr dram.Address, bank *bankState, sa int) int64 {
+	tm := c.cfg.Timing
+	sub := &bank.sub[sa]
+
+	if sub.openRow == addr.Row {
+		// Row already open. MASA needs a subarray-select when the bank's
+		// global structures currently serve another subarray.
+		if c.cfg.Arch == dram.SALPMASA && bank.selected != sa {
+			t := c.issueCmd(trace.CmdSASEL, addr, 0)
+			bank.selected = sa
+			if v := t + int64(tm.TSASEL); v > sub.readyCol {
+				sub.readyCol = v
+			}
+		}
+		return sub.readyCol
+	}
+
+	// The target row is not open: a conflict in this subarray first needs
+	// its own PRE (the subsequent ACT waits tRP via lastPRE).
+	if sub.openRow >= 0 {
+		c.precharge(addr, bank, sa)
+	}
+
+	// Enforce the architecture's cap on concurrently activated subarrays.
+	// SALP-1 must issue the PRE of the previously active subarray before
+	// activating the next one (precharge/activate overlap: the ACT may
+	// follow the PRE immediately, without waiting its tRP); SALP-2 may
+	// keep two subarrays in flight; MASA keeps them all. The ACT is
+	// ordered after the freeing PREs on the command bus.
+	var actFloor int64
+	for bank.openCount() >= c.maxOpen {
+		v := bank.victim(sa)
+		if v < 0 {
+			break
+		}
+		if pre := c.precharge(addr, bank, v) + 1; pre > actFloor {
+			actFloor = pre
+		}
+	}
+
+	c.activate(addr, bank, sa, actFloor)
+	return sub.readyCol
+}
+
+// service translates one request into commands.
+func (c *Controller) service(r trace.Request) {
+	tm := c.cfg.Timing
+	bank := &c.banks[c.bankIndex(r.Addr)]
+	sa := c.stateSubarray(r.Addr)
+	kind := c.classify(r)
+
+	firstCmd := len(c.result.Commands)
+	readyCol := c.ensureRowOpen(r.Addr, bank, sa)
+
+	// Column command constraints.
+	ch := r.Addr.Channel
+	ri := c.rankIndex(r.Addr)
+	t := readyCol
+	if v := c.lastColCmd[ch] + int64(tm.TCCD); v > t {
+		t = v
+	}
+	var cmdKind trace.CommandKind
+	var dataLat int64
+	if r.Op == trace.Read {
+		cmdKind = trace.CmdRD
+		dataLat = int64(tm.CL)
+		// Read after write: wait the write-to-read turnaround.
+		if v := c.lastWREnd[ri] + int64(tm.TWTR); v > t {
+			t = v
+		}
+	} else {
+		cmdKind = trace.CmdWR
+		dataLat = int64(tm.CWL)
+		// Write after read: standard DDR3 command spacing.
+		if v := c.lastRDIssue[ri] + int64(tm.CL+tm.TBL+2-tm.CWL); v > t {
+			t = v
+		}
+	}
+	// Data-bus occupancy.
+	if v := c.dataBusFree[ch] - dataLat; v > t {
+		t = v
+	}
+
+	t = c.issueCmd(cmdKind, r.Addr, t)
+	burstEnd := t + dataLat + int64(tm.TBL)
+	c.dataBusFree[ch] = burstEnd
+	c.lastColCmd[ch] = t
+
+	sub := &bank.sub[sa]
+	sub.lastUse = t
+	if r.Op == trace.Read {
+		sub.lastRD = t
+		c.lastRDIssue[ri] = t
+	} else {
+		sub.lastWREnd = burstEnd
+		c.lastWREnd[ri] = burstEnd
+	}
+
+	if c.opt.PagePolicy == ClosedRow {
+		c.precharge(r.Addr, bank, sa)
+	}
+
+	startCycle := t
+	if firstCmd < len(c.result.Commands) {
+		startCycle = c.result.Commands[firstCmd].Cycle
+	}
+	c.result.Serviced = append(c.result.Serviced, trace.ServicedRequest{
+		Request:    r,
+		Kind:       kind,
+		IssueCycle: startCycle,
+		DoneCycle:  burstEnd,
+	})
+	if burstEnd > c.result.TotalCycles {
+		c.result.TotalCycles = burstEnd
+	}
+
+	c.prevAddr = r.Addr
+	c.hasPrevAddr = true
+}
+
+// Config returns the controller's DRAM configuration.
+func (c *Controller) Config() dram.Config { return c.cfg }
+
+// Options returns the controller's options.
+func (c *Controller) Options() Options { return c.opt }

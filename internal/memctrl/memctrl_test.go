@@ -1,0 +1,639 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drmap/internal/dram"
+	"drmap/internal/trace"
+)
+
+// mustRun services the requests or fails the test.
+func mustRun(t *testing.T, cfg dram.Config, opt Options, reqs []trace.Request) *Result {
+	t.Helper()
+	c, err := New(cfg, opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := c.Run(reqs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// columnsPerRow matches the preset 2Gb x8 geometry (1 KB page).
+const columnsPerRow = 128
+
+// readRow builds n sequential-column reads to one row of one bank.
+func readRow(bank, row, n int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{Bank: bank, Row: row, Column: i % columnsPerRow}}
+	}
+	return reqs
+}
+
+// roundRobin builds reads that cycle through banks, opening a fresh row
+// on every visit.
+func roundRobin(n int, bankOf, rowOf func(i int) int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+			Bank: bankOf(i), Row: rowOf(i), Column: i % columnsPerRow,
+		}}
+	}
+	return reqs
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := dram.DDR3Config()
+	cfg.Geometry.Banks = 0
+	if _, err := New(cfg, Options{}); err == nil {
+		t.Fatal("New accepted invalid geometry")
+	}
+}
+
+func TestRunRejectsOutOfRangeAddress(t *testing.T) {
+	c, err := New(dram.DDR3Config(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run([]trace.Request{{Op: trace.Read, Addr: dram.Address{Bank: 99}}})
+	if err == nil {
+		t.Fatal("Run accepted out-of-range bank")
+	}
+}
+
+func TestIsolatedRowMissLatency(t *testing.T) {
+	// First-ever access to a closed bank: ACT -> RD; latency must be
+	// exactly tRCD + CL + tBL.
+	cfg := dram.DDR3Config()
+	res := mustRun(t, cfg, Options{ArrivalGap: 500}, readRow(0, 0, 1))
+	tm := cfg.Timing
+	want := int64(tm.TRCD + tm.CL + tm.TBL)
+	if got := res.Serviced[0].Latency(); got != want {
+		t.Errorf("isolated miss latency = %d, want %d", got, want)
+	}
+	if res.Serviced[0].Kind != trace.AccessRowMiss {
+		t.Errorf("kind = %v, want row-miss", res.Serviced[0].Kind)
+	}
+}
+
+func TestIsolatedRowHitLatency(t *testing.T) {
+	cfg := dram.DDR3Config()
+	res := mustRun(t, cfg, Options{ArrivalGap: 500}, readRow(0, 0, 2))
+	tm := cfg.Timing
+	want := int64(tm.CL + tm.TBL)
+	if got := res.Serviced[1].Latency(); got != want {
+		t.Errorf("isolated hit latency = %d, want %d", got, want)
+	}
+	if res.Serviced[1].Kind != trace.AccessRowHit {
+		t.Errorf("kind = %v, want row-hit", res.Serviced[1].Kind)
+	}
+}
+
+func TestIsolatedRowConflictLatency(t *testing.T) {
+	cfg := dram.DDR3Config()
+	reqs := []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 1, Column: 0}},
+	}
+	res := mustRun(t, cfg, Options{ArrivalGap: 500}, reqs)
+	tm := cfg.Timing
+	want := int64(tm.TRP + tm.TRCD + tm.CL + tm.TBL)
+	if got := res.Serviced[1].Latency(); got != want {
+		t.Errorf("isolated conflict latency = %d, want %d", got, want)
+	}
+	if res.Serviced[1].Kind != trace.AccessRowConflict {
+		t.Errorf("kind = %v, want row-conflict", res.Serviced[1].Kind)
+	}
+}
+
+func TestLatencyOrderingHitMissConflict(t *testing.T) {
+	// The cornerstone of Fig. 1: hit < miss < conflict.
+	cfg := dram.DDR3Config()
+	hit := mustRun(t, cfg, Options{ArrivalGap: 500}, readRow(0, 0, 2)).Serviced[1].Latency()
+	miss := mustRun(t, cfg, Options{ArrivalGap: 500}, readRow(0, 0, 1)).Serviced[0].Latency()
+	conflict := mustRun(t, cfg, Options{ArrivalGap: 500}, []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Row: 0}},
+		{Op: trace.Read, Addr: dram.Address{Row: 1}},
+	}).Serviced[1].Latency()
+	if !(hit < miss && miss < conflict) {
+		t.Errorf("latency ordering violated: hit=%d miss=%d conflict=%d", hit, miss, conflict)
+	}
+}
+
+func TestStreamingHitThroughputIsCCDLimited(t *testing.T) {
+	cfg := dram.DDR3Config()
+	const n = 512
+	res := mustRun(t, cfg, Options{}, readRow(0, 0, n))
+	per := res.AverageCyclesPerAccess()
+	tccd := float64(cfg.Timing.TCCD)
+	if per < tccd || per > tccd+1 {
+		t.Errorf("streaming hit cost = %.2f cycles/access, want ~tCCD (%v)", per, tccd)
+	}
+}
+
+func TestStreamingConflictThroughputIsTRCLimited(t *testing.T) {
+	cfg := dram.DDR3Config()
+	const n = 256
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: i, Column: 0}}
+	}
+	res := mustRun(t, cfg, Options{}, reqs)
+	per := res.AverageCyclesPerAccess()
+	trc := float64(cfg.Timing.TRC)
+	if per < trc-1 || per > trc+3 {
+		t.Errorf("streaming conflict cost = %.2f cycles/access, want ~tRC (%v)", per, trc)
+	}
+}
+
+// subarrayRoundRobin cycles through all subarrays of bank 0, opening a
+// fresh row inside each subarray at every visit.
+func subarrayRoundRobin(g dram.Geometry, n int) []trace.Request {
+	rps := g.RowsPerSubarray()
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		sa := i % g.Subarrays
+		lap := i / g.Subarrays
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+			Bank: 0, Row: sa*rps + lap%rps, Column: i % g.Columns,
+		}}
+	}
+	return reqs
+}
+
+func TestSubarrayInterleaveArchOrdering(t *testing.T) {
+	// Fig. 1 "subarray-level parallelism": cost must strictly improve
+	// from DDR3 through SALP-1, SALP-2 to MASA.
+	const n = 512
+	perArch := make(map[dram.Arch]float64)
+	for _, cfg := range dram.AllConfigs() {
+		reqs := subarrayRoundRobin(cfg.Geometry, n)
+		res := mustRun(t, cfg, Options{}, reqs)
+		perArch[cfg.Arch] = res.AverageCyclesPerAccess()
+	}
+	if !(perArch[dram.SALPMASA] < perArch[dram.SALP2] &&
+		perArch[dram.SALP2] < perArch[dram.SALP1] &&
+		perArch[dram.SALP1] < perArch[dram.DDR3]) {
+		t.Errorf("subarray interleave ordering violated: %v", perArch)
+	}
+	// DDR3 cannot exploit subarrays: must behave like row conflicts.
+	trc := float64(dram.DDR3Config().Timing.TRC)
+	if d := perArch[dram.DDR3]; d < trc-1 || d > trc+3 {
+		t.Errorf("DDR3 subarray interleave = %.2f cycles/access, want ~tRC (%v)", d, trc)
+	}
+}
+
+func TestBankInterleaveFasterThanConflict(t *testing.T) {
+	cfg := dram.DDR3Config()
+	const n = 512
+	reqs := roundRobin(n,
+		func(i int) int { return i % 8 },
+		func(i int) int { return i / 8 })
+	res := mustRun(t, cfg, Options{}, reqs)
+	bank := res.AverageCyclesPerAccess()
+	trc := float64(cfg.Timing.TRC)
+	if bank >= trc/2 {
+		t.Errorf("8-way bank interleave = %.2f cycles/access, want well below tRC (%v)", bank, trc)
+	}
+	if bank < float64(cfg.Timing.TCCD) {
+		t.Errorf("bank interleave %.2f below bus limit %d", bank, cfg.Timing.TCCD)
+	}
+}
+
+func TestBankInterleaveRespectsTRRDAndFAW(t *testing.T) {
+	cfg := dram.DDR3Config()
+	const n = 400
+	reqs := roundRobin(n,
+		func(i int) int { return i % 8 },
+		func(i int) int { return i / 8 })
+	res := mustRun(t, cfg, Options{}, reqs)
+	// With fresh rows everywhere, ACT spacing is bounded below by both
+	// tRRD and tFAW/4 per rank.
+	var acts []int64
+	for _, c := range res.Commands {
+		if c.Kind == trace.CmdACT {
+			acts = append(acts, c.Cycle)
+		}
+	}
+	if len(acts) < 10 {
+		t.Fatalf("expected many ACTs, got %d", len(acts))
+	}
+	for i := 1; i < len(acts); i++ {
+		if acts[i]-acts[i-1] < int64(cfg.Timing.TRRD) {
+			t.Fatalf("ACT pair %d violates tRRD: %d then %d", i, acts[i-1], acts[i])
+		}
+	}
+	for i := 4; i < len(acts); i++ {
+		if acts[i]-acts[i-4] < int64(cfg.Timing.TFAW) {
+			t.Fatalf("ACT window %d violates tFAW: %d .. %d", i, acts[i-4], acts[i])
+		}
+	}
+}
+
+func TestMASAReaccessOpenSubarrayIsHitLike(t *testing.T) {
+	cfg := dram.SALPMASAConfig()
+	g := cfg.Geometry
+	rps := g.RowsPerSubarray()
+	// Open a row in subarrays 0 and 1, then bounce between them on the
+	// already-open rows: MASA services these with SASEL + column access.
+	reqs := []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: rps, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 1}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: rps, Column: 1}},
+	}
+	res := mustRun(t, cfg, Options{ArrivalGap: 500}, reqs)
+	tm := cfg.Timing
+	hitLike := int64(tm.TSASEL + tm.CL + tm.TBL + 1)
+	for i := 2; i < 4; i++ {
+		if got := res.Serviced[i].Latency(); got > hitLike {
+			t.Errorf("MASA re-access %d latency = %d, want <= %d (SASEL + column)", i, got, hitLike)
+		}
+	}
+	if res.CommandCount(trace.CmdSASEL) == 0 {
+		t.Error("MASA bounce pattern issued no SASEL commands")
+	}
+}
+
+func TestSALP1ReaccessIsNotHitLike(t *testing.T) {
+	// SALP-1 keeps only one subarray activated, so bouncing between two
+	// subarrays re-activates every time.
+	cfg := dram.SALP1Config()
+	rps := cfg.Geometry.RowsPerSubarray()
+	reqs := []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: rps, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 1}},
+	}
+	res := mustRun(t, cfg, Options{ArrivalGap: 500}, reqs)
+	tm := cfg.Timing
+	hit := int64(tm.CL + tm.TBL)
+	if got := res.Serviced[2].Latency(); got <= hit {
+		t.Errorf("SALP-1 re-access latency = %d, must exceed hit latency %d", got, hit)
+	}
+	if res.CommandCount(trace.CmdSASEL) != 0 {
+		t.Error("SALP-1 must not issue SASEL commands")
+	}
+}
+
+func TestDDR3NeverIssuesSASEL(t *testing.T) {
+	cfg := dram.DDR3Config()
+	reqs := subarrayRoundRobin(cfg.Geometry, 64)
+	res := mustRun(t, cfg, Options{}, reqs)
+	if res.CommandCount(trace.CmdSASEL) != 0 {
+		t.Error("DDR3 issued SASEL commands")
+	}
+}
+
+func TestClassificationSequence(t *testing.T) {
+	cfg := dram.SALP1Config()
+	rps := cfg.Geometry.RowsPerSubarray()
+	reqs := []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 0}},   // miss (cold)
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 1}},   // hit
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 1, Column: 0}},   // conflict
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: rps, Column: 0}}, // subarray switch
+		{Op: trace.Read, Addr: dram.Address{Bank: 3, Row: 0, Column: 0}},   // bank switch
+		{Op: trace.Read, Addr: dram.Address{Bank: 3, Row: 0, Column: 1}},   // hit
+	}
+	res := mustRun(t, cfg, Options{}, reqs)
+	want := []trace.AccessKind{
+		trace.AccessRowMiss, trace.AccessRowHit, trace.AccessRowConflict,
+		trace.AccessSubarraySwitch, trace.AccessBankSwitch, trace.AccessRowHit,
+	}
+	for i, w := range want {
+		if got := res.Serviced[i].Kind; got != w {
+			t.Errorf("request %d classified %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestClosedRowPolicyForcesMisses(t *testing.T) {
+	cfg := dram.DDR3Config()
+	res := mustRun(t, cfg, Options{PagePolicy: ClosedRow}, readRow(0, 0, 16))
+	for i, s := range res.Serviced {
+		if s.Kind != trace.AccessRowMiss {
+			t.Errorf("closed-row request %d classified %v, want row-miss", i, s.Kind)
+		}
+	}
+	// Every access must have produced an ACT and a PRE.
+	if got := res.CommandCount(trace.CmdACT); got != 16 {
+		t.Errorf("ACT count = %d, want 16", got)
+	}
+	if got := res.CommandCount(trace.CmdPRE); got != 16 {
+		t.Errorf("PRE count = %d, want 16", got)
+	}
+}
+
+func TestOpenRowPolicySingleACTForRowStream(t *testing.T) {
+	cfg := dram.DDR3Config()
+	res := mustRun(t, cfg, Options{}, readRow(0, 0, 64))
+	if got := res.CommandCount(trace.CmdACT); got != 1 {
+		t.Errorf("ACT count = %d, want 1 for a single-row stream", got)
+	}
+	if got := res.CommandCount(trace.CmdPRE); got != 0 {
+		t.Errorf("PRE count = %d, want 0 under open-row", got)
+	}
+}
+
+func TestWriteThenReadTurnaround(t *testing.T) {
+	cfg := dram.DDR3Config()
+	reqs := []trace.Request{
+		{Op: trace.Write, Addr: dram.Address{Bank: 0, Row: 0, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 1}},
+	}
+	res := mustRun(t, cfg, Options{}, reqs)
+	tm := cfg.Timing
+	var wr, rd trace.Command
+	for _, c := range res.Commands {
+		switch c.Kind {
+		case trace.CmdWR:
+			wr = c
+		case trace.CmdRD:
+			rd = c
+		}
+	}
+	wrEnd := wr.Cycle + int64(tm.CWL+tm.TBL)
+	if rd.Cycle < wrEnd+int64(tm.TWTR) {
+		t.Errorf("RD at %d violates tWTR after write burst end %d", rd.Cycle, wrEnd)
+	}
+}
+
+func TestReadThenWriteSpacing(t *testing.T) {
+	cfg := dram.DDR3Config()
+	reqs := []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 0, Column: 0}},
+		{Op: trace.Write, Addr: dram.Address{Bank: 0, Row: 0, Column: 1}},
+	}
+	res := mustRun(t, cfg, Options{}, reqs)
+	tm := cfg.Timing
+	var rd, wr trace.Command
+	for _, c := range res.Commands {
+		switch c.Kind {
+		case trace.CmdRD:
+			rd = c
+		case trace.CmdWR:
+			wr = c
+		}
+	}
+	minGap := int64(tm.CL + tm.TBL + 2 - tm.CWL)
+	if wr.Cycle-rd.Cycle < minGap {
+		t.Errorf("WR at %d after RD at %d violates RD->WR spacing %d", wr.Cycle, rd.Cycle, minGap)
+	}
+}
+
+func TestCommandBusOneCommandPerCycle(t *testing.T) {
+	cfg := dram.SALPMASAConfig()
+	reqs := subarrayRoundRobin(cfg.Geometry, 300)
+	res := mustRun(t, cfg, Options{}, reqs)
+	seen := make(map[int64]trace.Command)
+	for _, c := range res.Commands {
+		if prev, dup := seen[c.Cycle]; dup {
+			t.Fatalf("command bus collision at cycle %d: %v and %v", c.Cycle, prev, c)
+		}
+		seen[c.Cycle] = c
+	}
+	// Run sorts the log, so cycles must also be non-decreasing.
+	for i := 1; i < len(res.Commands); i++ {
+		if res.Commands[i].Cycle < res.Commands[i-1].Cycle {
+			t.Fatalf("command log unsorted: %v then %v", res.Commands[i-1], res.Commands[i])
+		}
+	}
+}
+
+func TestDataBusNeverOverlaps(t *testing.T) {
+	cfg := dram.DDR3Config()
+	reqs := roundRobin(300,
+		func(i int) int { return i % 8 },
+		func(i int) int { return i / 8 })
+	res := mustRun(t, cfg, Options{}, reqs)
+	tm := cfg.Timing
+	var lastEnd int64 = -1
+	for _, c := range res.Commands {
+		var start int64
+		switch c.Kind {
+		case trace.CmdRD:
+			start = c.Cycle + int64(tm.CL)
+		case trace.CmdWR:
+			start = c.Cycle + int64(tm.CWL)
+		default:
+			continue
+		}
+		if start < lastEnd {
+			t.Fatalf("data burst at %d overlaps previous burst ending %d", start, lastEnd)
+		}
+		lastEnd = start + int64(tm.TBL)
+	}
+}
+
+func TestRefreshIssuesREFCommands(t *testing.T) {
+	cfg := dram.DDR3Config()
+	// Stream long enough to cross several tREFI boundaries.
+	n := 4 * cfg.Timing.TREFI / cfg.Timing.TRC
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: i % 1024, Column: 0}}
+	}
+	res := mustRun(t, cfg, Options{EnableRefresh: true}, reqs)
+	if res.Refreshes == 0 {
+		t.Fatal("no refreshes issued over several tREFI intervals")
+	}
+	want := res.TotalCycles / int64(cfg.Timing.TREFI)
+	if res.Refreshes < want-1 || res.Refreshes > want+1 {
+		t.Errorf("refreshes = %d, want about %d", res.Refreshes, want)
+	}
+	if res.CommandCount(trace.CmdREF) != res.Refreshes {
+		t.Errorf("REF commands (%d) != Refreshes (%d)", res.CommandCount(trace.CmdREF), res.Refreshes)
+	}
+}
+
+func TestRefreshSlowsStream(t *testing.T) {
+	cfg := dram.DDR3Config()
+	n := 2 * cfg.Timing.TREFI / cfg.Timing.TRC
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: i % 1024, Column: 0}}
+	}
+	with := mustRun(t, cfg, Options{EnableRefresh: true}, reqs)
+	without := mustRun(t, cfg, Options{}, reqs)
+	if with.TotalCycles <= without.TotalCycles {
+		t.Errorf("refresh did not slow the stream: %d <= %d", with.TotalCycles, without.TotalCycles)
+	}
+}
+
+func TestDeviceActiveCyclesBounded(t *testing.T) {
+	cfg := dram.DDR3Config()
+	res := mustRun(t, cfg, Options{}, readRow(0, 0, 100))
+	if res.DeviceActiveCycles <= 0 {
+		t.Error("expected positive device-active cycles")
+	}
+	if res.DeviceActiveCycles > res.TotalCycles {
+		t.Errorf("active cycles %d exceed total %d", res.DeviceActiveCycles, res.TotalCycles)
+	}
+}
+
+func TestRunResetsBetweenStreams(t *testing.T) {
+	cfg := dram.DDR3Config()
+	c, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Run(readRow(0, 0, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Run(readRow(0, 0, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TotalCycles != second.TotalCycles {
+		t.Errorf("identical streams differ after reset: %d vs %d", first.TotalCycles, second.TotalCycles)
+	}
+	if second.Serviced[0].Kind != trace.AccessRowMiss {
+		t.Errorf("state leaked across Run: first access of second stream = %v", second.Serviced[0].Kind)
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Any random request stream must service identically twice.
+	cfg := dram.SALP2Config()
+	g := cfg.Geometry
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]trace.Request, 200)
+		for i := range reqs {
+			op := trace.Read
+			if rng.Intn(4) == 0 {
+				op = trace.Write
+			}
+			reqs[i] = trace.Request{Op: op, Addr: dram.Address{
+				Bank:   rng.Intn(g.Banks),
+				Row:    rng.Intn(g.Rows),
+				Column: rng.Intn(g.Columns),
+			}}
+		}
+		c1, _ := New(cfg, Options{})
+		c2, _ := New(cfg, Options{})
+		r1, err1 := c1.Run(reqs)
+		r2, err2 := c2.Run(reqs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.TotalCycles != r2.TotalCycles || len(r1.Commands) != len(r2.Commands) {
+			return false
+		}
+		for i := range r1.Commands {
+			if r1.Commands[i] != r2.Commands[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceLatencyAlwaysPositiveProperty(t *testing.T) {
+	cfg := dram.SALPMASAConfig()
+	g := cfg.Geometry
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]trace.Request, 100)
+		for i := range reqs {
+			reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+				Bank:   rng.Intn(g.Banks),
+				Row:    rng.Intn(g.Rows),
+				Column: rng.Intn(g.Columns),
+			}}
+		}
+		c, _ := New(cfg, Options{})
+		res, err := c.Run(reqs)
+		if err != nil {
+			return false
+		}
+		for _, s := range res.Serviced {
+			if s.Latency() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtraOpenSubarrayAccounting(t *testing.T) {
+	// MASA keeps several subarrays of a bank open: the subarray
+	// round-robin stream must accrue extra-open cycles. DDR3 and SALP-1
+	// never hold more than one subarray open.
+	const n = 256
+	masa := dram.SALPMASAConfig()
+	resMASA := mustRun(t, masa, Options{}, subarrayRoundRobin(masa.Geometry, n))
+	if resMASA.ExtraOpenSubarrayCycles <= 0 {
+		t.Error("MASA subarray interleave accrued no extra-open cycles")
+	}
+	for _, cfg := range []dram.Config{dram.DDR3Config(), dram.SALP1Config()} {
+		res := mustRun(t, cfg, Options{}, subarrayRoundRobin(cfg.Geometry, n))
+		if res.ExtraOpenSubarrayCycles != 0 {
+			t.Errorf("%v accrued %d extra-open cycles, want 0", cfg.Arch, res.ExtraOpenSubarrayCycles)
+		}
+	}
+	// A bank round-robin stream keeps one subarray open per bank: no
+	// extra-open cycles even on MASA.
+	bankStream := roundRobin(n, func(i int) int { return i % 8 }, func(i int) int { return i / 8 })
+	resBank := mustRun(t, masa, Options{}, bankStream)
+	if resBank.ExtraOpenSubarrayCycles != 0 {
+		t.Errorf("MASA bank interleave accrued %d extra-open cycles, want 0", resBank.ExtraOpenSubarrayCycles)
+	}
+}
+
+func TestPagePolicyString(t *testing.T) {
+	if OpenRow.String() != "open-row" || ClosedRow.String() != "closed-row" {
+		t.Errorf("policy strings wrong: %q / %q", OpenRow, ClosedRow)
+	}
+}
+
+func TestConfigAndOptionsAccessors(t *testing.T) {
+	cfg := dram.SALP1Config()
+	opt := Options{PagePolicy: ClosedRow, ArrivalGap: 7}
+	c, err := New(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Arch != dram.SALP1 {
+		t.Errorf("Config().Arch = %v", c.Config().Arch)
+	}
+	if c.Options() != opt {
+		t.Errorf("Options() = %+v, want %+v", c.Options(), opt)
+	}
+}
+
+func TestAverageCyclesPerAccessEmpty(t *testing.T) {
+	var r Result
+	if got := r.AverageCyclesPerAccess(); got != 0 {
+		t.Errorf("empty result average = %v, want 0", got)
+	}
+}
+
+func TestResultHistogram(t *testing.T) {
+	cfg := dram.DDR3Config()
+	res := mustRun(t, cfg, Options{}, readRow(0, 0, 10))
+	h := res.Histogram()
+	if h[trace.AccessRowMiss] != 1 || h[trace.AccessRowHit] != 9 {
+		t.Errorf("histogram = %v, want 1 miss + 9 hits", h)
+	}
+	var total int64
+	for _, v := range h {
+		total += v
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d", total)
+	}
+}

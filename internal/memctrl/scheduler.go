@@ -1,0 +1,92 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"drmap/internal/trace"
+)
+
+// Scheduler selects the order in which queued requests are serviced.
+type Scheduler int
+
+const (
+	// FCFS services requests strictly in arrival order - the paper's
+	// Table II configuration.
+	FCFS Scheduler = iota
+	// FRFCFS (first-ready, first-come-first-served) looks ahead into a
+	// window of queued requests and services row-buffer hits first,
+	// falling back to the oldest request; a starvation cap bounds how
+	// often the head may be bypassed.
+	FRFCFS
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	if s == FRFCFS {
+		return "FR-FCFS"
+	}
+	return "FCFS"
+}
+
+// frfcfsWindow is the lookahead depth of the FR-FCFS scheduler.
+const frfcfsWindow = 16
+
+// frfcfsStarvationCap bounds how many times the oldest request can be
+// bypassed by younger row hits before it is forced.
+const frfcfsStarvationCap = 4
+
+// schedule reorders the request stream according to the configured
+// scheduler, returning the service order as indices into reqs.
+// FCFS is the identity; FR-FCFS greedily prefers requests that hit the
+// currently open row of their bank/subarray, tracked against a shadow
+// row-buffer state.
+func (c *Controller) schedule(reqs []trace.Request) []int {
+	order := make([]int, 0, len(reqs))
+	if c.opt.Scheduler != FRFCFS {
+		for i := range reqs {
+			order = append(order, i)
+		}
+		return order
+	}
+
+	// Shadow open-row state per (bank, state-subarray).
+	type slot struct{ bank, sa int }
+	open := make(map[slot]int)
+	pending := make([]int, 0, len(reqs))
+	for i := range reqs {
+		pending = append(pending, i)
+	}
+	headStarved := 0
+	for len(pending) > 0 {
+		window := len(pending)
+		if window > frfcfsWindow {
+			window = frfcfsWindow
+		}
+		pick := 0
+		if headStarved < frfcfsStarvationCap {
+			for w := 0; w < window; w++ {
+				r := reqs[pending[w]]
+				sl := slot{bank: c.bankIndex(r.Addr), sa: c.stateSubarray(r.Addr)}
+				if row, ok := open[sl]; ok && row == r.Addr.Row {
+					pick = w
+					break
+				}
+			}
+		}
+		if pick == 0 {
+			headStarved = 0
+		} else {
+			headStarved++
+		}
+		idx := pending[pick]
+		r := reqs[idx]
+		sl := slot{bank: c.bankIndex(r.Addr), sa: c.stateSubarray(r.Addr)}
+		open[sl] = r.Addr.Row
+		order = append(order, idx)
+		pending = append(pending[:pick], pending[pick+1:]...)
+	}
+	if len(order) != len(reqs) {
+		panic(fmt.Sprintf("memctrl: scheduler lost requests: %d of %d", len(order), len(reqs)))
+	}
+	return order
+}

@@ -1,0 +1,183 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drmap/internal/dram"
+	"drmap/internal/trace"
+)
+
+func TestSchedulerString(t *testing.T) {
+	if FCFS.String() != "FCFS" || FRFCFS.String() != "FR-FCFS" {
+		t.Errorf("scheduler strings: %q / %q", FCFS, FRFCFS)
+	}
+}
+
+// interleavedRows builds a pathological FCFS pattern: two row streams of
+// the same bank interleaved request by request, so strict order sees a
+// conflict on every access while a reordering scheduler can batch hits.
+func interleavedRows(n int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+			Bank: 0, Row: i % 2, Column: (i / 2) % columnsPerRow,
+		}}
+	}
+	return reqs
+}
+
+func TestFRFCFSBeatsFCFSOnInterleavedRows(t *testing.T) {
+	cfg := dram.DDR3Config()
+	reqs := interleavedRows(512)
+	fcfs := mustRun(t, cfg, Options{Scheduler: FCFS}, reqs)
+	fr := mustRun(t, cfg, Options{Scheduler: FRFCFS}, reqs)
+	if fr.TotalCycles >= fcfs.TotalCycles {
+		t.Errorf("FR-FCFS (%d cycles) not faster than FCFS (%d) on interleaved rows",
+			fr.TotalCycles, fcfs.TotalCycles)
+	}
+	// Reordering must raise the hit count substantially.
+	hits := func(r *Result) int {
+		n := 0
+		for _, s := range r.Serviced {
+			if s.Kind == trace.AccessRowHit {
+				n++
+			}
+		}
+		return n
+	}
+	if hits(fr) <= hits(fcfs) {
+		t.Errorf("FR-FCFS hits (%d) not above FCFS hits (%d)", hits(fr), hits(fcfs))
+	}
+}
+
+func TestFRFCFSMatchesFCFSOnSequentialStream(t *testing.T) {
+	// A stream that is already row-sorted gains nothing from reordering.
+	cfg := dram.DDR3Config()
+	reqs := readRow(0, 0, 256)
+	fcfs := mustRun(t, cfg, Options{Scheduler: FCFS}, reqs)
+	fr := mustRun(t, cfg, Options{Scheduler: FRFCFS}, reqs)
+	if fr.TotalCycles != fcfs.TotalCycles {
+		t.Errorf("FR-FCFS (%d) != FCFS (%d) on sequential stream", fr.TotalCycles, fcfs.TotalCycles)
+	}
+}
+
+func TestFRFCFSServicesEveryRequestExactlyOnce(t *testing.T) {
+	cfg := dram.SALP2Config()
+	g := cfg.Geometry
+	rng := rand.New(rand.NewSource(41))
+	reqs := make([]trace.Request, 300)
+	for i := range reqs {
+		reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+			Bank: rng.Intn(g.Banks), Row: rng.Intn(g.Rows), Column: rng.Intn(g.Columns),
+		}}
+	}
+	res := mustRun(t, cfg, Options{Scheduler: FRFCFS}, reqs)
+	if len(res.Serviced) != len(reqs) {
+		t.Fatalf("serviced %d of %d requests", len(res.Serviced), len(reqs))
+	}
+	// Multiset of serviced addresses must equal the request multiset.
+	counts := map[dram.Address]int{}
+	for _, r := range reqs {
+		counts[r.Addr]++
+	}
+	for _, s := range res.Serviced {
+		counts[s.Request.Addr]--
+	}
+	for a, c := range counts {
+		if c != 0 {
+			t.Fatalf("address %v count mismatch %d", a, c)
+		}
+	}
+}
+
+func TestFRFCFSStarvationBounded(t *testing.T) {
+	// A hot row stream with one cold-row straggler in front: the
+	// starvation cap must force the straggler within a bounded number of
+	// bypasses, not push it to the very end.
+	cfg := dram.DDR3Config()
+	reqs := []trace.Request{
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 100, Column: 0}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 100, Column: 1}},
+		{Op: trace.Read, Addr: dram.Address{Bank: 0, Row: 999, Column: 0}}, // straggler
+	}
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, trace.Request{Op: trace.Read, Addr: dram.Address{
+			Bank: 0, Row: 100, Column: (i + 2) % columnsPerRow,
+		}})
+	}
+	res := mustRun(t, cfg, Options{Scheduler: FRFCFS}, reqs)
+	pos := -1
+	for i, s := range res.Serviced {
+		if s.Request.Addr.Row == 999 {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("straggler never serviced")
+	}
+	maxPos := 2 + frfcfsStarvationCap + 2
+	if pos > maxPos {
+		t.Errorf("straggler serviced at position %d, want <= %d (starvation cap)", pos, maxPos)
+	}
+}
+
+func TestFRFCFSDeterministicProperty(t *testing.T) {
+	cfg := dram.SALPMASAConfig()
+	g := cfg.Geometry
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]trace.Request, 150)
+		for i := range reqs {
+			reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+				Bank: rng.Intn(g.Banks), Row: rng.Intn(g.Rows), Column: rng.Intn(g.Columns),
+			}}
+		}
+		r1 := mustRunQuick(cfg, Options{Scheduler: FRFCFS}, reqs)
+		r2 := mustRunQuick(cfg, Options{Scheduler: FRFCFS}, reqs)
+		return r1 != nil && r2 != nil && r1.TotalCycles == r2.TotalCycles &&
+			len(r1.Commands) == len(r2.Commands)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFRFCFSNeverSlowerProperty(t *testing.T) {
+	// Across random streams, FR-FCFS must never lose to FCFS by more
+	// than scheduling noise (it can only convert conflicts into hits).
+	cfg := dram.DDR3Config()
+	g := cfg.Geometry
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]trace.Request, 120)
+		for i := range reqs {
+			reqs[i] = trace.Request{Op: trace.Read, Addr: dram.Address{
+				Bank: rng.Intn(g.Banks), Row: rng.Intn(8), Column: rng.Intn(g.Columns),
+			}}
+		}
+		fcfs := mustRunQuick(cfg, Options{Scheduler: FCFS}, reqs)
+		fr := mustRunQuick(cfg, Options{Scheduler: FRFCFS}, reqs)
+		if fcfs == nil || fr == nil {
+			return false
+		}
+		return float64(fr.TotalCycles) <= float64(fcfs.TotalCycles)*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustRunQuick(cfg dram.Config, opt Options, reqs []trace.Request) *Result {
+	c, err := New(cfg, opt)
+	if err != nil {
+		return nil
+	}
+	res, err := c.Run(reqs)
+	if err != nil {
+		return nil
+	}
+	return res
+}

@@ -1,0 +1,236 @@
+// Package profile characterizes DRAM architectures the way the DRMap
+// paper's Fig. 1 does: for each access condition (row hit, row miss,
+// row conflict, subarray-level parallelism, bank-level parallelism) it
+// drives a microbench access pattern through the cycle-accurate
+// controller (package memctrl) and the energy model (package vampire)
+// and reports the cycles-per-access and energy-per-access.
+//
+// Two metrics are produced per condition:
+//
+//   - Stream: the steady-state cost when the condition repeats
+//     back-to-back, which is what a streaming CNN tile experiences and
+//     what the analytical EDP model (Eq. 2-3) consumes.
+//   - Isolated: the service latency of a single dependent access under
+//     that condition, matching the bar heights of the paper's Fig. 1.
+package profile
+
+import (
+	"fmt"
+
+	"drmap/internal/dram"
+	"drmap/internal/memctrl"
+	"drmap/internal/trace"
+	"drmap/internal/vampire"
+)
+
+// Cost is the per-access price of one access condition.
+type Cost struct {
+	Cycles float64 // cycles per access
+	Energy float64 // joules per access
+}
+
+// EDP returns the cycles x energy product of one access; summed access
+// by access it is the building block of the paper's EDP objective.
+func (c Cost) EDP() float64 { return c.Cycles * c.Energy }
+
+// Profile holds the characterization of one DRAM architecture.
+type Profile struct {
+	Arch   dram.Arch
+	Config dram.Config
+	// Stream is the steady-state cost per access for each condition,
+	// measured with read streams (the paper's model prices all accesses
+	// with these).
+	Stream map[trace.AccessKind]Cost
+	// StreamWrite is the same measurement with write streams; write
+	// bursts pay more I/O energy and write recovery stretches
+	// precharges. Used by the direction-aware pricing refinement.
+	StreamWrite map[trace.AccessKind]Cost
+	// Isolated is the dependent-access service latency in cycles for
+	// each condition.
+	Isolated map[trace.AccessKind]float64
+}
+
+// patternLength is the number of accesses in each microbench stream;
+// long enough that cold-start effects are amortized below 1%.
+const patternLength = 2048
+
+// isolatedGap spaces requests so far apart that every access is served
+// in isolation.
+const isolatedGap = 512
+
+// Characterize measures one architecture. The returned profile is
+// self-contained; the controller and energy model are discarded.
+func Characterize(cfg dram.Config) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	model, err := vampire.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Arch:        cfg.Arch,
+		Config:      cfg,
+		Stream:      make(map[trace.AccessKind]Cost),
+		StreamWrite: make(map[trace.AccessKind]Cost),
+		Isolated:    make(map[trace.AccessKind]float64),
+	}
+	for _, kind := range trace.AccessKinds {
+		reqs := patternFor(kind, cfg.Geometry)
+		opt := memctrl.Options{}
+		if kind == trace.AccessRowMiss {
+			// A sustained row-miss stream only exists under an
+			// auto-precharge (closed-row) policy.
+			opt.PagePolicy = memctrl.ClosedRow
+		}
+		cost, err := streamCost(cfg, model, opt, reqs)
+		if err != nil {
+			return nil, err
+		}
+		p.Stream[kind] = cost
+
+		writes := make([]trace.Request, len(reqs))
+		for i, r := range reqs {
+			r.Op = trace.Write
+			writes[i] = r
+		}
+		wcost, err := streamCost(cfg, model, opt, writes)
+		if err != nil {
+			return nil, err
+		}
+		p.StreamWrite[kind] = wcost
+
+		opt.ArrivalGap = isolatedGap
+		iso, err := run(cfg, opt, reqs[:64])
+		if err != nil {
+			return nil, err
+		}
+		p.Isolated[kind] = meanLatency(iso.Serviced, kind)
+	}
+	return p, nil
+}
+
+// streamCost runs one pattern and reduces it to per-access cost.
+func streamCost(cfg dram.Config, model *vampire.Model, opt memctrl.Options, reqs []trace.Request) (Cost, error) {
+	stream, err := run(cfg, opt, reqs)
+	if err != nil {
+		return Cost{}, err
+	}
+	act := vampire.ActivityFrom(stream.Commands, stream.DeviceActiveCycles, stream.TotalCycles)
+	act.ExtraOpenSubarrayCycles = stream.ExtraOpenSubarrayCycles
+	n := float64(len(stream.Serviced))
+	return Cost{
+		Cycles: stream.AverageCyclesPerAccess(),
+		Energy: model.Energy(act).Total() / n,
+	}, nil
+}
+
+// CharacterizeAll measures every preset architecture in paper order.
+func CharacterizeAll() ([]*Profile, error) {
+	profiles := make([]*Profile, 0, len(dram.Archs))
+	for _, cfg := range dram.AllConfigs() {
+		p, err := Characterize(cfg)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
+}
+
+func run(cfg dram.Config, opt memctrl.Options, reqs []trace.Request) (*memctrl.Result, error) {
+	c, err := memctrl.New(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(reqs)
+}
+
+// meanLatency averages the service latency of requests matching the
+// condition; the warm-up prefix whose classification differs (e.g. the
+// cold miss before a hit stream) is excluded automatically.
+func meanLatency(served []trace.ServicedRequest, kind trace.AccessKind) float64 {
+	var sum, n float64
+	for _, s := range served {
+		if s.Kind == kind {
+			sum += float64(s.Latency())
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// patternFor builds the microbench request stream that makes every
+// access (after warm-up) meet the given condition.
+func patternFor(kind trace.AccessKind, g dram.Geometry) []trace.Request {
+	reqs := make([]trace.Request, patternLength)
+	rps := g.RowsPerSubarray()
+	for i := range reqs {
+		var a dram.Address
+		switch kind {
+		case trace.AccessRowHit:
+			// Sequential columns of one row.
+			a = dram.Address{Bank: 0, Row: 0, Column: i % g.Columns}
+		case trace.AccessRowMiss:
+			// Same stream as hits, but the caller runs it closed-row so
+			// every access re-opens the row.
+			a = dram.Address{Bank: 0, Row: 0, Column: i % g.Columns}
+		case trace.AccessRowConflict:
+			// A fresh row inside one subarray of one bank every access.
+			a = dram.Address{Bank: 0, Row: i % rps, Column: i % g.Columns}
+		case trace.AccessSubarraySwitch:
+			// Round-robin over all subarrays of one bank, opening a
+			// fresh row at each visit - the stream Mapping-2/5 produce.
+			sa := i % g.Subarrays
+			lap := i / g.Subarrays
+			a = dram.Address{Bank: 0, Row: sa*rps + lap%rps, Column: i % g.Columns}
+		case trace.AccessBankSwitch:
+			// Round-robin over all banks, opening a fresh row at each
+			// visit - the stream Mapping-4/6 produce.
+			ba := i % g.Banks
+			lap := i / g.Banks
+			a = dram.Address{Bank: ba, Row: lap % g.Rows, Column: i % g.Columns}
+		}
+		reqs[i] = trace.Request{Op: trace.Read, Addr: a}
+	}
+	return reqs
+}
+
+// StreamCost returns the steady-state cost of a condition, so callers
+// need not touch the map directly.
+func (p *Profile) StreamCost(kind trace.AccessKind) Cost { return p.Stream[kind] }
+
+// Validate checks the physical plausibility relations the paper's
+// Fig. 1 relies on; it is used by tests and by the characterization
+// tool to fail loudly if a model change breaks the shape.
+func (p *Profile) Validate() error {
+	hit := p.Stream[trace.AccessRowHit]
+	conflict := p.Stream[trace.AccessRowConflict]
+	sub := p.Stream[trace.AccessSubarraySwitch]
+	bank := p.Stream[trace.AccessBankSwitch]
+	if !(hit.Cycles < conflict.Cycles) {
+		return fmt.Errorf("profile %v: hit (%.2f) not cheaper than conflict (%.2f)", p.Arch, hit.Cycles, conflict.Cycles)
+	}
+	if !(hit.Energy < conflict.Energy) {
+		return fmt.Errorf("profile %v: hit energy (%.3g) not below conflict energy (%.3g)", p.Arch, hit.Energy, conflict.Energy)
+	}
+	if bank.Cycles > conflict.Cycles {
+		return fmt.Errorf("profile %v: bank parallelism (%.2f) costlier than conflict (%.2f)", p.Arch, bank.Cycles, conflict.Cycles)
+	}
+	if p.Arch == dram.DDR3 {
+		// Commodity DRAM cannot exploit subarrays: switching subarrays
+		// must cost the same as a row conflict.
+		if diff := sub.Cycles - conflict.Cycles; diff > 1 || diff < -1 {
+			return fmt.Errorf("profile DDR3: subarray switch (%.2f) != conflict (%.2f)", sub.Cycles, conflict.Cycles)
+		}
+	} else if sub.Cycles >= conflict.Cycles {
+		return fmt.Errorf("profile %v: SALP subarray switch (%.2f) not below conflict (%.2f)", p.Arch, sub.Cycles, conflict.Cycles)
+	}
+	if sub.Cycles+0.5 < bank.Cycles {
+		return fmt.Errorf("profile %v: subarray switch (%.2f) implausibly cheaper than bank switch (%.2f)", p.Arch, sub.Cycles, bank.Cycles)
+	}
+	return nil
+}

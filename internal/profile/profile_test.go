@@ -1,0 +1,184 @@
+package profile
+
+import (
+	"testing"
+
+	"drmap/internal/dram"
+	"drmap/internal/trace"
+)
+
+// characterizeOnce caches per-arch profiles: characterization is
+// deterministic, and several tests inspect the same data.
+var profileCache = map[dram.Arch]*Profile{}
+
+func characterized(t *testing.T, arch dram.Arch) *Profile {
+	t.Helper()
+	if p, ok := profileCache[arch]; ok {
+		return p
+	}
+	p, err := Characterize(dram.ConfigFor(arch))
+	if err != nil {
+		t.Fatalf("Characterize(%v): %v", arch, err)
+	}
+	profileCache[arch] = p
+	return p
+}
+
+func TestCharacterizeRejectsInvalidConfig(t *testing.T) {
+	cfg := dram.DDR3Config()
+	cfg.Geometry.Rows = 0
+	if _, err := Characterize(cfg); err == nil {
+		t.Fatal("Characterize accepted invalid config")
+	}
+}
+
+func TestAllArchProfilesValidate(t *testing.T) {
+	for _, arch := range dram.Archs {
+		p := characterized(t, arch)
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile shape violated: %v", err)
+		}
+	}
+}
+
+func TestHitStreamIsCCDLimited(t *testing.T) {
+	p := characterized(t, dram.DDR3)
+	tccd := float64(dram.DDR3Config().Timing.TCCD)
+	if c := p.Stream[trace.AccessRowHit].Cycles; c < tccd || c > tccd+1 {
+		t.Errorf("hit stream = %.2f cycles/access, want ~%v", c, tccd)
+	}
+}
+
+func TestConflictStreamIsTRCLimited(t *testing.T) {
+	p := characterized(t, dram.DDR3)
+	trc := float64(dram.DDR3Config().Timing.TRC)
+	if c := p.Stream[trace.AccessRowConflict].Cycles; c < trc-1 || c > trc+3 {
+		t.Errorf("conflict stream = %.2f cycles/access, want ~%v", c, trc)
+	}
+}
+
+func TestSubarrayStreamImprovesAcrossSALPGenerations(t *testing.T) {
+	// The headline of Fig. 1: SALP architectures progressively reduce
+	// the cost of subarray-level parallelism.
+	ddr3 := characterized(t, dram.DDR3).Stream[trace.AccessSubarraySwitch].Cycles
+	s1 := characterized(t, dram.SALP1).Stream[trace.AccessSubarraySwitch].Cycles
+	s2 := characterized(t, dram.SALP2).Stream[trace.AccessSubarraySwitch].Cycles
+	masa := characterized(t, dram.SALPMASA).Stream[trace.AccessSubarraySwitch].Cycles
+	if !(masa < s2 && s2 < s1 && s1 < ddr3) {
+		t.Errorf("subarray stream ordering violated: DDR3=%.2f SALP-1=%.2f SALP-2=%.2f MASA=%.2f",
+			ddr3, s1, s2, masa)
+	}
+}
+
+func TestIsolatedLatenciesMatchClosedForm(t *testing.T) {
+	p := characterized(t, dram.DDR3)
+	tm := dram.DDR3Config().Timing
+	cases := []struct {
+		kind trace.AccessKind
+		want float64
+	}{
+		{trace.AccessRowHit, float64(tm.CL + tm.TBL)},
+		{trace.AccessRowMiss, float64(tm.TRCD + tm.CL + tm.TBL)},
+		{trace.AccessRowConflict, float64(tm.TRP + tm.TRCD + tm.CL + tm.TBL)},
+	}
+	for _, c := range cases {
+		got := p.Isolated[c.kind]
+		if got < c.want-0.5 || got > c.want+0.5 {
+			t.Errorf("isolated %v = %.2f cycles, want %.0f", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestIsolatedOrderingHitMissConflict(t *testing.T) {
+	for _, arch := range dram.Archs {
+		p := characterized(t, arch)
+		hit := p.Isolated[trace.AccessRowHit]
+		miss := p.Isolated[trace.AccessRowMiss]
+		conflict := p.Isolated[trace.AccessRowConflict]
+		if !(hit < miss && miss < conflict) {
+			t.Errorf("%v isolated ordering violated: hit=%.1f miss=%.1f conflict=%.1f",
+				arch, hit, miss, conflict)
+		}
+	}
+}
+
+func TestEnergyHitBelowParallelBelowOrNearConflict(t *testing.T) {
+	for _, arch := range dram.Archs {
+		p := characterized(t, arch)
+		hit := p.Stream[trace.AccessRowHit].Energy
+		bank := p.Stream[trace.AccessBankSwitch].Energy
+		conflict := p.Stream[trace.AccessRowConflict].Energy
+		if hit >= bank {
+			t.Errorf("%v: hit energy %.3g not below bank-switch energy %.3g", arch, hit, bank)
+		}
+		if bank > conflict*1.1 {
+			t.Errorf("%v: bank-switch energy %.3g far above conflict energy %.3g", arch, bank, conflict)
+		}
+	}
+}
+
+func TestEnergyMagnitudesAreNanojoules(t *testing.T) {
+	p := characterized(t, dram.DDR3)
+	for kind, c := range p.Stream {
+		if c.Energy < 0.1e-9 || c.Energy > 50e-9 {
+			t.Errorf("%v stream energy %.3g J outside nanojoule range", kind, c.Energy)
+		}
+	}
+}
+
+func TestCostEDP(t *testing.T) {
+	c := Cost{Cycles: 10, Energy: 2e-9}
+	if got := c.EDP(); got != 20e-9 {
+		t.Errorf("EDP = %g, want 2e-8", got)
+	}
+}
+
+func TestStreamCostAccessor(t *testing.T) {
+	p := characterized(t, dram.DDR3)
+	if p.StreamCost(trace.AccessRowHit) != p.Stream[trace.AccessRowHit] {
+		t.Error("StreamCost accessor disagrees with map")
+	}
+}
+
+func TestCharacterizeAllCoversArchsInOrder(t *testing.T) {
+	profiles, err := CharacterizeAll()
+	if err != nil {
+		t.Fatalf("CharacterizeAll: %v", err)
+	}
+	if len(profiles) != len(dram.Archs) {
+		t.Fatalf("got %d profiles, want %d", len(profiles), len(dram.Archs))
+	}
+	for i, p := range profiles {
+		if p.Arch != dram.Archs[i] {
+			t.Errorf("profile %d is %v, want %v", i, p.Arch, dram.Archs[i])
+		}
+	}
+}
+
+func TestMASASubarrayCostNearBankCost(t *testing.T) {
+	// MASA pipelines subarray activations like bank activations, so the
+	// two parallel conditions should cost about the same cycles.
+	p := characterized(t, dram.SALPMASA)
+	sub := p.Stream[trace.AccessSubarraySwitch].Cycles
+	bank := p.Stream[trace.AccessBankSwitch].Cycles
+	if sub < bank-1 || sub > bank+3 {
+		t.Errorf("MASA subarray (%.2f) should be close to bank (%.2f)", sub, bank)
+	}
+}
+
+func TestValidateDetectsBrokenProfile(t *testing.T) {
+	p := characterized(t, dram.DDR3)
+	broken := &Profile{
+		Arch:     p.Arch,
+		Config:   p.Config,
+		Stream:   map[trace.AccessKind]Cost{},
+		Isolated: map[trace.AccessKind]float64{},
+	}
+	for k, v := range p.Stream {
+		broken.Stream[k] = v
+	}
+	broken.Stream[trace.AccessRowHit] = Cost{Cycles: 1e6, Energy: 1}
+	if err := broken.Validate(); err == nil {
+		t.Error("Validate accepted an absurd hit cost")
+	}
+}

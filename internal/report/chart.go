@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"drmap/internal/core"
+	"drmap/internal/dram"
+)
+
+// chartWidth is the maximum bar length in characters.
+const chartWidth = 48
+
+// Fig9Chart renders one Fig. 9 subplot the way the paper draws it: a
+// log-scale horizontal bar per (layer, mapping, architecture), grouped
+// by layer, so the orders-of-magnitude gap between DRMap and the
+// subarray-first mappings is visible at a glance.
+func Fig9Chart(points []core.Fig9Point, schedule string) string {
+	if len(points) == 0 {
+		return "(no data)\n"
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		if p.EDP > 0 {
+			min = math.Min(min, p.EDP)
+			max = math.Max(max, p.EDP)
+		}
+	}
+	if !(max > min) {
+		max = min * 10
+	}
+	logMin, logMax := math.Log10(min), math.Log10(max)
+	span := logMax - logMin
+	if span <= 0 {
+		span = 1
+	}
+	bar := func(edp float64) string {
+		if edp <= 0 {
+			return ""
+		}
+		frac := (math.Log10(edp) - logMin) / span
+		n := 1 + int(frac*float64(chartWidth-1)+0.5)
+		if n < 1 {
+			n = 1
+		}
+		if n > chartWidth {
+			n = chartWidth
+		}
+		return strings.Repeat("#", n)
+	}
+
+	policies := map[int]bool{}
+	for _, p := range points {
+		policies[p.Policy.ID] = true
+	}
+	var ids []int
+	for id := range policies {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EDP (log scale, %.2e .. %.2e J*s) - %s scheduling\n", min, max, schedule)
+	for _, layer := range layerOrder(points) {
+		fmt.Fprintf(&sb, "%s\n", layer)
+		for _, id := range ids {
+			for _, arch := range dram.Archs {
+				p := core.SelectPoint(points, layer, id, arch)
+				if p == nil {
+					continue
+				}
+				marker := " "
+				if id == 3 {
+					marker = "*" // DRMap
+				}
+				fmt.Fprintf(&sb, " %sM%d %-10s %-*s %.2e\n",
+					marker, id, arch.String(), chartWidth, bar(p.EDP), p.EDP)
+			}
+		}
+	}
+	sb.WriteString(" (* = DRMap / Mapping-3)\n")
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+)
+
+func TestFig9ChartEmpty(t *testing.T) {
+	if out := Fig9Chart(nil, "x"); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestFig9ChartStructure(t *testing.T) {
+	_, _, pts := fixtures(t)
+	out := Fig9Chart(pts, "adaptive-reuse")
+	for _, want := range []string{"log scale", "CONV1", "Total", "*M3", "DRMap", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// Every (mapping, arch) pair of every layer appears: 6 layer groups
+	// (5 + Total) x 6 mappings x 4 archs bars.
+	if got := strings.Count(out, "M"); got < 6*6*4 {
+		t.Errorf("chart has %d mapping rows, want >= %d", got, 6*6*4)
+	}
+}
+
+func TestFig9ChartBarLengthsOrdered(t *testing.T) {
+	// Mapping-2 (worst) must draw a visibly longer bar than Mapping-3
+	// on the Total group for DDR3.
+	_, _, pts := fixtures(t)
+	out := Fig9Chart(pts, "adaptive")
+	lines := strings.Split(out, "\n")
+	var inTotal bool
+	barLen := map[int]int{}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "Total") {
+			inTotal = true
+			continue
+		}
+		if !inTotal {
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "M2 DDR3") || strings.HasPrefix(trimmed, "*M3 DDR3") {
+			id := 2
+			if strings.HasPrefix(trimmed, "*M3") {
+				id = 3
+			}
+			barLen[id] = strings.Count(line, "#")
+		}
+	}
+	if barLen[2] == 0 || barLen[3] == 0 {
+		t.Fatalf("missing Total bars: %v", barLen)
+	}
+	if barLen[2] <= barLen[3] {
+		t.Errorf("Mapping-2 bar (%d) not longer than DRMap bar (%d)", barLen[2], barLen[3])
+	}
+}
+
+func TestFig9ChartDegenerateSinglePoint(t *testing.T) {
+	pts := []core.Fig9Point{{
+		Layer: "L", Policy: mapping.DRMap(), Arch: dram.DDR3, EDP: 1e-6,
+	}}
+	out := Fig9Chart(pts, "s")
+	if !strings.Contains(out, "1.00e-06") {
+		t.Errorf("single-point chart malformed:\n%s", out)
+	}
+}

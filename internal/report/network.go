@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"drmap/internal/core"
+)
+
+// NetworkTable renders an end-to-end network report: per-layer design
+// point, DRAM vs compute time under double buffering, boundedness and
+// energy.
+func NetworkTable(rep *core.NetworkReport) string {
+	out := fmt.Sprintf("%s on %v (accelerator-level view)\n", rep.Network, rep.Arch)
+	return out + table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "layer\tmapping\tschedule\tdram [ms]\tcompute [ms]\ttotal [ms]\tbound\tutil\tenergy [mJ]")
+		for _, l := range rep.Layers {
+			bound := "compute"
+			if l.Perf.MemoryBound {
+				bound = "memory"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%v\t%.3f\t%.3f\t%.3f\t%s\t%.0f%%\t%.3f\n",
+				l.Layer.Name, l.Best.Policy.Name, l.Best.Schedule,
+				l.DRAMSeconds*1e3, l.Perf.ComputeSeconds*1e3, l.Perf.TotalSeconds*1e3,
+				bound, l.Perf.Utilization*100, l.Cost.Energy*1e3)
+		}
+		fmt.Fprintf(w, "Total\t\t\t\t\t%.3f\t%d/%d memory-bound\t\t%.3f\n",
+			rep.TotalSeconds()*1e3, rep.MemoryBoundLayers(), len(rep.Layers),
+			rep.TotalEnergy()*1e3)
+	})
+}
+
+// TensorTable renders the per-tensor DRAM energy split of a report.
+func TensorTable(rep *core.NetworkReport) string {
+	out := fmt.Sprintf("%s on %v - DRAM energy by tensor [mJ]\n", rep.Network, rep.Arch)
+	return out + table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "layer\tifms\twghs\tofms\tdominant")
+		for _, l := range rep.Layers {
+			dom := "ifms"
+			max := l.ByTensor.Ifm.Energy
+			if l.ByTensor.Wgt.Energy > max {
+				dom, max = "wghs", l.ByTensor.Wgt.Energy
+			}
+			if l.ByTensor.Ofm.Energy > max {
+				dom = "ofms"
+			}
+			fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%s\n",
+				l.Layer.Name, l.ByTensor.Ifm.Energy*1e3, l.ByTensor.Wgt.Energy*1e3,
+				l.ByTensor.Ofm.Energy*1e3, dom)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package report renders the reproduction's results as paper-style
+// ASCII tables: the Fig. 1 characterization, the Fig. 9 EDP series, the
+// headline improvement percentages and DSE outcomes. All renderers
+// return strings so they can be printed by tools, embedded in docs, or
+// asserted in tests.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/trace"
+)
+
+// table builds aligned output with a header row.
+func table(write func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	write(w)
+	w.Flush()
+	return sb.String()
+}
+
+// Fig1Table renders the per-condition characterization of every
+// architecture: stream cycles/energy per access (the analytical model's
+// inputs) and the isolated latencies of the row-buffer conditions.
+func Fig1Table(profiles []*profile.Profile) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "condition\tarch\tstream cycles/access\tstream nJ/access\tisolated cycles")
+		for _, kind := range trace.AccessKinds {
+			for _, p := range profiles {
+				c := p.Stream[kind]
+				fmt.Fprintf(w, "%s\t%s\t%.2f\t%.3f\t%.1f\n",
+					kind, p.Arch, c.Cycles, c.Energy*1e9, p.Isolated[kind])
+			}
+		}
+	})
+}
+
+// TableI renders the paper's Table I: the six mapping policies.
+func TableI() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "mapping\tinner-most- to outer-most-loops")
+		for _, p := range mapping.TableI() {
+			fmt.Fprintf(w, "%d\t%v, %v, %v, %v\n", p.ID, p.Order[0], p.Order[1], p.Order[2], p.Order[3])
+		}
+	})
+}
+
+// layerOrder returns the distinct layer labels of a Fig. 9 series in
+// first-appearance order (Total lands last by construction).
+func layerOrder(points []core.Fig9Point) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		if !seen[p.Layer] {
+			seen[p.Layer] = true
+			order = append(order, p.Layer)
+		}
+	}
+	return order
+}
+
+// Fig9Table renders one subplot of Fig. 9: EDP (joule-seconds) per
+// layer, mapping policy and architecture under one scheduling scheme.
+func Fig9Table(points []core.Fig9Point, schedule string) string {
+	policies := map[int]mapping.Policy{}
+	for _, p := range points {
+		policies[p.Policy.ID] = p.Policy
+	}
+	var ids []int
+	for id := range policies {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := fmt.Sprintf("EDP [J*s] per AlexNet layer - %s scheduling\n", schedule)
+	return out + table(func(w *tabwriter.Writer) {
+		fmt.Fprint(w, "layer\tmapping")
+		for _, arch := range dram.Archs {
+			fmt.Fprintf(w, "\t%s", arch)
+		}
+		fmt.Fprintln(w)
+		for _, layer := range layerOrder(points) {
+			for _, id := range ids {
+				fmt.Fprintf(w, "%s\t%d", layer, id)
+				for _, arch := range dram.Archs {
+					if p := core.SelectPoint(points, layer, id, arch); p != nil {
+						fmt.Fprintf(w, "\t%.3e", p.EDP)
+					} else {
+						fmt.Fprint(w, "\t-")
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	})
+}
+
+// ImprovementsTable renders the headline result: DRMap's EDP improvement
+// over the worst Table I mapping, per architecture.
+func ImprovementsTable(points []core.Fig9Point) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "arch\tDRMap EDP improvement vs worst mapping\tpaper reports (up to)")
+		paper := map[dram.Arch]string{
+			dram.DDR3: "96%", dram.SALP1: "94%", dram.SALP2: "91%", dram.SALPMASA: "80%",
+		}
+		for _, arch := range dram.Archs {
+			v, err := core.DRMapImprovement(points, arch)
+			if err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\t%s\n", arch, err, paper[arch])
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%.1f%%\t%s\n", arch, v*100, paper[arch])
+		}
+	})
+}
+
+// SALPGainsTable renders Key Observation 4: per-mapping EDP improvement
+// of each SALP architecture over DDR3 on the Total aggregate.
+func SALPGainsTable(points []core.Fig9Point) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "mapping\tSALP-1 vs DDR3\tSALP-2 vs DDR3\tSALP-MASA vs DDR3")
+		for id := 1; id <= 6; id++ {
+			fmt.Fprintf(w, "%d", id)
+			for _, arch := range []dram.Arch{dram.SALP1, dram.SALP2, dram.SALPMASA} {
+				v, err := core.SALPImprovement(points, id, arch)
+				if err != nil {
+					fmt.Fprint(w, "\t-")
+					continue
+				}
+				fmt.Fprintf(w, "\t%.2f%%", v*100)
+			}
+			fmt.Fprintln(w)
+		}
+	})
+}
+
+// DSETable renders Algorithm 1's output: the chosen design point and
+// minimum EDP per layer.
+func DSETable(res *core.DSEResult) string {
+	out := fmt.Sprintf("DSE result on %v\n", res.Arch)
+	return out + table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "layer\tmapping\tschedule\ttiling\tmin EDP [J*s]")
+		for _, lr := range res.Layers {
+			fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%.3e\n",
+				lr.Layer.Name, lr.Best.Policy.Name, lr.Best.Schedule, lr.Best.Tiling, lr.MinEDP)
+		}
+		fmt.Fprintf(w, "Total\t\t\t\t%.3e\n", res.TotalEDP())
+	})
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/tiling"
+)
+
+// fixtures shares characterization and Fig. 9 data across render tests;
+// LeNet-5 keeps the series cheap.
+var (
+	fixProfiles []*profile.Profile
+	fixEvs      []*core.Evaluator
+	fixPoints   []core.Fig9Point
+)
+
+func fixtures(t *testing.T) ([]*profile.Profile, []*core.Evaluator, []core.Fig9Point) {
+	t.Helper()
+	if fixPoints != nil {
+		return fixProfiles, fixEvs, fixPoints
+	}
+	ps, err := profile.CharacterizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []*core.Evaluator
+	for _, p := range ps {
+		ev, err := core.NewEvaluator(p, accel.TableII(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	pts, err := core.Fig9Series(cnn.LeNet5(), tiling.AdaptiveReuse, evs, mapping.TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixProfiles, fixEvs, fixPoints = ps, evs, pts
+	return ps, evs, pts
+}
+
+func TestFig1TableContainsAllConditionsAndArchs(t *testing.T) {
+	ps, _, _ := fixtures(t)
+	out := Fig1Table(ps)
+	for _, want := range []string{
+		"row-hit", "row-miss", "row-conflict", "subarray-switch", "bank-switch",
+		"DDR3", "SALP-1", "SALP-2", "SALP-MASA", "stream cycles/access",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1Table missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 21 { // header + 5*4 rows
+		t.Errorf("Fig1Table has %d lines, want 21", lines)
+	}
+}
+
+func TestTableIRendersSixMappings(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{"1", "2", "3", "4", "5", "6", "column", "subarray", "bank", "row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableI missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 7 {
+		t.Errorf("TableI has %d lines, want 7", lines)
+	}
+}
+
+func TestFig9TableStructure(t *testing.T) {
+	_, _, pts := fixtures(t)
+	out := Fig9Table(pts, "adaptive-reuse")
+	for _, want := range []string{"adaptive-reuse", "CONV1", "FC5", "Total", "DDR3", "SALP-MASA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9Table missing %q", want)
+		}
+	}
+	// 5 LeNet layers + Total = 6 groups x 6 mappings + header + title.
+	if lines := strings.Count(out, "\n"); lines != 38 {
+		t.Errorf("Fig9Table has %d lines, want 38:\n%s", lines, out)
+	}
+}
+
+func TestImprovementsTableShowsAllArchs(t *testing.T) {
+	_, _, pts := fixtures(t)
+	out := ImprovementsTable(pts)
+	for _, arch := range dram.Archs {
+		if !strings.Contains(out, arch.String()) {
+			t.Errorf("ImprovementsTable missing %v", arch)
+		}
+	}
+	if !strings.Contains(out, "%") {
+		t.Error("ImprovementsTable has no percentages")
+	}
+}
+
+func TestSALPGainsTableHasSixRows(t *testing.T) {
+	_, _, pts := fixtures(t)
+	out := SALPGainsTable(pts)
+	if lines := strings.Count(out, "\n"); lines != 7 {
+		t.Errorf("SALPGainsTable has %d lines, want 7:\n%s", lines, out)
+	}
+}
+
+func TestDSETableListsLayers(t *testing.T) {
+	_, evs, _ := fixtures(t)
+	res, err := core.RunDSE(cnn.LeNet5(), evs[0], tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DSETable(res)
+	for _, want := range []string{"CONV1", "CONV2", "FC3", "FC4", "FC5", "Total", "Mapping-3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DSETable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestImprovementsTableHandlesMissingData(t *testing.T) {
+	out := ImprovementsTable(nil)
+	if !strings.Contains(out, "error") {
+		t.Errorf("expected error rows for empty points:\n%s", out)
+	}
+}
+
+func TestSALPGainsTableHandlesMissingData(t *testing.T) {
+	out := SALPGainsTable(nil)
+	if !strings.Contains(out, "-") {
+		t.Errorf("expected dashes for empty points:\n%s", out)
+	}
+}

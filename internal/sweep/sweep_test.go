@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+)
+
+func TestTableAddRowValidatesWidth(t *testing.T) {
+	tb := &Table{Name: "t", Header: []string{"x", "a", "b"}}
+	if err := tb.AddRow("1", 1.0); err == nil {
+		t.Error("accepted short row")
+	}
+	if err := tb.AddRow("1", 1.0, 2.0); err != nil {
+		t.Errorf("rejected valid row: %v", err)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{Name: "demo", Header: []string{"x", "y"}}
+	if err := tb.AddRow("r1", 3.5); err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	for _, want := range []string{"demo", "x", "y", "r1", "3.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csvOut := buf.String()
+	if !strings.HasPrefix(csvOut, "x,y\n") || !strings.Contains(csvOut, "r1,3.5") {
+		t.Errorf("CSV malformed:\n%s", csvOut)
+	}
+}
+
+func TestSubarraySweepMonotone(t *testing.T) {
+	// More subarrays per bank means more parallelism headroom: the
+	// subarray-stream cost must be non-increasing in the count.
+	tb, err := Subarrays([]int{2, 4, 8}, cnn.LeNet5(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for i := 1; i < len(tb.Rows); i++ {
+		if tb.Rows[i][0] > tb.Rows[i-1][0]+0.5 {
+			t.Errorf("subarray cost rose with more subarrays: %v", tb.Rows)
+		}
+	}
+}
+
+func TestBufferSweepMonotone(t *testing.T) {
+	// Bigger buffers can only help (the DSE search space grows
+	// monotonically): EDP must be non-increasing in buffer size.
+	tb, err := Buffers([]int{16, 64, 256}, dram.DDR3, cnn.LeNet5(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tb.Rows); i++ {
+		if tb.Rows[i][0] > tb.Rows[i-1][0]*1.0001 {
+			t.Errorf("EDP rose with bigger buffers: %v", tb.Rows)
+		}
+	}
+}
+
+func TestBatchSweepSuperlinear(t *testing.T) {
+	// EDP = energy x delay: doubling the batch doubles both factors, so
+	// EDP must grow at least ~4x per doubling (minus fixed effects).
+	tb, err := Batches([]int{1, 2, 4}, dram.DDR3, cnn.LeNet5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[1][0] < 3*tb.Rows[0][0] {
+		t.Errorf("batch-2 EDP %.4g not ~4x batch-1 %.4g", tb.Rows[1][0], tb.Rows[0][0])
+	}
+	if tb.Rows[2][0] < 3*tb.Rows[1][0] {
+		t.Errorf("batch-4 EDP %.4g not ~4x batch-2 %.4g", tb.Rows[2][0], tb.Rows[1][0])
+	}
+}
+
+func TestPolicyPruningSound(t *testing.T) {
+	// The paper prunes 24 loop orders to the 6 with the row loop
+	// outer-most; no pruned permutation may beat the kept set.
+	tb, err := PolicyPruning(dram.SALP1, cnn.LeNet5().Layers[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, pruned := tb.Rows[0][0], tb.Rows[1][0]
+	if pruned < kept*(1-1e-9) {
+		t.Errorf("a pruned permutation (%.6g) beats Table I's best (%.6g): pruning unsound", pruned, kept)
+	}
+}

@@ -1,0 +1,380 @@
+// Package tiling implements layer partitioning and DRAM access
+// scheduling for CNN accelerators, following the tiled loop nest of the
+// DRMap paper's Fig. 3. A Tiling fixes the outer-loop step sizes
+// (Th, Tw, Tj, Ti; Tp = P and Tq = Q as in Algorithm 1), a Schedule
+// fixes the outer-loop order through the reuse priority it implements,
+// and the two together determine how many times each data tile travels
+// between DRAM and the on-chip buffers - the SmartShuttle-style traffic
+// model the DSE consumes.
+package tiling
+
+import (
+	"fmt"
+	"sort"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+)
+
+// Schedule selects the reuse priority of the outer loops.
+type Schedule int
+
+const (
+	// IfmsReuse keeps input-feature-map tiles resident (loop order
+	// h, w, i with j innermost): ifms are fetched once.
+	IfmsReuse Schedule = iota
+	// WghsReuse keeps weight tiles resident (loop order j, i with h, w
+	// innermost): weights are fetched once.
+	WghsReuse
+	// OfmsReuse keeps partial sums resident (loop order h, w, j with i
+	// innermost): ofms are written once and never re-read.
+	OfmsReuse
+	// AdaptiveReuse picks, per layer, whichever of the three schedules
+	// moves the fewest bytes (the SmartShuttle policy the paper cites).
+	AdaptiveReuse
+)
+
+// Schedules lists the four schemes in the order of the paper's Fig. 9.
+var Schedules = []Schedule{IfmsReuse, WghsReuse, OfmsReuse, AdaptiveReuse}
+
+// String names the schedule as in the paper.
+func (s Schedule) String() string {
+	switch s {
+	case IfmsReuse:
+		return "ifms-reuse"
+	case WghsReuse:
+		return "wghs-reuse"
+	case OfmsReuse:
+		return "ofms-reuse"
+	case AdaptiveReuse:
+		return "adaptive-reuse"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Tiling is one layer partitioning: the outer-loop step sizes of Fig. 3.
+type Tiling struct {
+	Th int // ofms height step
+	Tw int // ofms width step
+	Tj int // ofms depth step
+	Ti int // ifms depth step
+}
+
+// String renders the tiling compactly.
+func (t Tiling) String() string {
+	return fmt.Sprintf("Th=%d Tw=%d Tj=%d Ti=%d", t.Th, t.Tw, t.Tj, t.Ti)
+}
+
+// Validate checks the tiling against the layer bounds.
+func (t Tiling) Validate(l cnn.Layer) error {
+	check := func(name string, v, max int) error {
+		if v < 1 || v > max {
+			return fmt.Errorf("tiling: %s=%d outside [1,%d] for layer %s", name, v, max, l.Name)
+		}
+		return nil
+	}
+	if err := check("Th", t.Th, l.H); err != nil {
+		return err
+	}
+	if err := check("Tw", t.Tw, l.W); err != nil {
+		return err
+	}
+	if err := check("Tj", t.Tj, l.J); err != nil {
+		return err
+	}
+	return check("Ti", t.Ti, l.I)
+}
+
+// ifmSpan returns the input rows/columns covered by an output tile span.
+func ifmSpan(outSpan, stride, kernel int) int {
+	return (outSpan-1)*stride + kernel
+}
+
+// IfmTileElems returns the element count of one full ifms tile.
+func (t Tiling) IfmTileElems(l cnn.Layer) int64 {
+	return int64(ifmSpan(t.Th, l.Stride, l.P)) * int64(ifmSpan(t.Tw, l.Stride, l.Q)) * int64(t.Ti)
+}
+
+// WgtTileElems returns the element count of one full weights tile.
+func (t Tiling) WgtTileElems(l cnn.Layer) int64 {
+	return int64(l.P) * int64(l.Q) * int64(t.Ti) * int64(t.Tj)
+}
+
+// OfmTileElems returns the element count of one full ofms tile.
+func (t Tiling) OfmTileElems(l cnn.Layer) int64 {
+	return int64(t.Th) * int64(t.Tw) * int64(t.Tj)
+}
+
+// Fits reports whether all three tiles fit their on-chip buffers.
+func (t Tiling) Fits(l cnn.Layer, cfg accel.Config) bool {
+	iB, wB, oB := cfg.BufElems()
+	return t.IfmTileElems(l) <= iB && t.WgtTileElems(l) <= wB && t.OfmTileElems(l) <= oB
+}
+
+// divisors returns the positive divisors of n in ascending order.
+func divisors(n int) []int {
+	var ds []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+			if q := n / d; q != d {
+				ds = append(ds, q)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// Enumerate returns every divisor-aligned tiling of the layer that fits
+// the accelerator buffers, in deterministic order. Divisor alignment
+// keeps tiles uniform (no remainder tiles), matching the step-size
+// choices of Algorithm 1; the traffic model nevertheless handles
+// non-divisor tilings exactly.
+func Enumerate(l cnn.Layer, cfg accel.Config) []Tiling {
+	var out []Tiling
+	for _, th := range divisors(l.H) {
+		for _, tw := range divisors(l.W) {
+			for _, tj := range divisors(l.J) {
+				for _, ti := range divisors(l.I) {
+					t := Tiling{Th: th, Tw: tw, Tj: tj, Ti: ti}
+					if t.Fits(l, cfg) {
+						out = append(out, t)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TileGroup describes one set of identical DRAM tile streams: Loads
+// streams of Elems elements each, in the given direction. The analytic
+// EDP model prices each stream with the mapping policy's access-category
+// counts.
+type TileGroup struct {
+	Elems int64
+	Loads int64
+	Write bool
+}
+
+// span describes tiles along one dimension: nFull tiles of size full
+// plus an optional remainder tile.
+type span struct {
+	full  int
+	nFull int64
+	rem   int
+}
+
+func splitDim(total, step int) span {
+	return span{full: step, nFull: int64(total / step), rem: total % step}
+}
+
+// sizes iterates the distinct (size, count) pairs of the span.
+func (s span) sizes() [](struct {
+	Size  int
+	Count int64
+}) {
+	out := make([]struct {
+		Size  int
+		Count int64
+	}, 0, 2)
+	if s.nFull > 0 {
+		out = append(out, struct {
+			Size  int
+			Count int64
+		}{s.full, s.nFull})
+	}
+	if s.rem > 0 {
+		out = append(out, struct {
+			Size  int
+			Count int64
+		}{s.rem, 1})
+	}
+	return out
+}
+
+// tiles returns the number of tiles along the span.
+func (s span) tiles() int64 {
+	n := s.nFull
+	if s.rem > 0 {
+		n++
+	}
+	return n
+}
+
+// TensorGroups keeps the tile streams of the three tensors separate,
+// for analyses that attribute DRAM cost per data type.
+type TensorGroups struct {
+	Ifm []TileGroup
+	Wgt []TileGroup
+	Ofm []TileGroup
+}
+
+// All flattens the three tensors' groups.
+func (tg TensorGroups) All() []TileGroup {
+	out := make([]TileGroup, 0, len(tg.Ifm)+len(tg.Wgt)+len(tg.Ofm))
+	out = append(out, tg.Ifm...)
+	out = append(out, tg.Wgt...)
+	out = append(out, tg.Ofm...)
+	return out
+}
+
+// TileGroups expands a (layer, tiling, schedule) combination into the
+// distinct DRAM tile streams it generates for one batch of images,
+// with exact edge-tile sizes. AdaptiveReuse resolves to the concrete
+// schedule minimizing total traffic before expansion.
+func TileGroups(l cnn.Layer, t Tiling, s Schedule, batch int) []TileGroup {
+	return TileGroupsByTensor(l, t, s, batch).All()
+}
+
+// TileGroupsByTensor is TileGroups with the per-tensor split retained.
+func TileGroupsByTensor(l cnn.Layer, t Tiling, s Schedule, batch int) TensorGroups {
+	if s == AdaptiveReuse {
+		s = ResolveAdaptive(l, t, batch)
+	}
+	b := int64(batch)
+	hs := splitDim(l.H, t.Th)
+	ws := splitDim(l.W, t.Tw)
+	js := splitDim(l.J, t.Tj)
+	is := splitDim(l.I, t.Ti)
+	nh, nw, nj, ni := hs.tiles(), ws.tiles(), js.tiles(), is.tiles()
+
+	var ifmLoads, wgtLoads int64
+	var ofmReads, ofmWrites int64 // per ofm tile
+	switch s {
+	case IfmsReuse:
+		ifmLoads = 1
+		wgtLoads = nh * nw
+		ofmReads = ni - 1
+		ofmWrites = ni
+	case WghsReuse:
+		ifmLoads = nj
+		wgtLoads = 1
+		ofmReads = ni - 1
+		ofmWrites = ni
+	case OfmsReuse:
+		ifmLoads = nj
+		wgtLoads = nh * nw
+		ofmReads = 0
+		ofmWrites = 1
+	default:
+		panic(fmt.Sprintf("tiling: unresolved schedule %v", s))
+	}
+
+	var out TensorGroups
+	// ifms tiles: indexed by (h, w, i); each image has its own set.
+	for _, sh := range hs.sizes() {
+		for _, sw := range ws.sizes() {
+			for _, si := range is.sizes() {
+				elems := int64(ifmSpan(sh.Size, l.Stride, l.P)) *
+					int64(ifmSpan(sw.Size, l.Stride, l.Q)) * int64(si.Size)
+				count := sh.Count * sw.Count * si.Count * b
+				out.Ifm = append(out.Ifm, TileGroup{Elems: elems, Loads: count * ifmLoads})
+			}
+		}
+	}
+	// weights tiles: indexed by (i, j); re-fetched per image because the
+	// batch loop is outermost in Fig. 3.
+	for _, si := range is.sizes() {
+		for _, sj := range js.sizes() {
+			elems := int64(l.P) * int64(l.Q) * int64(si.Size) * int64(sj.Size)
+			count := si.Count * sj.Count * b
+			out.Wgt = append(out.Wgt, TileGroup{Elems: elems, Loads: count * wgtLoads})
+		}
+	}
+	// ofms tiles: indexed by (h, w, j) per image; reads and writes are
+	// separate streams.
+	for _, sh := range hs.sizes() {
+		for _, sw := range ws.sizes() {
+			for _, sj := range js.sizes() {
+				elems := int64(sh.Size) * int64(sw.Size) * int64(sj.Size)
+				count := sh.Count * sw.Count * sj.Count * b
+				if ofmReads > 0 {
+					out.Ofm = append(out.Ofm, TileGroup{Elems: elems, Loads: count * ofmReads})
+				}
+				out.Ofm = append(out.Ofm, TileGroup{Elems: elems, Loads: count * ofmWrites, Write: true})
+			}
+		}
+	}
+	return out
+}
+
+// Traffic aggregates the DRAM element volumes of a layer under a
+// (tiling, schedule) pair.
+type Traffic struct {
+	IfmReadElems  int64
+	WgtReadElems  int64
+	OfmReadElems  int64
+	OfmWriteElems int64
+	// Resolved is the concrete schedule (AdaptiveReuse resolves to one
+	// of the three fixed schemes).
+	Resolved Schedule
+}
+
+// TotalElems sums all element movement.
+func (tr Traffic) TotalElems() int64 {
+	return tr.IfmReadElems + tr.WgtReadElems + tr.OfmReadElems + tr.OfmWriteElems
+}
+
+// Estimate computes the traffic of a layer under a tiling and schedule
+// for one batch.
+func Estimate(l cnn.Layer, t Tiling, s Schedule, batch int) Traffic {
+	if s == AdaptiveReuse {
+		s = ResolveAdaptive(l, t, batch)
+	}
+	b := int64(batch)
+	hs := splitDim(l.H, t.Th)
+	ws := splitDim(l.W, t.Tw)
+	js := splitDim(l.J, t.Tj)
+	is := splitDim(l.I, t.Ti)
+	nj, ni := js.tiles(), is.tiles()
+
+	var ifm int64
+	for _, sh := range hs.sizes() {
+		for _, sw := range ws.sizes() {
+			for _, si := range is.sizes() {
+				elems := int64(ifmSpan(sh.Size, l.Stride, l.P)) *
+					int64(ifmSpan(sw.Size, l.Stride, l.Q)) * int64(si.Size)
+				ifm += elems * sh.Count * sw.Count * si.Count
+			}
+		}
+	}
+	ifm *= b
+	wgt := l.WgtElems() * b
+	ofm := l.OfmElems() * b
+
+	tr := Traffic{Resolved: s}
+	switch s {
+	case IfmsReuse:
+		tr.IfmReadElems = ifm
+		tr.WgtReadElems = wgt * hs.tiles() * ws.tiles()
+		tr.OfmReadElems = ofm * (ni - 1)
+		tr.OfmWriteElems = ofm * ni
+	case WghsReuse:
+		tr.IfmReadElems = ifm * nj
+		tr.WgtReadElems = wgt
+		tr.OfmReadElems = ofm * (ni - 1)
+		tr.OfmWriteElems = ofm * ni
+	case OfmsReuse:
+		tr.IfmReadElems = ifm * nj
+		tr.WgtReadElems = wgt * hs.tiles() * ws.tiles()
+		tr.OfmWriteElems = ofm
+	}
+	return tr
+}
+
+// ResolveAdaptive returns the fixed schedule with the least total
+// traffic for the layer and tiling, which is how the paper's
+// adaptive-reuse scheme chooses per layer.
+func ResolveAdaptive(l cnn.Layer, t Tiling, batch int) Schedule {
+	best := IfmsReuse
+	bestElems := Estimate(l, t, IfmsReuse, batch).TotalElems()
+	for _, s := range []Schedule{WghsReuse, OfmsReuse} {
+		if e := Estimate(l, t, s, batch).TotalElems(); e < bestElems {
+			best, bestElems = s, e
+		}
+	}
+	return best
+}

@@ -1,0 +1,221 @@
+// Package trace defines the memory-request and DRAM-command types shared
+// by the cycle-accurate controller (package memctrl) and the energy model
+// (package vampire), plus a Ramulator-style text encoding so traces can
+// be exported and inspected.
+//
+// A Request is one column-access-sized transfer (a full burst); the
+// controller turns each request into one or more Commands (ACT, PRE,
+// RD, WR, SASEL, REF) whose issue cycles respect the JEDEC timing
+// constraints of the configured architecture.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"drmap/internal/dram"
+)
+
+// Op is the request direction.
+type Op int
+
+const (
+	// Read requests move data from DRAM to the accelerator buffers.
+	Read Op = iota
+	// Write requests move data from the accelerator buffers to DRAM.
+	Write
+)
+
+// String returns "R" or "W", the encoding used in trace files.
+func (o Op) String() string {
+	if o == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Request is a single burst-sized memory transaction.
+type Request struct {
+	Op   Op
+	Addr dram.Address
+}
+
+// CommandKind enumerates DRAM commands issued by the controller.
+type CommandKind int
+
+const (
+	// CmdACT activates (opens) a row into its subarray's local row buffer.
+	CmdACT CommandKind = iota
+	// CmdPRE precharges (closes) the open row of a subarray.
+	CmdPRE
+	// CmdRD bursts one column out of the open row.
+	CmdRD
+	// CmdWR bursts one column into the open row.
+	CmdWR
+	// CmdSASEL switches the MASA designated-bit to another already-open
+	// subarray (SALP-MASA only).
+	CmdSASEL
+	// CmdREF performs one refresh cycle on a rank.
+	CmdREF
+)
+
+var commandNames = [...]string{"ACT", "PRE", "RD", "WR", "SASEL", "REF"}
+
+// String returns the JEDEC-style mnemonic.
+func (k CommandKind) String() string {
+	if int(k) < len(commandNames) {
+		return commandNames[k]
+	}
+	return fmt.Sprintf("Cmd(%d)", int(k))
+}
+
+// Command records one DRAM command along with the cycle it was issued.
+type Command struct {
+	Kind  CommandKind
+	Addr  dram.Address
+	Cycle int64
+}
+
+// String renders "cycle KIND address".
+func (c Command) String() string {
+	return fmt.Sprintf("%d %s %s", c.Cycle, c.Kind, c.Addr)
+}
+
+// AccessKind classifies a serviced request by the row-buffer condition
+// it met, matching the five conditions of the paper's Fig. 1 and the
+// four access categories of the analytical model (Eq. 2-3).
+type AccessKind int
+
+const (
+	// AccessRowHit: the requested row was already in the local row
+	// buffer ("different column" in Eq. 2-3).
+	AccessRowHit AccessKind = iota
+	// AccessRowMiss: the bank/subarray had no open row; an ACT was needed.
+	AccessRowMiss
+	// AccessRowConflict: a different row was open in the same subarray;
+	// PRE then ACT were needed ("different rows").
+	AccessRowConflict
+	// AccessSubarraySwitch: the request moved to a different subarray of
+	// the same bank ("different subarrays").
+	AccessSubarraySwitch
+	// AccessBankSwitch: the request moved to a different bank
+	// ("different banks").
+	AccessBankSwitch
+)
+
+var accessNames = [...]string{"row-hit", "row-miss", "row-conflict", "subarray-switch", "bank-switch"}
+
+// String names the access condition.
+func (k AccessKind) String() string {
+	if int(k) < len(accessNames) {
+		return accessNames[k]
+	}
+	return fmt.Sprintf("Access(%d)", int(k))
+}
+
+// AccessKinds lists the conditions in the order used by Fig. 1.
+var AccessKinds = []AccessKind{
+	AccessRowHit, AccessRowMiss, AccessRowConflict, AccessSubarraySwitch, AccessBankSwitch,
+}
+
+// ServicedRequest pairs a request with the controller's observation of
+// how it was serviced.
+type ServicedRequest struct {
+	Request Request
+	Kind    AccessKind
+	// IssueCycle is the cycle the column command (RD/WR) was issued.
+	IssueCycle int64
+	// DoneCycle is the cycle the data burst completed on the bus.
+	DoneCycle int64
+}
+
+// Latency returns the service time of this request in cycles.
+func (s ServicedRequest) Latency() int64 { return s.DoneCycle - s.IssueCycle }
+
+// WriteRequests encodes requests one per line in a Ramulator-style
+// format: "<op> <channel> <rank> <bank> <row> <column>".
+func WriteRequests(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		a := r.Addr
+		if _, err := fmt.Fprintf(bw, "%s %d %d %d %d %d\n",
+			r.Op, a.Channel, a.Rank, a.Bank, a.Row, a.Column); err != nil {
+			return fmt.Errorf("trace: writing request: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRequests decodes the format produced by WriteRequests. Blank
+// lines and lines starting with '#' are ignored.
+func ReadRequests(r io.Reader) ([]Request, error) {
+	var reqs []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var opStr string
+		var req Request
+		n, err := fmt.Sscanf(line, "%s %d %d %d %d %d",
+			&opStr, &req.Addr.Channel, &req.Addr.Rank, &req.Addr.Bank,
+			&req.Addr.Row, &req.Addr.Column)
+		if err != nil || n != 6 {
+			return nil, fmt.Errorf("trace: line %d: malformed request %q", lineNo, line)
+		}
+		switch opStr {
+		case "R":
+			req.Op = Read
+		case "W":
+			req.Op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, opStr)
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	return reqs, nil
+}
+
+// WriteCommands encodes a command log, one command per line.
+func WriteCommands(w io.Writer, cmds []Command) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cmds {
+		a := c.Addr
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d %d %d %d\n",
+			c.Cycle, c.Kind, a.Channel, a.Rank, a.Bank, a.Row, a.Column); err != nil {
+			return fmt.Errorf("trace: writing command: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// CommandStats aggregates a command log by kind.
+type CommandStats struct {
+	Counts     map[CommandKind]int64
+	FirstCycle int64
+	LastCycle  int64
+}
+
+// Stats summarizes a command log. An empty log yields zero counts.
+func Stats(cmds []Command) CommandStats {
+	st := CommandStats{Counts: make(map[CommandKind]int64)}
+	for i, c := range cmds {
+		st.Counts[c.Kind]++
+		if i == 0 || c.Cycle < st.FirstCycle {
+			st.FirstCycle = c.Cycle
+		}
+		if c.Cycle > st.LastCycle {
+			st.LastCycle = c.Cycle
+		}
+	}
+	return st
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"drmap/internal/dram"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Errorf("op strings = %q/%q, want R/W", Read, Write)
+	}
+}
+
+func TestCommandKindString(t *testing.T) {
+	cases := map[CommandKind]string{
+		CmdACT: "ACT", CmdPRE: "PRE", CmdRD: "RD", CmdWR: "WR",
+		CmdSASEL: "SASEL", CmdREF: "REF", CommandKind(17): "Cmd(17)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("CommandKind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	cases := map[AccessKind]string{
+		AccessRowHit:         "row-hit",
+		AccessRowMiss:        "row-miss",
+		AccessRowConflict:    "row-conflict",
+		AccessSubarraySwitch: "subarray-switch",
+		AccessBankSwitch:     "bank-switch",
+		AccessKind(9):        "Access(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("AccessKind(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestAccessKindsOrderMatchesFig1(t *testing.T) {
+	want := []AccessKind{AccessRowHit, AccessRowMiss, AccessRowConflict, AccessSubarraySwitch, AccessBankSwitch}
+	if !reflect.DeepEqual(AccessKinds, want) {
+		t.Errorf("AccessKinds = %v, want %v", AccessKinds, want)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: Read, Addr: dram.Address{Channel: 0, Rank: 0, Bank: 3, Row: 1201, Column: 17}},
+		{Op: Write, Addr: dram.Address{Channel: 0, Rank: 0, Bank: 0, Row: 0, Column: 0}},
+		{Op: Read, Addr: dram.Address{Channel: 0, Rank: 0, Bank: 7, Row: 32767, Column: 1023}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRequests(&buf, reqs); err != nil {
+		t.Fatalf("WriteRequests: %v", err)
+	}
+	got, err := ReadRequests(&buf)
+	if err != nil {
+		t.Fatalf("ReadRequests: %v", err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, reqs)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(ops []bool, banks []uint8, rows []uint16, cols []uint16) bool {
+		n := len(ops)
+		for _, s := range []int{len(banks), len(rows), len(cols)} {
+			if s < n {
+				n = s
+			}
+		}
+		reqs := make([]Request, 0, n)
+		for i := 0; i < n; i++ {
+			op := Read
+			if ops[i] {
+				op = Write
+			}
+			reqs = append(reqs, Request{Op: op, Addr: dram.Address{
+				Bank: int(banks[i]) % 8, Row: int(rows[i]) % 32768, Column: int(cols[i]) % 1024,
+			}})
+		}
+		var buf bytes.Buffer
+		if err := WriteRequests(&buf, reqs); err != nil {
+			return false
+		}
+		got, err := ReadRequests(&buf)
+		if err != nil {
+			return false
+		}
+		if len(reqs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, reqs)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRequestsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR 0 0 1 2 3\n   \n# tail\nW 0 0 4 5 6\n"
+	got, err := ReadRequests(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadRequests: %v", err)
+	}
+	want := []Request{
+		{Op: Read, Addr: dram.Address{Bank: 1, Row: 2, Column: 3}},
+		{Op: Write, Addr: dram.Address{Bank: 4, Row: 5, Column: 6}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestReadRequestsRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"R 0 0 1 2\n",      // too few fields
+		"X 0 0 1 2 3\n",    // unknown op
+		"R a b c d e\n",    // non-numeric
+		"READ 0 0 1 2 3\n", // long op token
+	} {
+		if _, err := ReadRequests(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadRequests accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestWriteCommandsFormat(t *testing.T) {
+	cmds := []Command{
+		{Kind: CmdACT, Addr: dram.Address{Bank: 2, Row: 99}, Cycle: 10},
+		{Kind: CmdRD, Addr: dram.Address{Bank: 2, Row: 99, Column: 4}, Cycle: 21},
+	}
+	var buf bytes.Buffer
+	if err := WriteCommands(&buf, cmds); err != nil {
+		t.Fatalf("WriteCommands: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10 ACT 0 0 2 99 0") {
+		t.Errorf("missing ACT line in %q", out)
+	}
+	if !strings.Contains(out, "21 RD 0 0 2 99 4") {
+		t.Errorf("missing RD line in %q", out)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Kind: CmdPRE, Addr: dram.Address{Bank: 1, Row: 5}, Cycle: 77}
+	want := "77 PRE ch0.ra0.ba1.ro5.co0"
+	if got := c.String(); got != want {
+		t.Errorf("Command.String() = %q, want %q", got, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	cmds := []Command{
+		{Kind: CmdACT, Cycle: 5},
+		{Kind: CmdRD, Cycle: 16},
+		{Kind: CmdRD, Cycle: 20},
+		{Kind: CmdPRE, Cycle: 40},
+	}
+	st := Stats(cmds)
+	if st.Counts[CmdRD] != 2 || st.Counts[CmdACT] != 1 || st.Counts[CmdPRE] != 1 {
+		t.Errorf("unexpected counts: %v", st.Counts)
+	}
+	if st.FirstCycle != 5 || st.LastCycle != 40 {
+		t.Errorf("cycle span = [%d,%d], want [5,40]", st.FirstCycle, st.LastCycle)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(nil)
+	if len(st.Counts) != 0 || st.FirstCycle != 0 || st.LastCycle != 0 {
+		t.Errorf("empty stats not zero: %+v", st)
+	}
+}
+
+func TestServicedRequestLatency(t *testing.T) {
+	s := ServicedRequest{IssueCycle: 100, DoneCycle: 115}
+	if got := s.Latency(); got != 15 {
+		t.Errorf("latency = %d, want 15", got)
+	}
+}

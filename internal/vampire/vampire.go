@@ -1,0 +1,227 @@
+// Package vampire computes DRAM energy from command logs, standing in
+// for the VAMPIRE power model (Ghose et al., SIGMETRICS 2018) used by
+// the DRMap paper. It follows the Micron DDR3 power-calculator
+// methodology on datasheet IDD currents - activation/precharge pair
+// energy, read/write burst energy, state-dependent background energy
+// and refresh energy - and adds VAMPIRE's headline refinement: a
+// data-dependence term that scales I/O energy with the toggle rate of
+// the transferred data.
+package vampire
+
+import (
+	"fmt"
+
+	"drmap/internal/dram"
+	"drmap/internal/trace"
+)
+
+// Activity summarizes what happened on a DRAM rank during a simulation:
+// command counts plus the cycle accounting needed for background energy.
+type Activity struct {
+	ACTs   int64
+	Reads  int64
+	Writes int64
+	SASELs int64
+	REFs   int64
+	// ActiveCycles is the number of cycles during which at least one
+	// bank had an open row.
+	ActiveCycles int64
+	// ExtraOpenSubarrayCycles is the cycle-weighted count of open
+	// subarrays beyond the first per bank (SALP-2 / MASA latches).
+	ExtraOpenSubarrayCycles int64
+	// TotalCycles is the full span of the simulation.
+	TotalCycles int64
+}
+
+// ActivityFrom derives an Activity from a command log and the
+// controller's cycle accounting. Extra-open-subarray cycles can be set
+// on the result afterwards when the controller reports them.
+func ActivityFrom(cmds []trace.Command, activeCycles, totalCycles int64) Activity {
+	a := Activity{ActiveCycles: activeCycles, TotalCycles: totalCycles}
+	for _, c := range cmds {
+		switch c.Kind {
+		case trace.CmdACT:
+			a.ACTs++
+		case trace.CmdRD:
+			a.Reads++
+		case trace.CmdWR:
+			a.Writes++
+		case trace.CmdSASEL:
+			a.SASELs++
+		case trace.CmdREF:
+			a.REFs++
+		}
+	}
+	return a
+}
+
+// Accesses returns the number of column accesses in the activity.
+func (a Activity) Accesses() int64 { return a.Reads + a.Writes }
+
+// Breakdown itemizes the energy of a run in joules.
+type Breakdown struct {
+	Activate         float64 // ACT/PRE pair energy (row open + close)
+	ReadBurst        float64 // array read-burst energy
+	WriteBurst       float64 // array write-burst energy
+	IO               float64 // off-chip I/O and termination energy
+	Refresh          float64 // REF energy
+	BackgroundActive float64 // active-standby background
+	BackgroundIdle   float64 // precharge-standby background
+	SubarrayLatch    float64 // extra open-subarray latch background (SALP-2/MASA)
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.Activate + b.ReadBurst + b.WriteBurst + b.IO + b.Refresh +
+		b.BackgroundActive + b.BackgroundIdle + b.SubarrayLatch
+}
+
+// String renders the breakdown in nanojoules.
+func (b Breakdown) String() string {
+	return fmt.Sprintf(
+		"act=%.2fnJ rd=%.2fnJ wr=%.2fnJ io=%.2fnJ ref=%.2fnJ bgAct=%.2fnJ bgIdle=%.2fnJ latch=%.2fnJ total=%.2fnJ",
+		b.Activate*1e9, b.ReadBurst*1e9, b.WriteBurst*1e9, b.IO*1e9,
+		b.Refresh*1e9, b.BackgroundActive*1e9, b.BackgroundIdle*1e9,
+		b.SubarrayLatch*1e9, b.Total()*1e9)
+}
+
+// Model computes energies for one DRAM configuration.
+type Model struct {
+	cfg dram.Config
+	// ToggleRate in [0,1] captures VAMPIRE's data-dependence: the
+	// fraction of transferred bits that toggle relative to the previous
+	// beat. It scales I/O energy between 0.5x (constant data) and 1.5x
+	// (worst-case toggling). The default 0.5 is the random-data midpoint.
+	ToggleRate float64
+	// PowerDownFraction in [0,1] is the share of precharge-idle cycles
+	// the controller spends in precharge power-down (CKE low), drawing
+	// IDD2P instead of IDD2N. The default 0 models a controller that
+	// never powers down, matching the paper's always-ready setup.
+	PowerDownFraction float64
+}
+
+// New builds a model for the configuration with the random-data default
+// toggle rate.
+func New(cfg dram.Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("vampire: %w", err)
+	}
+	return &Model{cfg: cfg, ToggleRate: 0.5}, nil
+}
+
+// SetToggleRate adjusts the data-dependence term. Rates outside [0,1]
+// are rejected.
+func (m *Model) SetToggleRate(r float64) error {
+	if r < 0 || r > 1 {
+		return fmt.Errorf("vampire: toggle rate %g outside [0,1]", r)
+	}
+	m.ToggleRate = r
+	return nil
+}
+
+// SetPowerDownFraction adjusts the precharge power-down share.
+// Fractions outside [0,1] are rejected.
+func (m *Model) SetPowerDownFraction(f float64) error {
+	if f < 0 || f > 1 {
+		return fmt.Errorf("vampire: power-down fraction %g outside [0,1]", f)
+	}
+	m.PowerDownFraction = f
+	return nil
+}
+
+// cyclesToSeconds converts command-clock cycles to seconds.
+func (m *Model) cyclesToSeconds(c float64) float64 {
+	return c * m.cfg.Timing.TCKNanos * 1e-9
+}
+
+// chips returns the number of chips energized per access (all chips of
+// a rank operate in lock-step).
+func (m *Model) chips() float64 { return float64(m.cfg.Geometry.Chips) }
+
+// ActEnergy returns the energy of one ACT/PRE pair across the rank,
+// per the Micron power-calc charge-difference formula:
+//
+//	E = VDD * (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC-tRAS)) * tCK
+//
+// scaled by the architecture's subarray activation factor (MASA keeps
+// extra local row buffers latched).
+func (m *Model) ActEnergy() float64 {
+	p := m.cfg.Power
+	tm := m.cfg.Timing
+	charge := p.IDD0*float64(tm.TRC) - p.IDD3N*float64(tm.TRAS) - p.IDD2N*float64(tm.TRC-tm.TRAS)
+	e := p.VDD * charge * 1e-3 * m.cyclesToSeconds(1) * m.chips()
+	return e * p.SubarrayActFactor
+}
+
+// ReadBurstEnergy returns the array energy of one read burst across the
+// rank (I/O excluded; see IOEnergyPerAccess).
+func (m *Model) ReadBurstEnergy() float64 {
+	p := m.cfg.Power
+	return p.VDD * (p.IDD4R - p.IDD3N) * 1e-3 * m.cyclesToSeconds(float64(m.cfg.Timing.TBL)) * m.chips()
+}
+
+// WriteBurstEnergy returns the array energy of one write burst across
+// the rank.
+func (m *Model) WriteBurstEnergy() float64 {
+	p := m.cfg.Power
+	return p.VDD * (p.IDD4W - p.IDD3N) * 1e-3 * m.cyclesToSeconds(float64(m.cfg.Timing.TBL)) * m.chips()
+}
+
+// toggleScale maps ToggleRate in [0,1] to an I/O energy multiplier in
+// [0.5, 1.5]; 0.5 (random data) gives 1.0.
+func (m *Model) toggleScale() float64 { return 0.5 + m.ToggleRate }
+
+// IOEnergyPerAccess returns the off-chip I/O energy of one burst in the
+// given direction, including the data-dependent toggle scaling.
+func (m *Model) IOEnergyPerAccess(op trace.Op) float64 {
+	g := m.cfg.Geometry
+	bits := float64(g.Chips * g.ChipBits * g.BurstLength)
+	perBit := m.cfg.Power.ReadIOPicoJPerBit
+	if op == trace.Write {
+		perBit = m.cfg.Power.WriteIOPicoJPerBit
+	}
+	return bits * perBit * 1e-12 * m.toggleScale()
+}
+
+// RefreshEnergy returns the energy of one REF command.
+func (m *Model) RefreshEnergy() float64 {
+	p := m.cfg.Power
+	return p.VDD * (p.IDD5B - p.IDD2N) * 1e-3 * m.cyclesToSeconds(float64(m.cfg.Timing.TRFC)) * m.chips()
+}
+
+// BackgroundPowerActive returns active-standby power in watts.
+func (m *Model) BackgroundPowerActive() float64 {
+	p := m.cfg.Power
+	return p.VDD * p.IDD3N * 1e-3 * m.chips()
+}
+
+// BackgroundPowerIdle returns the effective precharge-background power
+// in watts, blending standby (IDD2N) and power-down (IDD2P) according
+// to PowerDownFraction.
+func (m *Model) BackgroundPowerIdle() float64 {
+	p := m.cfg.Power
+	blended := p.IDD2N*(1-m.PowerDownFraction) + p.IDD2P*m.PowerDownFraction
+	return p.VDD * blended * 1e-3 * m.chips()
+}
+
+// Energy itemizes the energy of an activity under this model.
+func (m *Model) Energy(a Activity) Breakdown {
+	idle := a.TotalCycles - a.ActiveCycles
+	if idle < 0 {
+		idle = 0
+	}
+	return Breakdown{
+		Activate:         float64(a.ACTs) * m.ActEnergy(),
+		ReadBurst:        float64(a.Reads) * m.ReadBurstEnergy(),
+		WriteBurst:       float64(a.Writes) * m.WriteBurstEnergy(),
+		IO:               float64(a.Reads)*m.IOEnergyPerAccess(trace.Read) + float64(a.Writes)*m.IOEnergyPerAccess(trace.Write),
+		Refresh:          float64(a.REFs) * m.RefreshEnergy(),
+		BackgroundActive: m.BackgroundPowerActive() * m.cyclesToSeconds(float64(a.ActiveCycles)),
+		BackgroundIdle:   m.BackgroundPowerIdle() * m.cyclesToSeconds(float64(idle)),
+		SubarrayLatch: m.BackgroundPowerActive() * m.cfg.Power.SubarrayLatchFraction *
+			m.cyclesToSeconds(float64(a.ExtraOpenSubarrayCycles)),
+	}
+}
+
+// Config returns the model's DRAM configuration.
+func (m *Model) Config() dram.Config { return m.cfg }

@@ -1,0 +1,292 @@
+package vampire
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"drmap/internal/dram"
+	"drmap/internal/memctrl"
+	"drmap/internal/trace"
+)
+
+func newModel(t *testing.T, cfg dram.Config) *Model {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := dram.DDR3Config()
+	cfg.Power.VDD = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted invalid power config")
+	}
+}
+
+func TestActEnergyMagnitude(t *testing.T) {
+	// The ACT/PRE pair of a DDR3-1600 2Gb x8 die is a few nanojoules.
+	m := newModel(t, dram.DDR3Config())
+	e := m.ActEnergy()
+	if e < 0.5e-9 || e > 10e-9 {
+		t.Errorf("ACT/PRE energy = %.3g J, want a few nJ", e)
+	}
+}
+
+func TestBurstEnergiesPositiveAndOrdered(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	rd := m.ReadBurstEnergy()
+	wr := m.WriteBurstEnergy()
+	if rd <= 0 || wr <= 0 {
+		t.Fatalf("burst energies must be positive: rd=%g wr=%g", rd, wr)
+	}
+	// With the preset currents (IDD4R > IDD4W) reads burn slightly more
+	// in the array; writes pay more in I/O termination instead.
+	if rd < wr {
+		t.Errorf("array read burst (%g) should not be below write burst (%g) for preset currents", rd, wr)
+	}
+	ioRD := m.IOEnergyPerAccess(trace.Read)
+	ioWR := m.IOEnergyPerAccess(trace.Write)
+	if ioWR <= ioRD {
+		t.Errorf("write I/O energy (%g) should exceed read I/O energy (%g)", ioWR, ioRD)
+	}
+}
+
+func TestMASAActEnergyCarriesFactor(t *testing.T) {
+	ddr3 := newModel(t, dram.DDR3Config())
+	masa := newModel(t, dram.SALPMASAConfig())
+	want := ddr3.ActEnergy() * dram.SALPMASAConfig().Power.SubarrayActFactor
+	if got := masa.ActEnergy(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("MASA ACT energy = %g, want %g", got, want)
+	}
+}
+
+func TestToggleRateScalesIOEnergy(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	if err := m.SetToggleRate(0); err != nil {
+		t.Fatal(err)
+	}
+	low := m.IOEnergyPerAccess(trace.Read)
+	if err := m.SetToggleRate(1); err != nil {
+		t.Fatal(err)
+	}
+	high := m.IOEnergyPerAccess(trace.Read)
+	if math.Abs(high/low-3) > 1e-9 {
+		t.Errorf("toggle 1.0 vs 0.0 I/O ratio = %g, want 3 (0.5x..1.5x)", high/low)
+	}
+}
+
+func TestSetToggleRateRejectsOutOfRange(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	for _, r := range []float64{-0.1, 1.1, 99} {
+		if err := m.SetToggleRate(r); err == nil {
+			t.Errorf("SetToggleRate(%g) accepted", r)
+		}
+	}
+	if err := m.SetToggleRate(0.25); err != nil {
+		t.Errorf("SetToggleRate(0.25) rejected: %v", err)
+	}
+}
+
+func TestActivityFromCommandLog(t *testing.T) {
+	cmds := []trace.Command{
+		{Kind: trace.CmdACT}, {Kind: trace.CmdRD}, {Kind: trace.CmdRD},
+		{Kind: trace.CmdWR}, {Kind: trace.CmdPRE}, {Kind: trace.CmdSASEL},
+		{Kind: trace.CmdREF},
+	}
+	a := ActivityFrom(cmds, 100, 200)
+	if a.ACTs != 1 || a.Reads != 2 || a.Writes != 1 || a.SASELs != 1 || a.REFs != 1 {
+		t.Errorf("unexpected activity: %+v", a)
+	}
+	if a.Accesses() != 3 {
+		t.Errorf("accesses = %d, want 3", a.Accesses())
+	}
+	if a.ActiveCycles != 100 || a.TotalCycles != 200 {
+		t.Errorf("cycles not carried: %+v", a)
+	}
+}
+
+func TestBreakdownTotalSumsComponents(t *testing.T) {
+	b := Breakdown{Activate: 1, ReadBurst: 2, WriteBurst: 3, IO: 4, Refresh: 5,
+		BackgroundActive: 6, BackgroundIdle: 7, SubarrayLatch: 8}
+	if got := b.Total(); got != 36 {
+		t.Errorf("Total = %g, want 36", got)
+	}
+}
+
+func TestSubarrayLatchEnergy(t *testing.T) {
+	masa := newModel(t, dram.SALPMASAConfig())
+	withLatch := masa.Energy(Activity{ExtraOpenSubarrayCycles: 1000, TotalCycles: 1000})
+	if withLatch.SubarrayLatch <= 0 {
+		t.Error("MASA latch energy not charged for extra open subarrays")
+	}
+	ddr3 := newModel(t, dram.DDR3Config())
+	none := ddr3.Energy(Activity{ExtraOpenSubarrayCycles: 1000, TotalCycles: 1000})
+	if none.SubarrayLatch != 0 {
+		t.Errorf("DDR3 charged latch energy %g with zero latch fraction", none.SubarrayLatch)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Activate: 1e-9}
+	s := b.String()
+	if !strings.Contains(s, "act=1.00nJ") || !strings.Contains(s, "total=") {
+		t.Errorf("unexpected breakdown string %q", s)
+	}
+}
+
+func TestEnergyNegativeIdleClamped(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	// ActiveCycles exceeding TotalCycles must not yield negative idle
+	// background energy.
+	b := m.Energy(Activity{ActiveCycles: 100, TotalCycles: 50})
+	if b.BackgroundIdle < 0 {
+		t.Errorf("negative idle background energy %g", b.BackgroundIdle)
+	}
+}
+
+func TestHitStreamCheaperThanConflictStream(t *testing.T) {
+	// End-to-end with the controller: per-access energy of a row-hit
+	// stream must be well below a row-conflict stream (Fig. 1 energy).
+	cfg := dram.DDR3Config()
+	m := newModel(t, cfg)
+	run := func(reqs []trace.Request) float64 {
+		c, err := memctrl.New(cfg, memctrl.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		act := ActivityFrom(res.Commands, res.DeviceActiveCycles, res.TotalCycles)
+		return m.Energy(act).Total() / float64(act.Accesses())
+	}
+	const n = 1024
+	hits := make([]trace.Request, n)
+	conflicts := make([]trace.Request, n)
+	for i := 0; i < n; i++ {
+		hits[i] = trace.Request{Op: trace.Read, Addr: dram.Address{Row: 0, Column: i % cfg.Geometry.Columns}}
+		conflicts[i] = trace.Request{Op: trace.Read, Addr: dram.Address{Row: i % cfg.Geometry.Rows}}
+	}
+	hitE := run(hits)
+	conflictE := run(conflicts)
+	if hitE*2 > conflictE {
+		t.Errorf("per-access energy: hit %.3g J vs conflict %.3g J, want conflict >> hit", hitE, conflictE)
+	}
+	// Both should be nanojoule-scale.
+	if hitE < 0.1e-9 || conflictE > 100e-9 {
+		t.Errorf("energies out of nJ range: hit=%.3g conflict=%.3g", hitE, conflictE)
+	}
+}
+
+func TestEnergyScalesLinearlyWithCounts(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	f := func(acts, reads, writes uint8) bool {
+		a := Activity{ACTs: int64(acts), Reads: int64(reads), Writes: int64(writes)}
+		b1 := m.Energy(a)
+		a2 := Activity{ACTs: 2 * a.ACTs, Reads: 2 * a.Reads, Writes: 2 * a.Writes}
+		b2 := m.Energy(a2)
+		return math.Abs(b2.Total()-2*b1.Total()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyMonotoneInActivityProperty(t *testing.T) {
+	m := newModel(t, dram.SALP1Config())
+	f := func(acts, reads uint8, extra uint8) bool {
+		a := Activity{ACTs: int64(acts), Reads: int64(reads), TotalCycles: 1000, ActiveCycles: 500}
+		b := m.Energy(a)
+		a.ACTs += int64(extra)
+		b2 := m.Energy(a)
+		return b2.Total() >= b.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefreshEnergyPositive(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	if e := m.RefreshEnergy(); e <= 0 {
+		t.Errorf("refresh energy = %g, want positive", e)
+	}
+}
+
+func TestBackgroundPowers(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	active := m.BackgroundPowerActive()
+	idle := m.BackgroundPowerIdle()
+	if active <= idle {
+		t.Errorf("active standby power (%g W) must exceed precharge standby (%g W)", active, idle)
+	}
+	// Sanity: tens of milliwatts for a single die.
+	if active < 0.01 || active > 0.5 {
+		t.Errorf("active standby power %g W out of plausible range", active)
+	}
+}
+
+func TestPowerDownReducesIdleBackground(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	full := m.BackgroundPowerIdle()
+	if err := m.SetPowerDownFraction(1); err != nil {
+		t.Fatal(err)
+	}
+	down := m.BackgroundPowerIdle()
+	if down >= full {
+		t.Errorf("power-down idle power %g not below standby %g", down, full)
+	}
+	// IDD2P/IDD2N ratio for the preset is 10/23.
+	want := full * dram.DDR3Config().Power.IDD2P / dram.DDR3Config().Power.IDD2N
+	if math.Abs(down-want) > 1e-12 {
+		t.Errorf("power-down power = %g, want %g", down, want)
+	}
+	// Half power-down blends linearly.
+	if err := m.SetPowerDownFraction(0.5); err != nil {
+		t.Fatal(err)
+	}
+	half := m.BackgroundPowerIdle()
+	if math.Abs(half-(full+down)/2) > 1e-12 {
+		t.Errorf("half power-down = %g, want midpoint %g", half, (full+down)/2)
+	}
+}
+
+func TestSetPowerDownFractionRejectsOutOfRange(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	for _, f := range []float64{-0.1, 1.5} {
+		if err := m.SetPowerDownFraction(f); err == nil {
+			t.Errorf("SetPowerDownFraction(%g) accepted", f)
+		}
+	}
+}
+
+func TestPowerDownOnlyAffectsIdleEnergy(t *testing.T) {
+	m := newModel(t, dram.DDR3Config())
+	a := Activity{ACTs: 5, Reads: 50, ActiveCycles: 500, TotalCycles: 1000}
+	before := m.Energy(a)
+	if err := m.SetPowerDownFraction(1); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Energy(a)
+	if after.BackgroundIdle >= before.BackgroundIdle {
+		t.Error("power-down did not cut idle background energy")
+	}
+	if after.BackgroundActive != before.BackgroundActive ||
+		after.Activate != before.Activate || after.ReadBurst != before.ReadBurst {
+		t.Error("power-down changed non-idle components")
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	m := newModel(t, dram.SALP2Config())
+	if m.Config().Arch != dram.SALP2 {
+		t.Errorf("Config().Arch = %v, want SALP-2", m.Config().Arch)
+	}
+}
