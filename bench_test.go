@@ -14,7 +14,10 @@
 package drmap_test
 
 import (
+	"context"
 	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"drmap"
@@ -192,6 +195,50 @@ func BenchmarkDSEVGG16(b *testing.B) {
 		if _, err := drmap.RunDSE(drmap.VGG16(), ev, drmap.Schedules(), drmap.TableIPolicies()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelDSE compares serial RunDSE against the worker-pool
+// executor on AlexNet (DDR3). The parallel sub-benchmarks fan the
+// layer x schedule x policy grid over 1, 4 and NumCPU workers; on a
+// multicore host the NumCPU variant's ns/op shows the pool's speedup
+// over the serial baseline, with results verified identical.
+func BenchmarkParallelDSE(b *testing.B) {
+	evs := benchEvaluators(b)
+	ev := evs[0]
+	net := drmap.AlexNet()
+	serial, err := drmap.RunDSE(net, ev, drmap.Schedules(), drmap.TableIPolicies())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drmap.RunDSE(net, ev, drmap.Schedules(), drmap.TableIPolicies()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, workers := range workerCounts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			var res *drmap.DSEResult
+			for i := 0; i < b.N; i++ {
+				r, err := drmap.ParallelDSE(context.Background(), net, ev, drmap.Schedules(), drmap.TableIPolicies(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			if !reflect.DeepEqual(serial, res) {
+				b.Fatal("parallel DSE diverged from serial")
+			}
+		})
 	}
 }
 

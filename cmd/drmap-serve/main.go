@@ -1,0 +1,63 @@
+// Command drmap-serve is the DRMap HTTP daemon: it serves the paper's
+// whole tool flow (characterization, Algorithm 1 DSE, trace-driven
+// validation, ablation sweeps) as a JSON API with a parallel DSE
+// executor, a bounded content-addressed result cache and single-flight
+// deduplication of identical in-flight requests.
+//
+// Usage:
+//
+//	drmap-serve [-addr :8080] [-workers N] [-cache N] [-timeout 60s]
+//
+// Endpoints:
+//
+//	GET  /healthz             - liveness plus cache/evaluation counters
+//	GET  /api/v1/policies     - the Table I mapping policies
+//	POST /api/v1/characterize - Fig. 1 characterization
+//	POST /api/v1/dse          - Algorithm 1 design space exploration
+//	POST /api/v1/simulate     - cycle-accurate layer validation
+//	POST /api/v1/sweep        - ablation sweeps
+//
+// Quickstart:
+//
+//	drmap-serve &
+//	curl -s localhost:8080/api/v1/dse -d '{"arch":"ddr3","network":"alexnet"}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
+// evaluations finish within the grace period.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drmap/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "DSE worker pool size (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (negative disables retention)")
+	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request evaluation timeout")
+	grace := flag.Duration("grace", service.DefaultShutdownGrace, "graceful shutdown window")
+	flag.Parse()
+
+	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("listening on %s (%d workers, %d cache entries, %s timeout)",
+		*addr, svc.Workers(), *cacheEntries, *timeout)
+	start := time.Now()
+	if err := service.Run(ctx, srv, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly after %s", time.Since(start).Round(time.Second))
+}

@@ -27,6 +27,7 @@
 package drmap
 
 import (
+	"context"
 	"io"
 
 	"drmap/internal/accel"
@@ -37,6 +38,7 @@ import (
 	"drmap/internal/memctrl"
 	"drmap/internal/profile"
 	"drmap/internal/report"
+	"drmap/internal/service"
 	"drmap/internal/tiling"
 	"drmap/internal/trace"
 	"drmap/internal/vampire"
@@ -350,3 +352,68 @@ func Evaluators(cfg AccelConfig, batch int) ([]*Evaluator, error) {
 	}
 	return evs, nil
 }
+
+// Concurrent serving (package service, the engine behind drmap-serve).
+type (
+	// Service is the concurrent, cacheable DSE/characterization engine.
+	Service = service.Service
+	// ServiceOptions tune a Service (workers, cache bound, accelerator).
+	ServiceOptions = service.Options
+	// ServiceCacheStats snapshots the result cache counters.
+	ServiceCacheStats = service.CacheStats
+	// DSERequest / DSEResponse are the JSON shapes of /api/v1/dse.
+	DSERequest  = service.DSERequest
+	DSEResponse = service.DSEResponse
+	// CharacterizeRequest / CharacterizeResponse are the JSON shapes of
+	// /api/v1/characterize.
+	CharacterizeRequest  = service.CharacterizeRequest
+	CharacterizeResponse = service.CharacterizeResponse
+)
+
+// NewService builds the concurrent DSE/characterization service.
+func NewService(opt ServiceOptions) *Service { return service.New(opt) }
+
+// ParallelDSE is RunDSE with the layer x schedule x policy grid fanned
+// over a worker pool (workers <= 0 means one per CPU). The result is
+// bit-for-bit identical to RunDSE's.
+func ParallelDSE(ctx context.Context, net Network, ev *Evaluator, schedules []Schedule, policies []MappingPolicy, workers int) (*DSEResult, error) {
+	return service.ParallelDSE(ctx, net, ev, schedules, policies, core.MinimizeEDP, workers)
+}
+
+// ParallelDSEObjective is ParallelDSE under an explicit objective.
+func ParallelDSEObjective(ctx context.Context, net Network, ev *Evaluator, schedules []Schedule, policies []MappingPolicy, obj Objective, workers int) (*DSEResult, error) {
+	return service.ParallelDSE(ctx, net, ev, schedules, policies, obj, workers)
+}
+
+// ParallelCharacterizeAll is CharacterizeAll with the architectures
+// fanned over a worker pool; every worker builds its own controllers.
+func ParallelCharacterizeAll(ctx context.Context, workers int) ([]*Profile, error) {
+	return service.CharacterizeConfigs(ctx, dram.AllConfigs(), workers)
+}
+
+// JSON mirrors of the report renderers (machine-readable output).
+type (
+	// ProfileJSON is the Fig. 1 characterization of one architecture.
+	ProfileJSON = report.ProfileJSON
+	// PolicyJSON is one Table I mapping policy.
+	PolicyJSON = report.PolicyJSON
+	// DSEResultJSON is Algorithm 1's outcome for a network.
+	DSEResultJSON = report.DSEJSON
+	// Fig9PointJSON is one bar of Fig. 9.
+	Fig9PointJSON = report.Fig9PointJSON
+)
+
+// EncodeJSON marshals any of the JSON mirror types with indentation.
+func EncodeJSON(v any) (string, error) { return report.EncodeJSON(v) }
+
+// Fig1JSON encodes the characterization of every profile.
+func Fig1JSON(profiles []*Profile) []report.ProfileJSON { return report.Fig1JSON(profiles) }
+
+// TableIJSON encodes the six Table I mapping policies.
+func TableIJSON() []report.PolicyJSON { return report.TableIJSON() }
+
+// DSEJSON encodes Algorithm 1's outcome under the evaluator's timing.
+func DSEJSON(res *DSEResult, tm Timing) report.DSEJSON { return report.DSEResultJSON(res, tm) }
+
+// Fig9JSON encodes one Fig. 9 subplot's points.
+func Fig9JSON(points []Fig9Point) []report.Fig9PointJSON { return report.Fig9JSON(points) }

@@ -1,6 +1,8 @@
 package drmap_test
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -227,5 +229,67 @@ func TestFacadeCharacterize(t *testing.T) {
 	}
 	if s := drmap.RenderFig1([]*drmap.Profile{p}); !strings.Contains(s, "SALP-1") {
 		t.Errorf("RenderFig1 malformed:\n%s", s)
+	}
+}
+
+func TestFacadeParallelDSEAndJSON(t *testing.T) {
+	evs := facadeEvaluators(t)
+	ev := evs[0]
+	serial, err := drmap.RunDSE(drmap.LeNet5(), ev, drmap.Schedules(), drmap.TableIPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := drmap.ParallelDSE(context.Background(), drmap.LeNet5(), ev, drmap.Schedules(), drmap.TableIPolicies(), 4)
+	if err != nil {
+		t.Fatalf("ParallelDSE: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("facade ParallelDSE diverged from RunDSE")
+	}
+	js := drmap.DSEJSON(par, ev.Timing())
+	if len(js.Layers) != len(par.Layers) || js.TotalEDPJs != par.TotalEDP() {
+		t.Errorf("DSEJSON mismatch: %+v", js)
+	}
+	enc, err := drmap.EncodeJSON(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(enc, "\"total_edp_js\"") {
+		t.Errorf("encoded DSE missing totals:\n%s", enc)
+	}
+	if got := len(drmap.TableIJSON()); got != 6 {
+		t.Errorf("TableIJSON has %d policies", got)
+	}
+}
+
+func TestFacadeParallelCharacterizeAll(t *testing.T) {
+	profiles, err := drmap.ParallelCharacterizeAll(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("ParallelCharacterizeAll: %v", err)
+	}
+	if len(profiles) != len(drmap.Archs()) {
+		t.Fatalf("got %d profiles, want %d", len(profiles), len(drmap.Archs()))
+	}
+	for i, p := range profiles {
+		if p.Arch != drmap.Archs()[i] {
+			t.Errorf("profile %d is %v, want %v", i, p.Arch, drmap.Archs()[i])
+		}
+	}
+	if got := len(drmap.Fig1JSON(profiles)); got != len(profiles) {
+		t.Errorf("Fig1JSON has %d entries", got)
+	}
+}
+
+func TestFacadeService(t *testing.T) {
+	svc := drmap.NewService(drmap.ServiceOptions{Workers: 2, CacheEntries: 4})
+	resp, err := svc.DSE(context.Background(), drmap.DSERequest{Arch: "ddr3", Network: "lenet5"})
+	if err != nil {
+		t.Fatalf("service DSE: %v", err)
+	}
+	if resp.Result.TotalEDPJs <= 0 {
+		t.Error("service DSE returned degenerate EDP")
+	}
+	if again, err := svc.DSE(context.Background(), drmap.DSERequest{Arch: "ddr3", Network: "lenet5"}); err != nil || !again.Cached {
+		t.Errorf("repeat service DSE: cached=%v err=%v", again != nil && again.Cached, err)
 	}
 }

@@ -1,0 +1,3 @@
+module drmap
+
+go 1.24

@@ -193,14 +193,21 @@ func (ev *Evaluator) GroupCountsRW(pol mapping.Policy, groups []tiling.TileGroup
 	return read, write
 }
 
-// EvaluateLayer prices one (layer, tiling, schedule, mapping) combo.
-func (ev *Evaluator) EvaluateLayer(l cnn.Layer, tl tiling.Tiling, s tiling.Schedule, pol mapping.Policy) LayerEDP {
-	groups := tiling.TileGroups(l, tl, s, ev.Batch)
+// priceGroups prices a set of tile streams under the evaluator's
+// configured cost model (honoring UseWriteCosts). Both the single-combo
+// EvaluateLayer and the DSE grid scan route through it, so the two can
+// never desynchronize.
+func (ev *Evaluator) priceGroups(pol mapping.Policy, groups []tiling.TileGroup) LayerEDP {
 	if ev.UseWriteCosts {
 		read, write := ev.GroupCountsRW(pol, groups)
 		return ev.PriceRW(read, write)
 	}
 	return ev.Price(ev.GroupCounts(pol, groups))
+}
+
+// EvaluateLayer prices one (layer, tiling, schedule, mapping) combo.
+func (ev *Evaluator) EvaluateLayer(l cnn.Layer, tl tiling.Tiling, s tiling.Schedule, pol mapping.Policy) LayerEDP {
+	return ev.priceGroups(pol, tiling.TileGroups(l, tl, s, ev.Batch))
 }
 
 // MinOverTilings returns the minimum-EDP tiling for a (layer, schedule,
@@ -272,37 +279,22 @@ func RunDSE(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule, policie
 // RunDSEObjective is RunDSE under an explicit optimization objective.
 // LayerResult.MinEDP always reports the EDP of the chosen design point
 // regardless of the objective, so results remain comparable.
+//
+// The scan is expressed over the evaluation grid of grid.go: each
+// (layer, schedule, policy) cell searches its tilings independently and
+// ReduceCells restores the serial pick order, so the parallel executor
+// of package service reproduces this function's output bit for bit.
+// Cells honor the evaluator's UseWriteCosts/UsePhysicalCounts flags,
+// so those refinements now apply to the DSE too (earlier revisions
+// priced the scan with the plain read cost set regardless).
 func RunDSEObjective(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj Objective) (*DSEResult, error) {
-	if err := net.Validate(); err != nil {
+	grids, err := DSEGrid(net, ev, schedules, policies)
+	if err != nil {
 		return nil, err
 	}
-	if len(schedules) == 0 || len(policies) == 0 {
-		return nil, fmt.Errorf("core: DSE needs at least one schedule and one policy")
-	}
-	tm := ev.Timing()
 	result := &DSEResult{Arch: ev.Arch()}
-	for _, layer := range net.Layers {
-		tilings := tiling.Enumerate(layer, ev.Accel)
-		if len(tilings) == 0 {
-			return nil, fmt.Errorf("core: layer %s: no partitioning fits the buffers", layer.Name)
-		}
-		lr := LayerResult{Layer: layer, MinEDP: math.Inf(1)}
-		bestValue := math.Inf(1)
-		for _, tl := range tilings {
-			for _, s := range schedules {
-				groups := tiling.TileGroups(layer, tl, s, ev.Batch)
-				for _, pol := range policies {
-					cost := ev.Price(ev.GroupCounts(pol, groups))
-					if v := obj.Value(cost, tm); v < bestValue {
-						bestValue = v
-						lr.MinEDP = cost.EDP(tm)
-						lr.Cost = cost
-						lr.Best = Combo{Tiling: tl, Schedule: s, Policy: pol}
-					}
-				}
-			}
-		}
-		result.Layers = append(result.Layers, lr)
+	for _, lg := range grids {
+		result.Layers = append(result.Layers, ev.EvaluateLayerGrid(lg, schedules, policies, obj))
 	}
 	return result, nil
 }

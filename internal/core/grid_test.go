@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/tiling"
+)
+
+func TestDSEGridValidation(t *testing.T) {
+	ev := evaluatorFor(t, dram.DDR3)
+	if _, err := DSEGrid(cnn.LeNet5(), ev, nil, mapping.TableI()); err == nil {
+		t.Error("expected an error with no schedules")
+	}
+	if _, err := DSEGrid(cnn.LeNet5(), ev, tiling.Schedules, nil); err == nil {
+		t.Error("expected an error with no policies")
+	}
+	bad := cnn.Network{Name: "bad", Layers: []cnn.Layer{{Name: "x"}}}
+	if _, err := DSEGrid(bad, ev, tiling.Schedules, mapping.TableI()); err == nil {
+		t.Error("expected an error for an invalid network")
+	}
+	grids, err := DSEGrid(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("DSEGrid: %v", err)
+	}
+	if len(grids) != len(cnn.LeNet5().Layers) {
+		t.Fatalf("got %d layer grids, want %d", len(grids), len(cnn.LeNet5().Layers))
+	}
+	for i, lg := range grids {
+		if lg.Index != i {
+			t.Errorf("grid %d has index %d", i, lg.Index)
+		}
+		if len(lg.Tilings) == 0 {
+			t.Errorf("layer %s: empty tiling candidates", lg.Layer.Name)
+		}
+	}
+}
+
+// TestEvaluateLayerGridMatchesSerialScan: the cell decomposition and
+// reduction reproduce RunDSE exactly, layer by layer.
+func TestEvaluateLayerGridMatchesSerialScan(t *testing.T) {
+	ev := evaluatorFor(t, dram.SALPMASA)
+	net := cnn.LeNet5()
+	res, err := RunDSE(net, ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("RunDSE: %v", err)
+	}
+	grids, err := DSEGrid(net, ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("DSEGrid: %v", err)
+	}
+	for i, lg := range grids {
+		lr := ev.EvaluateLayerGrid(lg, tiling.Schedules, mapping.TableI(), MinimizeEDP)
+		if !reflect.DeepEqual(lr, res.Layers[i]) {
+			t.Errorf("layer %s: grid result diverged from serial", lg.Layer.Name)
+		}
+	}
+}
+
+// TestReduceCellsOrderIndependent: shuffling the cell order never
+// changes the reduction outcome.
+func TestReduceCellsOrderIndependent(t *testing.T) {
+	ev := evaluatorFor(t, dram.SALP2)
+	net := cnn.LeNet5()
+	grids, err := DSEGrid(net, ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := grids[0]
+	var cells []CellResult
+	for si, s := range tiling.Schedules {
+		for pi, pol := range mapping.TableI() {
+			cells = append(cells, ev.EvaluateCell(lg, si, pi, s, pol, MinimizeEDP))
+		}
+	}
+	want := ReduceCells(lg, tiling.Schedules, mapping.TableI(), cells, ev.Timing())
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]CellResult(nil), cells...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := ReduceCells(lg, tiling.Schedules, mapping.TableI(), shuffled, ev.Timing())
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: shuffled reduction diverged", trial)
+		}
+	}
+}
+
+// TestReduceCellsTieBreak: equal objective values resolve to the cell
+// the serial loops reach first (tiling, then schedule, then policy).
+func TestReduceCellsTieBreak(t *testing.T) {
+	lg := LayerGrid{
+		Layer:   cnn.LeNet5().Layers[0],
+		Tilings: []tiling.Tiling{{Th: 1, Tw: 1, Tj: 1, Ti: 1}, {Th: 2, Tw: 2, Tj: 2, Ti: 2}},
+	}
+	schedules := tiling.Schedules[:2]
+	policies := mapping.TableI()[:2]
+	tm := dram.DDR3Config().Timing
+	mk := func(ti, si, pi int, v float64) CellResult {
+		return CellResult{TilingIndex: ti, ScheduleIndex: si, PolicyIndex: pi,
+			Value: v, Cost: LayerEDP{Cycles: v, Energy: 1}}
+	}
+	// Two cells tie at value 5; the serial scan meets (tiling 0,
+	// schedule 1, policy 0) before (tiling 1, schedule 0, policy 1).
+	cells := []CellResult{
+		mk(1, 0, 1, 5),
+		mk(0, 1, 0, 5),
+		mk(1, 1, 1, 9),
+	}
+	lr := ReduceCells(lg, schedules, policies, cells, tm)
+	if lr.Best.Schedule != schedules[1] || lr.Best.Policy.ID != policies[0].ID {
+		t.Errorf("tie broke to %+v, want schedule %v policy %d", lr.Best, schedules[1], policies[0].ID)
+	}
+	if lr.Best.Tiling != lg.Tilings[0] {
+		t.Errorf("tie broke to tiling %+v, want %+v", lr.Best.Tiling, lg.Tilings[0])
+	}
+
+	// All-infeasible cells leave the zero design point with infinite EDP.
+	inf := []CellResult{{Value: math.Inf(1)}, {Value: math.NaN()}}
+	lr = ReduceCells(lg, schedules, policies, inf, tm)
+	if !math.IsInf(lr.MinEDP, 1) {
+		t.Errorf("infeasible cells produced MinEDP %g", lr.MinEDP)
+	}
+}

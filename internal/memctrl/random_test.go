@@ -1,0 +1,182 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"drmap/internal/dram"
+	"drmap/internal/trace"
+)
+
+// randomRequests builds a seeded random read/write request stream that
+// stays inside the geometry, in the spirit of akita's MemAccessAgent
+// random-traffic harnesses: the same seed always produces the same
+// stream.
+func randomRequests(seed int64, n int, g dram.Geometry) []trace.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		op := trace.Read
+		if rng.Intn(2) == 1 {
+			op = trace.Write
+		}
+		reqs[i] = trace.Request{
+			Op: op,
+			Addr: dram.Address{
+				Channel: rng.Intn(g.Channels),
+				Rank:    rng.Intn(g.Ranks),
+				Bank:    rng.Intn(g.Banks),
+				Row:     rng.Intn(g.Rows),
+				Column:  rng.Intn(g.Columns),
+			},
+		}
+	}
+	return reqs
+}
+
+// TestRandomAccessAcceptance drives seeded random request streams
+// through every architecture and checks the acceptance invariants:
+// every request completes with a column command, per-request cycles are
+// consistent, per-channel data bursts never regress, and the command
+// log is cycle-monotonic.
+func TestRandomAccessAcceptance(t *testing.T) {
+	const n = 512
+	for _, arch := range dram.Archs {
+		for _, seed := range []int64{1, 42, 20200720} {
+			cfg := dram.ConfigFor(arch)
+			reqs := randomRequests(seed, n, cfg.Geometry)
+			c, err := New(cfg, Options{})
+			if err != nil {
+				t.Fatalf("%v: New: %v", arch, err)
+			}
+			res, err := c.Run(reqs)
+			if err != nil {
+				t.Fatalf("%v seed %d: Run: %v", arch, seed, err)
+			}
+
+			// Every request completes, in FCFS order.
+			if len(res.Serviced) != n {
+				t.Fatalf("%v seed %d: serviced %d of %d requests", arch, seed, len(res.Serviced), n)
+			}
+			if got := res.CommandCount(trace.CmdRD) + res.CommandCount(trace.CmdWR); got != n {
+				t.Errorf("%v seed %d: %d column commands for %d requests", arch, seed, got, n)
+			}
+
+			// Cycle accounting is consistent and monotonic.
+			var maxDone int64
+			lastDone := make(map[int]int64) // per channel
+			for i, s := range res.Serviced {
+				if s.Request != reqs[i] {
+					t.Fatalf("%v seed %d: request %d reordered under FCFS", arch, seed, i)
+				}
+				if s.IssueCycle < 0 || s.DoneCycle <= s.IssueCycle {
+					t.Errorf("%v seed %d: request %d cycles [%d, %d]", arch, seed, i, s.IssueCycle, s.DoneCycle)
+				}
+				ch := s.Request.Addr.Channel
+				if s.DoneCycle <= lastDone[ch] {
+					t.Errorf("%v seed %d: request %d data burst end %d not after previous %d on channel %d",
+						arch, seed, i, s.DoneCycle, lastDone[ch], ch)
+				}
+				lastDone[ch] = s.DoneCycle
+				if s.DoneCycle > maxDone {
+					maxDone = s.DoneCycle
+				}
+			}
+			if res.TotalCycles != maxDone {
+				t.Errorf("%v seed %d: TotalCycles %d != last burst end %d", arch, seed, res.TotalCycles, maxDone)
+			}
+			var prev int64 = -1
+			for i, cmd := range res.Commands {
+				if cmd.Cycle < prev {
+					t.Fatalf("%v seed %d: command %d at cycle %d before predecessor at %d", arch, seed, i, cmd.Cycle, prev)
+				}
+				prev = cmd.Cycle
+			}
+			if res.DeviceActiveCycles <= 0 || res.DeviceActiveCycles > res.TotalCycles {
+				t.Errorf("%v seed %d: device active cycles %d outside (0, %d]",
+					arch, seed, res.DeviceActiveCycles, res.TotalCycles)
+			}
+		}
+	}
+}
+
+// TestRandomAccessReproducible: a fixed seed reproduces the identical
+// command stream on a fresh controller; a different seed does not.
+func TestRandomAccessReproducible(t *testing.T) {
+	for _, arch := range dram.Archs {
+		cfg := dram.ConfigFor(arch)
+		run := func(seed int64) *Result {
+			c, err := New(cfg, Options{})
+			if err != nil {
+				t.Fatalf("%v: New: %v", arch, err)
+			}
+			res, err := c.Run(randomRequests(seed, 256, cfg.Geometry))
+			if err != nil {
+				t.Fatalf("%v: Run: %v", arch, err)
+			}
+			return res
+		}
+		a, b := run(7), run(7)
+		if len(a.Commands) != len(b.Commands) {
+			t.Fatalf("%v: same seed produced %d vs %d commands", arch, len(a.Commands), len(b.Commands))
+		}
+		for i := range a.Commands {
+			if a.Commands[i] != b.Commands[i] {
+				t.Fatalf("%v: command %d differs across identical runs: %v vs %v",
+					arch, i, a.Commands[i], b.Commands[i])
+			}
+		}
+		if a.TotalCycles != b.TotalCycles || a.DeviceActiveCycles != b.DeviceActiveCycles {
+			t.Errorf("%v: same seed produced different accounting", arch)
+		}
+		c := run(8)
+		same := len(a.Commands) == len(c.Commands)
+		if same {
+			identical := true
+			for i := range a.Commands {
+				if a.Commands[i] != c.Commands[i] {
+					identical = false
+					break
+				}
+			}
+			if identical {
+				t.Errorf("%v: different seeds produced identical command streams", arch)
+			}
+		}
+	}
+}
+
+// TestRandomAccessSchedulersAgreeOnWork: FR-FCFS may reorder service
+// but must complete the same request set with the same column-command
+// census as FCFS.
+func TestRandomAccessSchedulersAgreeOnWork(t *testing.T) {
+	cfg := dram.SALPMASAConfig()
+	reqs := randomRequests(99, 256, cfg.Geometry)
+	var reads, writes int64
+	for _, r := range reqs {
+		if r.Op == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	for _, sched := range []Scheduler{FCFS, FRFCFS} {
+		c, err := New(cfg, Options{Scheduler: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(reqs)
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if len(res.Serviced) != len(reqs) {
+			t.Errorf("%v: serviced %d of %d", sched, len(res.Serviced), len(reqs))
+		}
+		if got := res.CommandCount(trace.CmdRD); got != reads {
+			t.Errorf("%v: %d RD commands, want %d", sched, got, reads)
+		}
+		if got := res.CommandCount(trace.CmdWR); got != writes {
+			t.Errorf("%v: %d WR commands, want %d", sched, got, writes)
+		}
+	}
+}

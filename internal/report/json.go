@@ -1,0 +1,219 @@
+// JSON mirrors of the text renderers, so every artifact the tools print
+// as a tabwriter table is also consumable by services: the Fig. 1
+// characterization, the Fig. 9 EDP series, Table I and DSE outcomes.
+// Each encoder returns plain structs; EncodeJSON marshals them with
+// stable indentation for HTTP responses and CLI --json output.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/sweep"
+	"drmap/internal/tiling"
+	"drmap/internal/trace"
+)
+
+// EncodeJSON marshals any of the JSON mirror types with indentation.
+func EncodeJSON(v any) (string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: encode JSON: %w", err)
+	}
+	return string(b), nil
+}
+
+// CostJSON is one per-access (cycles, energy) price.
+type CostJSON struct {
+	Cycles  float64 `json:"cycles"`
+	EnergyJ float64 `json:"energy_j"`
+}
+
+// ConditionJSON is one access condition's characterization.
+type ConditionJSON struct {
+	Condition      string   `json:"condition"`
+	Stream         CostJSON `json:"stream"`
+	StreamWrite    CostJSON `json:"stream_write"`
+	IsolatedCycles float64  `json:"isolated_cycles"`
+}
+
+// ProfileJSON is the Fig. 1 characterization of one architecture.
+type ProfileJSON struct {
+	Arch       string          `json:"arch"`
+	Conditions []ConditionJSON `json:"conditions"`
+}
+
+// Fig1JSON encodes the characterization of every profile, conditions in
+// Fig. 1 order.
+func Fig1JSON(profiles []*profile.Profile) []ProfileJSON {
+	out := make([]ProfileJSON, 0, len(profiles))
+	for _, p := range profiles {
+		pj := ProfileJSON{Arch: p.Arch.String()}
+		for _, kind := range trace.AccessKinds {
+			pj.Conditions = append(pj.Conditions, ConditionJSON{
+				Condition:      kind.String(),
+				Stream:         CostJSON{Cycles: p.Stream[kind].Cycles, EnergyJ: p.Stream[kind].Energy},
+				StreamWrite:    CostJSON{Cycles: p.StreamWrite[kind].Cycles, EnergyJ: p.StreamWrite[kind].Energy},
+				IsolatedCycles: p.Isolated[kind],
+			})
+		}
+		out = append(out, pj)
+	}
+	return out
+}
+
+// TilingJSON is one layer partitioning.
+type TilingJSON struct {
+	Th int `json:"th"`
+	Tw int `json:"tw"`
+	Tj int `json:"tj"`
+	Ti int `json:"ti"`
+}
+
+// TilingToJSON converts a tiling.
+func TilingToJSON(t tiling.Tiling) TilingJSON {
+	return TilingJSON{Th: t.Th, Tw: t.Tw, Tj: t.Tj, Ti: t.Ti}
+}
+
+// PolicyJSON is one Table I mapping policy.
+type PolicyJSON struct {
+	ID    int      `json:"id"`
+	Name  string   `json:"name"`
+	Order []string `json:"order_innermost_first"`
+}
+
+// PolicyToJSON converts a mapping policy.
+func PolicyToJSON(p mapping.Policy) PolicyJSON {
+	order := make([]string, len(p.Order))
+	for i, l := range p.Order {
+		order[i] = l.String()
+	}
+	return PolicyJSON{ID: p.ID, Name: p.Name, Order: order}
+}
+
+// TableIJSON encodes the paper's Table I.
+func TableIJSON() []PolicyJSON {
+	pols := mapping.TableI()
+	out := make([]PolicyJSON, 0, len(pols))
+	for _, p := range pols {
+		out = append(out, PolicyToJSON(p))
+	}
+	return out
+}
+
+// DSELayerJSON is the chosen design point of one layer.
+type DSELayerJSON struct {
+	Layer    string     `json:"layer"`
+	Kind     string     `json:"kind"`
+	Mapping  PolicyJSON `json:"mapping"`
+	Schedule string     `json:"schedule"`
+	Tiling   TilingJSON `json:"tiling"`
+	Cycles   float64    `json:"cycles"`
+	EnergyJ  float64    `json:"energy_j"`
+	Seconds  float64    `json:"seconds"`
+	MinEDPJs float64    `json:"min_edp_js"`
+}
+
+// DSEJSON is Algorithm 1's outcome for a network on one architecture.
+type DSEJSON struct {
+	Arch         string         `json:"arch"`
+	Layers       []DSELayerJSON `json:"layers"`
+	TotalEDPJs   float64        `json:"total_edp_js"`
+	TotalEnergyJ float64        `json:"total_energy_j"`
+}
+
+// DSEResultJSON encodes a DSE outcome; tm supplies the clock needed to
+// express cycle counts in seconds.
+func DSEResultJSON(res *core.DSEResult, tm dram.Timing) DSEJSON {
+	out := DSEJSON{
+		Arch:         res.Arch.String(),
+		TotalEDPJs:   res.TotalEDP(),
+		TotalEnergyJ: res.TotalEnergy(),
+	}
+	for _, lr := range res.Layers {
+		out.Layers = append(out.Layers, DSELayerJSON{
+			Layer:    lr.Layer.Name,
+			Kind:     lr.Layer.Kind.String(),
+			Mapping:  PolicyToJSON(lr.Best.Policy),
+			Schedule: lr.Best.Schedule.String(),
+			Tiling:   TilingToJSON(lr.Best.Tiling),
+			Cycles:   lr.Cost.Cycles,
+			EnergyJ:  lr.Cost.Energy,
+			Seconds:  lr.Cost.Seconds(tm),
+			MinEDPJs: lr.MinEDP,
+		})
+	}
+	return out
+}
+
+// Fig9PointJSON is one bar of Fig. 9.
+type Fig9PointJSON struct {
+	Layer   string  `json:"layer"`
+	Mapping int     `json:"mapping"`
+	Arch    string  `json:"arch"`
+	Cycles  float64 `json:"cycles"`
+	EnergyJ float64 `json:"energy_j"`
+	Seconds float64 `json:"seconds"`
+	EDPJs   float64 `json:"edp_js"`
+}
+
+// Fig9JSON encodes one Fig. 9 subplot's points.
+func Fig9JSON(points []core.Fig9Point) []Fig9PointJSON {
+	out := make([]Fig9PointJSON, 0, len(points))
+	for _, p := range points {
+		out = append(out, Fig9PointJSON{
+			Layer:   p.Layer,
+			Mapping: p.Policy.ID,
+			Arch:    p.Arch.String(),
+			Cycles:  p.Cost.Cycles,
+			EnergyJ: p.Cost.Energy,
+			Seconds: p.Seconds,
+			EDPJs:   p.EDP,
+		})
+	}
+	return out
+}
+
+// SweepRowJSON is one labelled row of a sweep table.
+type SweepRowJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// SweepJSON is a sweep table.
+type SweepJSON struct {
+	Name   string         `json:"name"`
+	Header []string       `json:"header"`
+	Rows   []SweepRowJSON `json:"rows"`
+}
+
+// SweepTableJSON encodes an ablation sweep table.
+func SweepTableJSON(t *sweep.Table) SweepJSON {
+	out := SweepJSON{Name: t.Name, Header: t.Header}
+	for i, label := range t.Labels {
+		out.Rows = append(out.Rows, SweepRowJSON{Label: label, Values: t.Rows[i]})
+	}
+	return out
+}
+
+// LayerEDPJSON is a simulated or modeled layer cost.
+type LayerEDPJSON struct {
+	Cycles  float64 `json:"cycles"`
+	EnergyJ float64 `json:"energy_j"`
+	Seconds float64 `json:"seconds"`
+	EDPJs   float64 `json:"edp_js"`
+}
+
+// LayerEDPToJSON converts a layer cost under a timing.
+func LayerEDPToJSON(e core.LayerEDP, tm dram.Timing) LayerEDPJSON {
+	return LayerEDPJSON{
+		Cycles:  e.Cycles,
+		EnergyJ: e.Energy,
+		Seconds: e.Seconds(tm),
+		EDPJs:   e.EDP(tm),
+	}
+}

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/sweep"
+	"drmap/internal/tiling"
+)
+
+func TestTableIJSON(t *testing.T) {
+	pols := TableIJSON()
+	if len(pols) != 6 {
+		t.Fatalf("got %d policies, want 6", len(pols))
+	}
+	for _, p := range pols {
+		if len(p.Order) != 4 {
+			t.Errorf("policy %d: order %v", p.ID, p.Order)
+		}
+	}
+	if pols[2].ID != 3 {
+		t.Errorf("third policy is %d, want 3 (DRMap)", pols[2].ID)
+	}
+	s, err := EncodeJSON(pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `"order_innermost_first"`) {
+		t.Errorf("encoded policies missing order field:\n%s", s)
+	}
+}
+
+func TestFig1JSONShape(t *testing.T) {
+	profiles, _, _ := fixtures(t)
+	out := Fig1JSON(profiles)
+	if len(out) != len(profiles) {
+		t.Fatalf("got %d profiles, want %d", len(out), len(profiles))
+	}
+	for _, p := range out {
+		if len(p.Conditions) != 5 {
+			t.Errorf("%s: %d conditions, want 5", p.Arch, len(p.Conditions))
+		}
+		for _, c := range p.Conditions {
+			if c.Stream.Cycles <= 0 || c.Stream.EnergyJ <= 0 {
+				t.Errorf("%s/%s: non-positive stream cost %+v", p.Arch, c.Condition, c.Stream)
+			}
+			if c.StreamWrite.Cycles <= 0 || c.IsolatedCycles <= 0 {
+				t.Errorf("%s/%s: missing write/isolated characterization", p.Arch, c.Condition)
+			}
+		}
+	}
+	// Round-trips through encoding/json.
+	s, err := EncodeJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ProfileJSON
+	if err := json.Unmarshal([]byte(s), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != len(out) {
+		t.Error("round trip lost profiles")
+	}
+}
+
+func TestDSEResultJSONMatchesResult(t *testing.T) {
+	_, evs, _ := fixtures(t)
+	ev := evs[0] // DDR3
+	res, err := core.RunDSE(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("RunDSE: %v", err)
+	}
+	out := DSEResultJSON(res, ev.Timing())
+	if out.Arch != "DDR3" {
+		t.Errorf("arch %q", out.Arch)
+	}
+	if len(out.Layers) != len(res.Layers) {
+		t.Fatalf("got %d layers, want %d", len(out.Layers), len(res.Layers))
+	}
+	for i, lj := range out.Layers {
+		lr := res.Layers[i]
+		if lj.Layer != lr.Layer.Name || lj.MinEDPJs != lr.MinEDP {
+			t.Errorf("layer %d: %+v vs %+v", i, lj, lr)
+		}
+		if lj.Mapping.ID != lr.Best.Policy.ID || lj.Schedule != lr.Best.Schedule.String() {
+			t.Errorf("layer %d: design point mismatch", i)
+		}
+		if lj.Seconds != lr.Cost.Seconds(ev.Timing()) {
+			t.Errorf("layer %d: seconds mismatch", i)
+		}
+	}
+	if out.TotalEDPJs != res.TotalEDP() || out.TotalEnergyJ != res.TotalEnergy() {
+		t.Error("totals mismatch")
+	}
+}
+
+func TestFig9JSON(t *testing.T) {
+	_, evs, _ := fixtures(t)
+	ev := evs[len(evs)-1] // SALP-MASA
+	points, err := core.Fig9Series(cnn.LeNet5(), tiling.OfmsReuse, []*core.Evaluator{ev}, mapping.TableI())
+	if err != nil {
+		t.Fatalf("Fig9Series: %v", err)
+	}
+	out := Fig9JSON(points)
+	if len(out) != len(points) {
+		t.Fatalf("got %d points, want %d", len(out), len(points))
+	}
+	for i, pj := range out {
+		if pj.EDPJs != points[i].EDP || pj.Mapping != points[i].Policy.ID {
+			t.Errorf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestSweepTableJSON(t *testing.T) {
+	tab := &sweep.Table{
+		Name:   "demo",
+		Header: []string{"x", "a", "b"},
+	}
+	if err := tab.AddRow("r1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("r2", 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := SweepTableJSON(tab)
+	if out.Name != "demo" || len(out.Rows) != 2 {
+		t.Fatalf("bad table %+v", out)
+	}
+	if out.Rows[1].Label != "r2" || out.Rows[1].Values[1] != 4 {
+		t.Errorf("row content %+v", out.Rows[1])
+	}
+}
+
+func TestLayerEDPToJSON(t *testing.T) {
+	tm := dram.DDR3Config().Timing
+	e := core.LayerEDP{Cycles: 1000, Energy: 2e-9}
+	out := LayerEDPToJSON(e, tm)
+	if out.Cycles != 1000 || out.EnergyJ != 2e-9 {
+		t.Errorf("fields %+v", out)
+	}
+	if out.EDPJs != e.EDP(tm) || out.Seconds != e.Seconds(tm) {
+		t.Error("derived fields mismatch")
+	}
+}

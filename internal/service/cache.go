@@ -1,0 +1,143 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Fingerprint content-addresses a request: the SHA-256 of its canonical
+// JSON encoding. encoding/json sorts map keys and walks struct fields
+// in declaration order, so equal values always fingerprint equally.
+func Fingerprint(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("service: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`      // served from the completed-result cache
+	Misses    int64 `json:"misses"`    // required a fresh computation
+	Coalesced int64 `json:"coalesced"` // joined an identical in-flight computation
+	Evictions int64 `json:"evictions"` // LRU entries dropped at capacity
+	Entries   int   `json:"entries"`   // resident entries
+}
+
+// flight is one in-progress computation that later identical requests
+// wait on instead of recomputing (single-flight deduplication).
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// Cache is a bounded, content-addressed result cache with LRU eviction
+// and single-flight deduplication of concurrent identical computations.
+// The zero value is not usable; construct with NewCache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	stats    CacheStats
+}
+
+// NewCache builds a cache holding at most capacity completed results.
+// capacity <= 0 disables retention: single-flight deduplication still
+// coalesces concurrent identical requests, but nothing is remembered.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached value for key, marking it recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Do returns the value for key, computing it at most once across all
+// concurrent callers: a cached value is returned immediately; callers
+// arriving while an identical computation is in flight block and share
+// its outcome; otherwise compute runs and its result (on success) is
+// retained under LRU. The second return reports whether the value came
+// from cache or from an in-flight computation rather than a fresh call.
+func (c *Cache) Do(key string, compute func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// The flight must resolve even if compute panics (the panic then
+	// propagates to this caller, e.g. net/http's handler recovery):
+	// otherwise the key would be poisoned and coalesced waiters would
+	// block forever.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = fmt.Errorf("service: cache: computation for key %s panicked", key[:8])
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if completed && f.err == nil && c.capacity > 0 {
+			c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+			for c.ll.Len() > c.capacity {
+				old := c.ll.Back()
+				c.ll.Remove(old)
+				delete(c.items, old.Value.(*cacheEntry).key)
+				c.stats.Evictions++
+			}
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	completed = true
+	return f.val, false, f.err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

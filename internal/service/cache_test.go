@@ -1,0 +1,186 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFingerprintDeterministicAndDistinct(t *testing.T) {
+	type key struct {
+		A string
+		B int
+	}
+	f1, err := Fingerprint(key{A: "x", B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fingerprint(key{A: "x", B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("equal values fingerprint differently")
+	}
+	f3, err := Fingerprint(key{A: "x", B: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f3 {
+		t.Error("distinct values collide")
+	}
+	if len(f1) != 64 {
+		t.Errorf("fingerprint %q is not a SHA-256 hex digest", f1)
+	}
+}
+
+func TestCacheHitAndLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	calls := 0
+	get := func(key string) any {
+		v, _, err := c.Do(key, func() (any, error) {
+			calls++
+			return key + "-value", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	get("a")
+	get("b")
+	if got := get("a"); got != "a-value" {
+		t.Fatalf("got %v", got)
+	}
+	if calls != 2 {
+		t.Fatalf("expected 2 computations, got %d", calls)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	get("c")
+	get("b")
+	if calls != 4 {
+		t.Fatalf("expected recomputation of evicted b, got %d calls", calls)
+	}
+	st := c.Stats()
+	if st.Evictions < 1 {
+		t.Errorf("expected evictions, got %+v", st)
+	}
+	if st.Entries != 2 {
+		t.Errorf("expected 2 resident entries, got %d", st.Entries)
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Do("k", func() (any, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("errors were cached: %d calls", calls)
+	}
+}
+
+// TestCacheSingleFlight: N concurrent identical requests run the
+// computation exactly once and all observe its result.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(4)
+	const n = 32
+	var computations atomic.Int64
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-started
+			v, _, err := c.Do("shared", func() (any, error) {
+				computations.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return "the-result", nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	close(started)
+	wg.Wait()
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != "the-result" {
+			t.Errorf("goroutine %d got %v", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != n-1 {
+		t.Errorf("stats %+v, want 1 miss and %d coalesced", st, n-1)
+	}
+}
+
+// TestCacheZeroCapacityStillDeduplicates: retention off, single-flight on.
+func TestCacheZeroCapacityStillDeduplicates(t *testing.T) {
+	c := NewCache(0)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Do("k", func() (any, error) { calls++; return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("capacity 0 retained results: %d calls", calls)
+	}
+	var computations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = c.Do("concurrent", func() (any, error) {
+				computations.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return 1, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := computations.Load(); got != 1 {
+		t.Errorf("concurrent computation ran %d times, want 1", got)
+	}
+}
+
+// TestCacheDistinctKeysDoNotBlock: different keys compute independently.
+func TestCacheDistinctKeysDoNotBlock(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, _, err := c.Do(key, func() (any, error) { return i, nil })
+			if err != nil || v != i {
+				t.Errorf("key %s: got %v, %v", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Misses != 8 {
+		t.Errorf("expected 8 misses, got %+v", st)
+	}
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ServerOptions tune the HTTP daemon.
+type ServerOptions struct {
+	// Addr is the listen address, e.g. ":8080".
+	Addr string
+	// RequestTimeout bounds each request's evaluation; 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds graceful shutdown; 0 means
+	// DefaultShutdownGrace.
+	ShutdownGrace time.Duration
+}
+
+// Serving defaults.
+const (
+	DefaultRequestTimeout = 60 * time.Second
+	DefaultShutdownGrace  = 10 * time.Second
+)
+
+// maxBodyBytes caps request bodies; custom networks are a few KB at
+// most, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// errorJSON is the error response body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+// writeError maps service errors onto HTTP statuses: timeouts 504,
+// cancellations 503, computation failures 500, oversized bodies 413,
+// bad inputs 400.
+func writeError(w http.ResponseWriter, err error) {
+	var internal *internalError
+	var tooBig *http.MaxBytesError
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
+	case errors.As(err, &internal):
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// handle adapts a typed service call into an HTTP handler with the
+// request timeout applied.
+func handle[Req, Resp any](timeout time.Duration, call func(context.Context, Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		resp, err := call(ctx, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// NewHandler wires the Service's endpoints onto a mux:
+//
+//	GET  /healthz
+//	GET  /api/v1/policies
+//	POST /api/v1/characterize
+//	POST /api/v1/dse
+//	POST /api/v1/simulate
+//	POST /api/v1/sweep
+func NewHandler(s *Service, requestTimeout time.Duration) http.Handler {
+	if requestTimeout <= 0 {
+		requestTimeout = DefaultRequestTimeout
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("GET /api/v1/policies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Policies())
+	})
+	mux.HandleFunc("POST /api/v1/characterize", handle(requestTimeout, s.Characterize))
+	// GET /api/v1/characterize?arch=ddr3 is a bodyless convenience form.
+	mux.HandleFunc("GET /api/v1/characterize", func(w http.ResponseWriter, r *http.Request) {
+		var req CharacterizeRequest
+		if q := r.URL.Query().Get("arch"); q != "" && q != "all" {
+			req.Archs = strings.Split(q, ",")
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
+		defer cancel()
+		resp, err := s.Characterize(ctx, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /api/v1/dse", handle(requestTimeout, s.DSE))
+	mux.HandleFunc("POST /api/v1/simulate", handle(requestTimeout, s.Simulate))
+	mux.HandleFunc("POST /api/v1/sweep", handle(requestTimeout, s.Sweep))
+	return mux
+}
+
+// NewServer builds the drmap-serve HTTP server with sane transport
+// timeouts. WriteTimeout leaves headroom over the request timeout so
+// handler deadlines, not connection teardown, bound evaluations.
+func NewServer(s *Service, opt ServerOptions) *http.Server {
+	reqTimeout := opt.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
+	return &http.Server{
+		Addr:              opt.Addr,
+		Handler:           NewHandler(s, reqTimeout),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      reqTimeout + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Run serves until ctx is canceled, then shuts down gracefully within
+// the grace period, letting in-flight evaluations finish.
+func Run(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("service: shutdown: %w", err)
+	}
+	return <-errCh
+}

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"drmap/internal/cnn"
+)
+
+func newTestServer(t *testing.T, svc *Service) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewHandler(svc, 2*time.Minute))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 2, CacheEntries: 8}))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" || h.Workers != 2 {
+		t.Errorf("health %+v", h)
+	}
+}
+
+func TestHTTPPolicies(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 2, CacheEntries: 8}))
+	resp, err := http.Get(ts.URL + "/api/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var pr PoliciesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(pr.Policies) != 6 {
+		t.Fatalf("got %d policies, want 6", len(pr.Policies))
+	}
+	for _, p := range pr.Policies {
+		if len(p.Order) != 4 {
+			t.Errorf("policy %d order %v", p.ID, p.Order)
+		}
+	}
+}
+
+// TestHTTPDSEAlexNet is the acceptance flow: POST /api/v1/dse for
+// AlexNet answers valid JSON with one design point per layer.
+func TestHTTPDSEAlexNet(t *testing.T) {
+	svc := New(Options{Workers: 0, CacheEntries: 8})
+	ts := newTestServer(t, svc)
+	resp, body := postJSON(t, ts.URL+"/api/v1/dse", `{"arch":"ddr3","network":"alexnet"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var dr DSEResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if want := len(cnn.AlexNet().Layers); len(dr.Result.Layers) != want {
+		t.Fatalf("got %d layers, want %d", len(dr.Result.Layers), want)
+	}
+	if dr.Result.Arch != "DDR3" {
+		t.Errorf("arch %q", dr.Result.Arch)
+	}
+	if dr.Result.TotalEDPJs <= 0 {
+		t.Error("non-positive total EDP")
+	}
+	// Algorithm 1 picks DRMap (Mapping-3) for AlexNet's first layer.
+	if dr.Result.Layers[0].Mapping.ID != 3 {
+		t.Errorf("layer 1 mapping %d, want 3 (DRMap)", dr.Result.Layers[0].Mapping.ID)
+	}
+	if dr.Cached {
+		t.Error("first request reported cached")
+	}
+
+	// An identical request is a cache hit.
+	resp2, body2 := postJSON(t, ts.URL+"/api/v1/dse", `{"arch":"ddr3","network":"alexnet"}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	var dr2 DSEResponse
+	if err := json.Unmarshal(body2, &dr2); err != nil {
+		t.Fatal(err)
+	}
+	if !dr2.Cached {
+		t.Error("repeated request missed the cache")
+	}
+	if dr2.Result.TotalEDPJs != dr.Result.TotalEDPJs {
+		t.Error("cached result differs")
+	}
+	if st := svc.CacheStats(); st.Hits < 1 {
+		t.Errorf("cache stats record no hit: %+v", st)
+	}
+}
+
+// TestHTTPDSESingleFlight: N concurrent identical POSTs cost one DSE
+// evaluation.
+func TestHTTPDSESingleFlight(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 8})
+	ts := newTestServer(t, svc)
+	// Warm the characterization so only the DSE evaluation remains.
+	if resp, body := postJSON(t, ts.URL+"/api/v1/characterize", `{"archs":["salp2"]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm characterize: %d %s", resp.StatusCode, body)
+	}
+	before := svc.Evaluations()
+
+	const n = 8
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/api/v1/dse", "application/json",
+				bytes.NewReader([]byte(`{"arch":"salp2","network":"lenet5"}`)))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("request %d: status %d", i, st)
+		}
+	}
+	if got := svc.Evaluations() - before; got != 1 {
+		t.Errorf("%d concurrent identical POSTs cost %d evaluations, want 1", n, got)
+	}
+}
+
+func TestHTTPCharacterizeGET(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 4, CacheEntries: 8}))
+	resp, err := http.Get(ts.URL + "/api/v1/characterize?arch=ddr3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cr CharacterizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Profiles) != 1 || cr.Profiles[0].Arch != "DDR3" {
+		t.Errorf("profiles %+v", cr.Profiles)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 1, CacheEntries: 4}))
+	cases := []struct {
+		path, body string
+	}{
+		{"/api/v1/dse", `{"arch":"ddr9","network":"lenet5"}`},
+		{"/api/v1/dse", `not json`},
+		{"/api/v1/dse", `{"arch":"ddr3","network":"lenet5","bogus_field":1}`},
+		{"/api/v1/sweep", `{"kind":"nope"}`},
+		{"/api/v1/simulate", `{"arch":"ddr3","policy":99}`},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", c.path, c.body, resp.StatusCode)
+			continue
+		}
+		var e errorJSON
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("POST %s: error body %q not a JSON error", c.path, body)
+		}
+	}
+	// Wrong method on a POST endpoint.
+	resp, err := http.Get(ts.URL + "/api/v1/dse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/v1/dse: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPSweepAndSimulate(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 2, CacheEntries: 8}))
+	resp, body := postJSON(t, ts.URL+"/api/v1/sweep", `{"kind":"subarrays","values":[2,4],"network":"lenet5"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Table.Rows) != 2 {
+		t.Errorf("sweep rows %+v", sr.Table.Rows)
+	}
+
+	sim := `{"arch":"ddr3","policy":3,"layer":{"name":"c1","h":10,"w":10,"j":16,"i":6,"p":5,"q":5,"stride":1},"tiling":{"th":10,"tw":10,"tj":16,"ti":6},"schedule":"ofms"}`
+	resp, body = postJSON(t, ts.URL+"/api/v1/simulate", sim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", resp.StatusCode, body)
+	}
+	var simr SimulateResponse
+	if err := json.Unmarshal(body, &simr); err != nil {
+		t.Fatal(err)
+	}
+	if simr.Cost.EDPJs <= 0 {
+		t.Errorf("simulate cost %+v", simr.Cost)
+	}
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/tiling"
+)
+
+// defaultWorkers resolves a worker-count option: <= 0 means one worker
+// per logical CPU.
+func defaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// runPool runs fn(i) for every i in [0, n) over a bounded worker pool.
+// Cancellation of ctx stops feeding new indices (started ones finish)
+// and its error is returned.
+func runPool(ctx context.Context, n, workers int, fn func(int)) error {
+	workers = defaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	var ctxErr error
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return ctxErr
+}
+
+// ParallelDSE executes Algorithm 1 with the layer x schedule x policy
+// grid fanned out over a worker pool, one (layer, schedule) column per
+// work unit so each tiling's tile groups are computed once and shared
+// across all policies, as in the serial loop nest. Every column is
+// evaluated by core.(*Evaluator).EvaluateScheduleColumn - the same
+// code the serial RunDSE runs - and core.ReduceCells restores the
+// serial pick order, so the returned DSEResult is bit-for-bit
+// identical to core.RunDSEObjective's for any worker count. The
+// evaluator is shared (its methods only read it); cancellation of ctx
+// abandons unstarted columns and returns the context's error.
+func ParallelDSE(ctx context.Context, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int) (*core.DSEResult, error) {
+	return parallelDSE(ctx, nil, net, ev, schedules, policies, obj, workers)
+}
+
+// parallelDSE is ParallelDSE with an optional service-wide gate: when
+// non-nil, every column evaluation holds one gate token, so the total
+// CPU-bound parallelism across all concurrently running requests is
+// bounded by the gate's capacity rather than multiplying per request.
+func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int) (*core.DSEResult, error) {
+	grids, err := core.DSEGrid(net, ev, schedules, policies)
+	if err != nil {
+		return nil, err
+	}
+	columns := make([][]core.CellResult, len(grids)*len(schedules))
+	var skipped atomic.Bool
+	err = runPool(ctx, len(columns), workers, func(i int) {
+		if gate != nil {
+			select {
+			case gate <- struct{}{}:
+				defer func() { <-gate }()
+			case <-ctx.Done():
+				skipped.Store(true)
+				return
+			}
+		}
+		li, si := i/len(schedules), i%len(schedules)
+		columns[i] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
+	})
+	if err == nil && skipped.Load() {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: parallel DSE canceled: %w", err)
+	}
+	cells := make([][]core.CellResult, len(grids))
+	for i, col := range columns {
+		cells[i/len(schedules)] = append(cells[i/len(schedules)], col...)
+	}
+
+	result := &core.DSEResult{Arch: ev.Arch()}
+	for li, lg := range grids {
+		result.Layers = append(result.Layers, core.ReduceCells(lg, schedules, policies, cells[li], ev.Timing()))
+	}
+	return result, nil
+}
+
+// CharacterizeConfigs runs the Fig. 1 characterization of several DRAM
+// configurations concurrently. profile.Characterize builds fresh
+// memctrl.Controllers internally, so each worker owns its controllers
+// and no simulator state is shared across goroutines. Results keep the
+// input order. A canceled context abandons unstarted configurations.
+func CharacterizeConfigs(ctx context.Context, cfgs []dram.Config, workers int) ([]*profile.Profile, error) {
+	profiles := make([]*profile.Profile, len(cfgs))
+	errs := make([]error, len(cfgs))
+	err := runPool(ctx, len(cfgs), workers, func(i int) {
+		profiles[i], errs[i] = profile.Characterize(cfgs[i])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: characterization canceled: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("service: characterize %v: %w", cfgs[i].Arch, err)
+		}
+	}
+	return profiles, nil
+}

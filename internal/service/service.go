@@ -1,0 +1,489 @@
+// Package service turns the DRMap tool flow (Fig. 8) into a concurrent,
+// cacheable engine: a parallel DSE executor fanning the layer x schedule
+// x policy grid over a worker pool, a bounded content-addressed result
+// cache with single-flight deduplication, JSON request/response types
+// for every entry point, and the HTTP handlers behind the drmap-serve
+// daemon.
+//
+// # Serving
+//
+// The drmap-serve daemon (cmd/drmap-serve) exposes:
+//
+//	GET  /healthz             - liveness plus cache/evaluation counters
+//	GET  /api/v1/policies     - the Table I mapping policies
+//	POST /api/v1/characterize - Fig. 1 characterization {"archs":["ddr3",...]}
+//	POST /api/v1/dse          - Algorithm 1 {"arch":"ddr3","network":"alexnet"}
+//	POST /api/v1/simulate     - trace-driven layer validation
+//	POST /api/v1/sweep        - ablation sweeps {"kind":"subarrays"}
+//
+// Quickstart:
+//
+//	drmap-serve -addr :8080 &
+//	curl -s localhost:8080/api/v1/dse -d '{"arch":"ddr3","network":"alexnet"}'
+//
+// Identical requests are content-addressed (SHA-256 of the resolved
+// inputs) and served from a bounded LRU cache; concurrent identical
+// requests share one evaluation (single-flight).
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"drmap/internal/accel"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/profile"
+	"drmap/internal/report"
+	"drmap/internal/sweep"
+	"drmap/internal/tiling"
+)
+
+// Options tune a Service.
+type Options struct {
+	// Workers sizes the DSE/characterization worker pools; <= 0 means
+	// one per logical CPU.
+	Workers int
+	// CacheEntries bounds the result cache: 0 selects
+	// DefaultCacheEntries, negative disables retention (single-flight
+	// deduplication still applies).
+	CacheEntries int
+	// Accel is the accelerator configuration; the zero value selects
+	// the paper's Table II accelerator.
+	Accel accel.Config
+}
+
+// DefaultCacheEntries is the drmap-serve default result-cache bound.
+const DefaultCacheEntries = 256
+
+// Service is the concurrent DSE/characterization engine behind
+// drmap-serve. It is safe for concurrent use.
+type Service struct {
+	workers int
+	accel   accel.Config
+	cache   *Cache
+	evals   atomic.Int64 // fresh (non-cached, non-coalesced) computations
+	// gate bounds the total CPU-bound DSE parallelism across all
+	// concurrently running requests to `workers` tokens, so N distinct
+	// in-flight requests queue for CPU instead of oversubscribing it
+	// N*workers-fold.
+	gate chan struct{}
+}
+
+// New builds a Service.
+func New(opt Options) *Service {
+	if opt.Accel == (accel.Config{}) {
+		opt.Accel = accel.TableII()
+	}
+	if opt.CacheEntries == 0 {
+		opt.CacheEntries = DefaultCacheEntries
+	}
+	workers := defaultWorkers(opt.Workers)
+	return &Service{
+		workers: workers,
+		accel:   opt.Accel,
+		cache:   NewCache(opt.CacheEntries),
+		gate:    make(chan struct{}, workers),
+	}
+}
+
+// internalError marks a failure that occurred while computing a result,
+// as opposed to rejecting a request's inputs; the HTTP layer maps it to
+// a 5xx status.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+func (e *internalError) Unwrap() error { return e.err }
+
+// Workers returns the pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// CacheStats snapshots the result cache counters.
+func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Evaluations returns how many fresh computations the service has run;
+// cached and coalesced requests do not increment it.
+func (s *Service) Evaluations() int64 { return s.evals.Load() }
+
+// Health reports liveness and serving counters.
+func (s *Service) Health() HealthResponse {
+	return HealthResponse{
+		Status:      "ok",
+		Workers:     s.workers,
+		Evaluations: s.Evaluations(),
+		Cache:       s.CacheStats(),
+	}
+}
+
+// Policies lists the Table I mapping policies.
+func (s *Service) Policies() PoliciesResponse {
+	return PoliciesResponse{Policies: report.TableIJSON()}
+}
+
+// cacheKey namespaces fingerprints by entry point so, e.g., a profile
+// and a DSE over the same config never collide.
+type cacheKey struct {
+	Kind  string
+	Value any
+}
+
+func (s *Service) do(kind string, keyable any, compute func() (any, error)) (any, bool, error) {
+	key, err := Fingerprint(cacheKey{Kind: kind, Value: keyable})
+	if err != nil {
+		return nil, false, &internalError{err: err}
+	}
+	return s.cache.Do(key, func() (any, error) {
+		s.evals.Add(1)
+		v, err := compute()
+		if err != nil {
+			// Inputs were validated before the computation started, so
+			// whatever failed here is the server's fault.
+			return nil, &internalError{err: err}
+		}
+		return v, nil
+	})
+}
+
+// profileFor characterizes one configuration, cached and single-flight.
+func (s *Service) profileFor(cfg dram.Config) (*profile.Profile, error) {
+	v, _, err := s.do("profile", cfg, func() (any, error) {
+		return profile.Characterize(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*profile.Profile), nil
+}
+
+// evaluatorFor builds an evaluator on the cached characterization.
+func (s *Service) evaluatorFor(cfg dram.Config, batch int) (*core.Evaluator, error) {
+	p, err := s.profileFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEvaluator(p, s.accel, batch)
+}
+
+// dseKey is the content address of a DSE request: the full DRAM and
+// accelerator configurations plus the resolved workload and search
+// space, so preset changes or custom layers can never alias.
+type dseKey struct {
+	Config    dram.Config
+	Accel     accel.Config
+	Network   any
+	Schedules []string
+	Policies  []int
+	Objective string
+	Batch     int
+}
+
+// DSE runs Algorithm 1 for the request, fanning the evaluation grid
+// over the worker pool (total parallelism across all in-flight requests
+// is bounded by the service's worker count). Identical requests are
+// answered from the cache; concurrent identical requests share a
+// single evaluation. The evaluation is detached from any one caller:
+// each caller's wait is bounded by its own context, and an evaluation
+// whose callers all gave up still completes and is cached, so retries
+// hit the cache instead of recomputing.
+func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error) {
+	arch, err := parseArch(req.Arch)
+	if err != nil {
+		return nil, err
+	}
+	net, err := parseNetwork(req.Network, req.Layers)
+	if err != nil {
+		return nil, err
+	}
+	schedules, err := parseSchedules(req.Schedules)
+	if err != nil {
+		return nil, err
+	}
+	policies, err := parsePolicies(req.Policies)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	cfg := dram.ConfigFor(arch)
+
+	schedNames := make([]string, len(schedules))
+	for i, sc := range schedules {
+		schedNames[i] = sc.String()
+	}
+	polIDs := make([]int, len(policies))
+	for i, p := range policies {
+		polIDs[i] = p.ID
+	}
+	key := dseKey{
+		Config: cfg, Accel: s.accel, Network: net,
+		Schedules: schedNames, Policies: polIDs,
+		Objective: obj.String(), Batch: batch,
+	}
+	evalCtx := context.WithoutCancel(ctx)
+	v, shared, err := s.doBounded(ctx, "dse", key, func() (any, error) {
+		ev, err := s.evaluatorFor(cfg, batch)
+		if err != nil {
+			return nil, err
+		}
+		res, err := parallelDSE(evalCtx, s.gate, net, ev, schedules, policies, obj, s.workers)
+		if err != nil {
+			return nil, err
+		}
+		return &DSEResponse{
+			Network:   net.Name,
+			Objective: obj.String(),
+			Batch:     batch,
+			Result:    report.DSEResultJSON(res, ev.Timing()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := *(v.(*DSEResponse))
+	resp.Cached = shared
+	return &resp, nil
+}
+
+// Characterize measures the requested architectures (all four when the
+// request names none), fanning uncached ones over the worker pool. As
+// with the other endpoints, the caller's wait is bounded by ctx while
+// the characterizations themselves finish and are cached per
+// architecture, so a timed-out client's retry picks up where it left.
+func (s *Service) Characterize(ctx context.Context, req CharacterizeRequest) (*CharacterizeResponse, error) {
+	names := req.Archs
+	var cfgs []dram.Config
+	if len(names) == 0 {
+		cfgs = dram.AllConfigs()
+	} else {
+		for _, name := range names {
+			a, err := parseArch(name)
+			if err != nil {
+				return nil, err
+			}
+			cfgs = append(cfgs, dram.ConfigFor(a))
+		}
+	}
+
+	type outcome struct {
+		resp *CharacterizeResponse
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	detached := context.WithoutCancel(ctx)
+	go func() {
+		resp, err := s.characterize(detached, cfgs)
+		ch <- outcome{resp: resp, err: err}
+	}()
+	select {
+	case o := <-ch:
+		return o.resp, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// characterize runs the per-architecture profile computations over the
+// worker pool and assembles the response.
+func (s *Service) characterize(ctx context.Context, cfgs []dram.Config) (*CharacterizeResponse, error) {
+	profiles := make([]*profile.Profile, len(cfgs))
+	errs := make([]error, len(cfgs))
+	fresh := make([]bool, len(cfgs))
+	err := runPool(ctx, len(cfgs), s.workers, func(i int) {
+		v, shared, err := s.do("profile", cfgs[i], func() (any, error) {
+			return profile.Characterize(cfgs[i])
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		profiles[i] = v.(*profile.Profile)
+		fresh[i] = !shared
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: characterization canceled: %w", err)
+	}
+	allCached := true
+	for i := range cfgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if fresh[i] {
+			allCached = false
+		}
+	}
+	return &CharacterizeResponse{Profiles: report.Fig1JSON(profiles), Cached: allCached}, nil
+}
+
+// doBounded is do with the caller's wait bounded by ctx while the
+// computation itself is detached: a timed-out or disconnected caller
+// gets the context's error, but the single-flight computation finishes
+// in the background and is cached, so its coalesced peers (each waiting
+// under their own context) still get the result and a timed-out
+// client's retry becomes a cache hit. compute must not depend on ctx.
+func (s *Service) doBounded(ctx context.Context, kind string, keyable any, compute func() (any, error)) (any, bool, error) {
+	type outcome struct {
+		v      any
+		shared bool
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, shared, err := s.do(kind, keyable, compute)
+		ch <- outcome{v: v, shared: shared, err: err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.shared, o.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// Simulate prices one layer through the cycle-accurate controller and
+// energy model (the validation path), cached like every entry point.
+func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	arch, err := parseArch(req.Arch)
+	if err != nil {
+		return nil, err
+	}
+	policies, err := parsePolicies([]int{req.Policy})
+	if err != nil {
+		return nil, err
+	}
+	layer, err := req.Layer.toLayer()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := parseSchedule(req.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	bpe := req.BytesPerElement
+	if bpe == 0 {
+		// Default to the service accelerator's element width so the
+		// validation path prices the same datatype the DSE models.
+		bpe = s.accel.BytesPerElement
+	}
+	cfg := dram.ConfigFor(arch)
+	spec := core.LayerSpec{
+		Layer:    layer,
+		Tiling:   tiling.Tiling{Th: req.Tiling.Th, Tw: req.Tiling.Tw, Tj: req.Tiling.Tj, Ti: req.Tiling.Ti},
+		Schedule: sched,
+		Batch:    batch,
+	}
+	type simKey struct {
+		Config dram.Config
+		Policy int
+		Spec   core.LayerSpec
+		BPE    int
+	}
+	v, shared, err := s.doBounded(ctx, "simulate", simKey{Config: cfg, Policy: req.Policy, Spec: spec, BPE: bpe}, func() (any, error) {
+		cost, err := core.SimulateLayer(cfg, policies[0], spec, bpe)
+		if err != nil {
+			return nil, err
+		}
+		return &SimulateResponse{
+			Arch:  arch.String(),
+			Layer: layer.Name,
+			Cost:  report.LayerEDPToJSON(cost, cfg.Timing),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := *(v.(*SimulateResponse))
+	resp.Cached = shared
+	return &resp, nil
+}
+
+// Sweep runs one ablation sweep (subarrays, buffers or batch). Sweeps
+// are the reproduction's ablation studies and always use the paper's
+// Table II accelerator (package sweep's contract), regardless of
+// Options.Accel; the buffers sweep varies the buffer sizes itself.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	netName := req.Network
+	if netName == "" {
+		netName = "alexnet"
+	}
+	net, err := parseNetwork(netName, nil)
+	if err != nil {
+		return nil, err
+	}
+	archName := req.Arch
+	if archName == "" {
+		archName = "ddr3"
+	}
+	arch, err := parseArch(archName)
+	if err != nil {
+		return nil, err
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	values := req.Values
+	var run func() (*sweep.Table, error)
+	switch req.Kind {
+	case "subarrays":
+		if len(values) == 0 {
+			values = []int{2, 4, 8, 16}
+		}
+		run = func() (*sweep.Table, error) { return sweep.Subarrays(values, net, batch) }
+	case "buffers":
+		if len(values) == 0 {
+			values = []int{32, 64, 128, 256}
+		}
+		run = func() (*sweep.Table, error) { return sweep.Buffers(values, arch, net, batch) }
+	case "batch":
+		if len(values) == 0 {
+			values = []int{1, 2, 4, 8}
+		}
+		run = func() (*sweep.Table, error) { return sweep.Batches(values, arch, net) }
+	default:
+		return nil, fmt.Errorf("unknown sweep kind %q (want subarrays, buffers or batch)", req.Kind)
+	}
+	type sweepKey struct {
+		Kind    string
+		Values  []int
+		Arch    string
+		Network string
+		Batch   int
+	}
+	keyArch := arch.String()
+	if req.Kind == "subarrays" {
+		// The subarrays sweep is SALP-MASA by definition and ignores
+		// the arch field; normalize it out of the key so arch-differing
+		// requests share one cache entry.
+		keyArch = ""
+	}
+	v, shared, err := s.doBounded(ctx, "sweep", sweepKey{Kind: req.Kind, Values: values, Arch: keyArch, Network: net.Name, Batch: batch}, func() (any, error) {
+		t, err := run()
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResponse{Table: report.SweepTableJSON(t)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := *(v.(*SweepResponse))
+	resp.Cached = shared
+	return &resp, nil
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/report"
+	"drmap/internal/tiling"
+)
+
+func TestServiceDSEMatchesSerialAndCaches(t *testing.T) {
+	svc := New(Options{Workers: 4, CacheEntries: 16})
+	req := DSERequest{Arch: "ddr3", Network: "lenet5"}
+	resp, err := svc.DSE(context.Background(), req)
+	if err != nil {
+		t.Fatalf("DSE: %v", err)
+	}
+	if resp.Cached {
+		t.Error("first request reported cached")
+	}
+	if resp.Network != "LeNet-5" && resp.Network != "lenet5" {
+		t.Logf("network name: %s", resp.Network)
+	}
+	ev := testEvaluators(t)[dram.DDR3]
+	serial, err := core.RunDSE(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if len(resp.Result.Layers) != len(serial.Layers) {
+		t.Fatalf("got %d layers, want %d", len(resp.Result.Layers), len(serial.Layers))
+	}
+	for i, lj := range resp.Result.Layers {
+		ls := serial.Layers[i]
+		if lj.MinEDPJs != ls.MinEDP {
+			t.Errorf("layer %s: MinEDP %.17g != serial %.17g", lj.Layer, lj.MinEDPJs, ls.MinEDP)
+		}
+		if lj.Mapping.ID != ls.Best.Policy.ID {
+			t.Errorf("layer %s: mapping %d != serial %d", lj.Layer, lj.Mapping.ID, ls.Best.Policy.ID)
+		}
+	}
+	if resp.Result.TotalEDPJs != serial.TotalEDP() {
+		t.Errorf("total EDP %.17g != serial %.17g", resp.Result.TotalEDPJs, serial.TotalEDP())
+	}
+
+	evalsAfterFirst := svc.Evaluations()
+	again, err := svc.DSE(context.Background(), req)
+	if err != nil {
+		t.Fatalf("repeat DSE: %v", err)
+	}
+	if !again.Cached {
+		t.Error("repeated identical request was not served from cache")
+	}
+	if got := svc.Evaluations(); got != evalsAfterFirst {
+		t.Errorf("repeat request re-evaluated: %d -> %d", evalsAfterFirst, got)
+	}
+	again.Cached = resp.Cached
+	if !reflect.DeepEqual(resp, again) {
+		t.Error("cached response differs from the original")
+	}
+}
+
+// TestServiceDSESingleFlight: N concurrent identical requests cost one
+// DSE evaluation.
+func TestServiceDSESingleFlight(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 16})
+	// Warm the characterization so the only remaining computation is
+	// the DSE itself.
+	if _, err := svc.Characterize(context.Background(), CharacterizeRequest{Archs: []string{"salp1"}}); err != nil {
+		t.Fatalf("warm characterize: %v", err)
+	}
+	before := svc.Evaluations()
+
+	const n = 8
+	req := DSERequest{Arch: "salp1", Network: "lenet5"}
+	var wg sync.WaitGroup
+	responses := make([]*DSEResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = svc.DSE(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+	}
+	if got := svc.Evaluations() - before; got != 1 {
+		t.Errorf("%d concurrent identical requests cost %d evaluations, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if responses[i].Result.TotalEDPJs != responses[0].Result.TotalEDPJs {
+			t.Errorf("request %d observed a different result", i)
+		}
+	}
+}
+
+func TestServiceDSEDistinguishesRequests(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 16})
+	a, err := svc.DSE(context.Background(), DSERequest{Arch: "ddr3", Network: "lenet5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.DSE(context.Background(), DSERequest{Arch: "ddr3", Network: "lenet5", Objective: "energy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cached {
+		t.Error("different objective hit the same cache entry")
+	}
+	c, err := svc.DSE(context.Background(), DSERequest{Arch: "ddr3", Network: "lenet5", Policies: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cached {
+		t.Error("restricted policy set hit the full-search cache entry")
+	}
+	_ = a
+}
+
+func TestServiceDSECustomNetwork(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 4})
+	req := DSERequest{
+		Arch: "ddr3",
+		Layers: []LayerJSON{
+			{Name: "conv1", H: 8, W: 8, J: 16, I: 3, P: 3, Q: 3, Stride: 1, Pad: 1},
+			{Name: "fc", Kind: "fc", H: 1, W: 1, J: 10, I: 1024, P: 1, Q: 1, Stride: 1},
+		},
+	}
+	resp, err := svc.DSE(context.Background(), req)
+	if err != nil {
+		t.Fatalf("custom network DSE: %v", err)
+	}
+	if len(resp.Result.Layers) != 2 {
+		t.Fatalf("got %d layers, want 2", len(resp.Result.Layers))
+	}
+	if resp.Result.TotalEDPJs <= 0 {
+		t.Error("non-positive total EDP")
+	}
+}
+
+func TestServiceDSERejectsBadInput(t *testing.T) {
+	svc := New(Options{Workers: 1, CacheEntries: 4})
+	cases := []DSERequest{
+		{Arch: "ddr9", Network: "lenet5"},
+		{Arch: "ddr3", Network: "mysterynet"},
+		{Arch: "ddr3"},
+		{Arch: "ddr3", Network: "lenet5", Policies: []int{42}},
+		{Arch: "ddr3", Network: "lenet5", Objective: "vibes"},
+		{Arch: "ddr3", Network: "lenet5", Schedules: []string{"never"}},
+		{Arch: "ddr3", Network: "lenet5", Layers: []LayerJSON{{Name: "x"}}},
+	}
+	for i, req := range cases {
+		if _, err := svc.DSE(context.Background(), req); err == nil {
+			t.Errorf("case %d: expected an error for %+v", i, req)
+		}
+	}
+}
+
+func TestServiceCharacterize(t *testing.T) {
+	svc := New(Options{Workers: 4, CacheEntries: 16})
+	resp, err := svc.Characterize(context.Background(), CharacterizeRequest{})
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	if len(resp.Profiles) != len(dram.Archs) {
+		t.Fatalf("got %d profiles, want %d", len(resp.Profiles), len(dram.Archs))
+	}
+	for i, p := range resp.Profiles {
+		if p.Arch != dram.Archs[i].String() {
+			t.Errorf("profile %d is %s, want %s", i, p.Arch, dram.Archs[i])
+		}
+		if len(p.Conditions) != 5 {
+			t.Errorf("%s: %d conditions, want 5", p.Arch, len(p.Conditions))
+		}
+		for _, c := range p.Conditions {
+			if c.Stream.Cycles <= 0 || c.Stream.EnergyJ <= 0 {
+				t.Errorf("%s/%s: non-positive stream cost", p.Arch, c.Condition)
+			}
+		}
+	}
+	again, err := svc.Characterize(context.Background(), CharacterizeRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat characterization not served from cache")
+	}
+}
+
+func TestServiceSimulate(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 4})
+	req := SimulateRequest{
+		Arch:     "ddr3",
+		Policy:   3,
+		Layer:    LayerJSON{Name: "c1", H: 10, W: 10, J: 16, I: 6, P: 5, Q: 5, Stride: 1},
+		Tiling:   report.TilingJSON{Th: 10, Tw: 10, Tj: 16, Ti: 6},
+		Schedule: "ofms",
+	}
+	resp, err := svc.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if resp.Cost.Cycles <= 0 || resp.Cost.EnergyJ <= 0 || resp.Cost.EDPJs <= 0 {
+		t.Errorf("degenerate simulated cost %+v", resp.Cost)
+	}
+	again, err := svc.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat simulation not cached")
+	}
+}
+
+func TestServiceSweep(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 4})
+	resp, err := svc.Sweep(context.Background(), SweepRequest{Kind: "subarrays", Values: []int{2, 4}, Network: "lenet5"})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(resp.Table.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(resp.Table.Rows))
+	}
+	if _, err := svc.Sweep(context.Background(), SweepRequest{Kind: "nope"}); err == nil {
+		t.Error("expected an error for an unknown sweep kind")
+	}
+}
+
+func TestServicePoliciesAndHealth(t *testing.T) {
+	svc := New(Options{Workers: 3, CacheEntries: 4})
+	pols := svc.Policies()
+	if len(pols.Policies) != 6 {
+		t.Fatalf("got %d policies, want 6", len(pols.Policies))
+	}
+	if pols.Policies[2].ID != 3 || pols.Policies[2].Name == "" {
+		t.Errorf("policy 3 malformed: %+v", pols.Policies[2])
+	}
+	h := svc.Health()
+	if h.Status != "ok" || h.Workers != 3 {
+		t.Errorf("health %+v", h)
+	}
+}
