@@ -56,6 +56,30 @@ func BenchmarkFig1Characterization(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterizeBackend measures the Fig. 1 characterization
+// cost of every registered DRAM backend - the paper four plus the
+// generality presets - so per-backend characterization cost shows up in
+// the perf trajectory alongside BenchmarkParallelDSE. The hit-stream
+// cycles/access is reported as the sanity metric.
+func BenchmarkCharacterizeBackend(b *testing.B) {
+	for _, backend := range drmap.Backends() {
+		b.Run(backend.ID, func(b *testing.B) {
+			var last *drmap.Profile
+			for i := 0; i < b.N; i++ {
+				p, err := drmap.CharacterizeBackend(backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = p
+			}
+			if err := last.Validate(); err != nil {
+				b.Fatalf("profile shape: %v", err)
+			}
+			b.ReportMetric(last.Stream[drmap.AccessRowHit].Cycles, "hit-cyc/acc")
+		})
+	}
+}
+
 // BenchmarkTableIMappingEnumeration regenerates Table I: enumerate all
 // 24 loop orders and prune to the six least-row-switching policies.
 func BenchmarkTableIMappingEnumeration(b *testing.B) {

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	drmap-characterize [-arch all|ddr3|salp1|salp2|masa] [-validate]
+//	drmap-characterize [-arch all|<backend-id>] [-validate] [-list]
+//
+// -arch accepts any registered DRAM backend ID; "all" characterizes
+// the whole registry (paper architectures plus generality presets).
+// -list prints the registry and exits.
 package main
 
 import (
@@ -22,9 +26,16 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-characterize: ")
-	archFlag := flag.String("arch", "all", "DRAM to characterize: all, ddr3, salp1, salp2, masa, ddr4, lpddr3")
+	archFlag := flag.String("arch", "all", "DRAM backend to characterize: all, "+cli.BackendList())
 	validate := flag.Bool("validate", false, "check the Fig. 1 shape relations and exit non-zero on violation")
+	list := flag.Bool("list", false, "print the DRAM backend registry and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Println("Registered DRAM backends:")
+		fmt.Print(drmap.RenderBackends(drmap.Backends()))
+		return
+	}
 
 	var profiles []*drmap.Profile
 	if *archFlag == "all" {
@@ -34,11 +45,11 @@ func main() {
 		}
 		profiles = ps
 	} else {
-		cfg, err := cli.ParseConfig(*archFlag)
+		b, err := cli.ParseBackend(*archFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := drmap.Characterize(cfg)
+		p, err := drmap.CharacterizeBackend(b)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	drmap-dse [-arch ddr3|salp1|salp2|masa|all] [-network alexnet|vgg16|lenet5|resnet18]
+//	drmap-dse [-arch all|<backend-id>] [-network alexnet|vgg16|lenet5|resnet18]
 //	          [-batch N] [-print-mappings]
+//
+// -arch accepts any registered DRAM backend ID (ddr3, salp1, salp2,
+// masa, ddr4, lpddr3, lpddr4, hbm2, ...); "all" runs the four paper
+// architectures in figure order.
 package main
 
 import (
@@ -21,7 +25,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-dse: ")
-	archFlag := flag.String("arch", "all", "DRAM architecture: ddr3, salp1, salp2, masa, all")
+	archFlag := flag.String("arch", "all", "DRAM backend: all, "+cli.BackendList())
 	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
 	batch := flag.Int("batch", 1, "batch size")
 	printMappings := flag.Bool("print-mappings", false, "print Table I (the candidate mapping policies) and exit")
@@ -37,21 +41,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var wantArch drmap.Arch
-	if *archFlag != "all" {
-		wantArch, err = cli.ParseArch(*archFlag)
+	var evs []*drmap.Evaluator
+	if *archFlag == "all" {
+		evs, err = drmap.Evaluators(drmap.TableII(), *batch)
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-	evs, err := drmap.Evaluators(drmap.TableII(), *batch)
-	if err != nil {
-		log.Fatal(err)
+	} else {
+		b, err := cli.ParseBackend(*archFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, err := drmap.CharacterizeBackend(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := drmap.NewEvaluator(prof, drmap.TableII(), *batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs = []*drmap.Evaluator{ev}
 	}
 	for _, ev := range evs {
-		if *archFlag != "all" && ev.Arch() != wantArch {
-			continue
-		}
 		res, err := drmap.RunDSE(net, ev, drmap.Schedules(), drmap.TableIPolicies())
 		if err != nil {
 			log.Fatal(err)

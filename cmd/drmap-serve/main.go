@@ -12,10 +12,15 @@
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
 //	GET  /api/v1/policies     - the Table I mapping policies
+//	GET  /api/v1/backends     - the registered DRAM backends
 //	POST /api/v1/characterize - Fig. 1 characterization
 //	POST /api/v1/dse          - Algorithm 1 design space exploration
 //	POST /api/v1/simulate     - cycle-accurate layer validation
 //	POST /api/v1/sweep        - ablation sweeps
+//
+// Every "arch" field accepts any backend ID listed by
+// GET /api/v1/backends (the paper's four architectures plus the
+// DDR4/LPDDR3/LPDDR4/HBM2 generality presets).
 //
 // Quickstart:
 //

@@ -9,8 +9,10 @@
 //
 // Usage:
 //
-//	drmap-sim [-arch ddr3|salp1|salp2|masa] [-network alexnet|vgg16|lenet5|resnet18]
+//	drmap-sim [-arch <backend-id>] [-network alexnet|vgg16|lenet5|resnet18]
 //	          [-batch N] [-clock MHz] [-tensors] [-validate]
+//
+// -arch accepts any registered DRAM backend ID.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-sim: ")
-	archFlag := flag.String("arch", "masa", "DRAM architecture: ddr3, salp1, salp2, masa")
+	archFlag := flag.String("arch", "masa", "DRAM backend: "+cli.BackendList())
 	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
 	batch := flag.Int("batch", 1, "batch size")
 	clock := flag.Float64("clock", 0, "accelerator clock in MHz (0 = 700 MHz default)")
@@ -35,16 +37,17 @@ func main() {
 	validate := flag.Bool("validate", false, "replay the smallest layer through the cycle-accurate simulator")
 	flag.Parse()
 
-	cfg, err := cli.ParseConfig(*archFlag)
+	backend, err := cli.ParseBackend(*archFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := backend.Config
 	net, err := cli.ParseNetwork(*networkFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	prof, err := drmap.Characterize(cfg)
+	prof, err := drmap.CharacterizeBackend(backend)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	drmap-sweep [-kind subarrays|buffers|batch|pruning|all]
+//	drmap-sweep [-kind subarrays|buffers|batch|pruning|all] [-arch backend-id]
 //	            [-network alexnet|vgg16|lenet5|resnet18] [-csv file]
+//
+// -arch accepts any registered DRAM backend ID and applies to the
+// buffers/batch/pruning sweeps (defaults: ddr3 for buffers/batch,
+// salp1 for pruning); the subarrays sweep is SALP-MASA by definition.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-sweep: ")
 	kind := flag.String("kind", "all", "sweep: subarrays, buffers, batch, pruning, all")
+	archFlag := flag.String("arch", "", "DRAM backend for buffers/batch/pruning: "+cli.BackendList()+" (empty = per-sweep default)")
 	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
 	csvPath := flag.String("csv", "", "also write the (last) sweep as CSV to this file")
 	flag.Parse()
@@ -31,6 +36,27 @@ func main() {
 	net, err := cli.ParseNetwork(*networkFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Parse -arch exactly once, before any sweep burns time.
+	var archOverride *drmap.Backend
+	if *archFlag != "" {
+		b, err := cli.ParseBackend(*archFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		archOverride = &b
+	}
+	// backendOr resolves -arch, falling back to the sweep's default
+	// (the defaults are seeded at init, so the lookup cannot miss).
+	backendOr := func(def string) drmap.Backend {
+		if archOverride != nil {
+			return *archOverride
+		}
+		b, ok := drmap.LookupBackend(def)
+		if !ok {
+			log.Fatalf("default backend %q not registered", def)
+		}
+		return b
 	}
 
 	var last *sweep.Table
@@ -51,13 +77,13 @@ func main() {
 		return sweep.Subarrays([]int{2, 4, 8, 16}, net, 1)
 	})
 	run("buffers", func() (*sweep.Table, error) {
-		return sweep.Buffers([]int{32, 64, 128, 256}, drmap.DDR3, net, 1)
+		return sweep.Buffers([]int{32, 64, 128, 256}, backendOr("ddr3"), net, 1)
 	})
 	run("batch", func() (*sweep.Table, error) {
-		return sweep.Batches([]int{1, 2, 4, 8}, drmap.DDR3, net)
+		return sweep.Batches([]int{1, 2, 4, 8}, backendOr("ddr3"), net)
 	})
 	run("pruning", func() (*sweep.Table, error) {
-		return sweep.PolicyPruning(drmap.SALP1, net.Layers[1], 1)
+		return sweep.PolicyPruning(backendOr("salp1"), net.Layers[1], 1)
 	})
 
 	if last == nil {

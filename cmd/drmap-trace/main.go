@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	drmap-trace [-policy 1..6|default] [-arch ddr3|salp1|salp2|masa]
+//	drmap-trace [-policy 1..6|default] [-arch <backend-id>]
 //	            [-bursts N] [-writes] [-requests file] [-commands file]
+//
+// -arch accepts any registered DRAM backend ID.
 package main
 
 import (
@@ -23,7 +25,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-trace: ")
 	policyFlag := flag.String("policy", "3", "mapping policy: 1-6 (Table I) or 'default'")
-	archFlag := flag.String("arch", "ddr3", "DRAM architecture: ddr3, salp1, salp2, masa")
+	archFlag := flag.String("arch", "ddr3", "DRAM backend: "+cli.BackendList())
 	bursts := flag.Int64("bursts", 8192, "tile size in burst-sized accesses (8 bytes each)")
 	writes := flag.Bool("writes", false, "issue writes instead of reads")
 	requestsPath := flag.String("requests", "", "write the request trace to this file")
@@ -34,10 +36,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg, err := cli.ParseConfig(*archFlag)
+	backend, err := cli.ParseBackend(*archFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := backend.Config
 	if *bursts <= 0 {
 		log.Fatalf("bursts must be positive, got %d", *bursts)
 	}
@@ -85,7 +88,7 @@ func main() {
 	energy := drmap.EnergyOfRun(model, sim)
 
 	fmt.Printf("policy:            %v\n", pol)
-	fmt.Printf("architecture:      %v\n", cfg.Arch)
+	fmt.Printf("backend:           %s (capability %v)\n", backend.Name, cfg.Arch)
 	fmt.Printf("accesses:          %d\n", len(sim.Serviced))
 	fmt.Printf("total cycles:      %d (%.3f us)\n", sim.TotalCycles, cfg.Timing.Seconds(sim.TotalCycles)*1e6)
 	fmt.Printf("cycles/access:     %.2f\n", sim.AverageCyclesPerAccess())

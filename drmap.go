@@ -5,8 +5,10 @@
 // The package is a facade over the implementation packages:
 //
 //   - a cycle-accurate DRAM command simulator with DDR3-1600 timing and
-//     the SALP-1 / SALP-2 / SALP-MASA subarray-parallel architectures
-//     (internal/dram, internal/memctrl - the Ramulator substitute);
+//     the SALP-1 / SALP-2 / SALP-MASA subarray-parallel architectures,
+//     plus a named backend registry seeded with DDR4/LPDDR3/LPDDR4/HBM2
+//     generality presets (internal/dram, internal/memctrl - the
+//     Ramulator substitute);
 //   - a Micron-power-calc / VAMPIRE-style DRAM energy model
 //     (internal/vampire);
 //   - the Fig. 1 characterization harness (internal/profile);
@@ -28,6 +30,7 @@ package drmap
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"drmap/internal/accel"
@@ -46,8 +49,11 @@ import (
 
 // DRAM architecture and configuration types.
 type (
-	// Arch identifies a DRAM architecture (DDR3 or a SALP variant).
+	// Arch identifies a DRAM controller capability (DDR3-style or a
+	// SALP variant); the identity of a DRAM system is a Backend.
 	Arch = dram.Arch
+	// Backend is a registered DRAM system: ID, display name, config.
+	Backend = dram.Backend
 	// DRAMConfig bundles geometry, timing and power of a DRAM system.
 	DRAMConfig = dram.Config
 	// Geometry is the channel/rank/chip/bank/subarray/row/column shape.
@@ -71,6 +77,21 @@ const (
 // Archs lists the four architectures in paper order.
 func Archs() []Arch { return dram.Archs }
 
+// RegisterBackend adds a DRAM system to the backend registry, making
+// it addressable by every tool, example and service endpoint.
+func RegisterBackend(b Backend) error { return dram.Register(b) }
+
+// LookupBackend returns the backend registered under id.
+func LookupBackend(id string) (Backend, bool) { return dram.Lookup(id) }
+
+// Backends lists every registered DRAM backend in registration order:
+// the four paper architectures, the generality presets (DDR4-2400,
+// LPDDR3-1600, LPDDR4-3200, HBM2-PC), then runtime registrations.
+func Backends() []Backend { return dram.Backends() }
+
+// PaperBackends lists the four paper architectures in figure order.
+func PaperBackends() []Backend { return dram.PaperBackends() }
+
 // DDR3Config returns the paper's DDR3-1600 2Gb x8 configuration.
 func DDR3Config() DRAMConfig { return dram.DDR3Config() }
 
@@ -85,6 +106,18 @@ func SALPMASAConfig() DRAMConfig { return dram.SALPMASAConfig() }
 
 // ConfigFor returns the preset configuration of an architecture.
 func ConfigFor(a Arch) DRAMConfig { return dram.ConfigFor(a) }
+
+// DDR4Config returns the DDR4-2400 generality preset.
+func DDR4Config() DRAMConfig { return dram.DDR4Config() }
+
+// LPDDR3Config returns the LPDDR3-1600 generality preset.
+func LPDDR3Config() DRAMConfig { return dram.LPDDR3Config() }
+
+// LPDDR4Config returns the LPDDR4-3200 generality preset.
+func LPDDR4Config() DRAMConfig { return dram.LPDDR4Config() }
+
+// HBM2Config returns the HBM2 pseudo-channel generality preset.
+func HBM2Config() DRAMConfig { return dram.HBM2Config() }
 
 // Workload types.
 type (
@@ -199,12 +232,21 @@ func NewController(cfg DRAMConfig, opt ControllerOptions) (*Controller, error) {
 // NewEnergyModel builds the energy model for a configuration.
 func NewEnergyModel(cfg DRAMConfig) (*EnergyModel, error) { return vampire.New(cfg) }
 
-// Characterize measures one architecture's per-access-condition costs
+// Characterize measures one configuration's per-access-condition costs
 // (the paper's Fig. 1).
 func Characterize(cfg DRAMConfig) (*Profile, error) { return profile.Characterize(cfg) }
 
-// CharacterizeAll measures every preset architecture in paper order.
+// CharacterizeBackend measures one registered DRAM system; the profile
+// carries the backend identity for labeling.
+func CharacterizeBackend(b Backend) (*Profile, error) { return profile.CharacterizeBackend(b) }
+
+// CharacterizeAll measures every registered backend in registration
+// order (paper architectures first, then the generality presets).
 func CharacterizeAll() ([]*Profile, error) { return profile.CharacterizeAll() }
+
+// CharacterizePaper measures the four paper architectures in figure
+// order - the set the paper's figures are defined over.
+func CharacterizePaper() ([]*Profile, error) { return profile.CharacterizePaper() }
 
 // EDP model and DSE types.
 type (
@@ -335,10 +377,11 @@ func ChannelInterleavedAddresses(p MappingPolicy, bursts int64, g Geometry) []Ad
 	return mapping.ChannelInterleaved(p, bursts, g)
 }
 
-// Evaluators builds one evaluator per preset architecture, sharing an
-// accelerator configuration - the common setup for Fig. 9 runs.
+// Evaluators builds one evaluator per paper architecture, sharing an
+// accelerator configuration - the common setup for Fig. 9 runs. Use
+// BackendEvaluator to price any other registered backend.
 func Evaluators(cfg AccelConfig, batch int) ([]*Evaluator, error) {
-	profiles, err := CharacterizeAll()
+	profiles, err := CharacterizePaper()
 	if err != nil {
 		return nil, err
 	}
@@ -385,10 +428,25 @@ func ParallelDSEObjective(ctx context.Context, net Network, ev *Evaluator, sched
 	return service.ParallelDSE(ctx, net, ev, schedules, policies, obj, workers)
 }
 
-// ParallelCharacterizeAll is CharacterizeAll with the architectures
-// fanned over a worker pool; every worker builds its own controllers.
+// BackendEvaluator characterizes one registered backend and builds an
+// evaluator for it - the one-liner behind "run the DSE on DDR4".
+func BackendEvaluator(id string, cfg AccelConfig, batch int) (*Evaluator, error) {
+	b, ok := LookupBackend(id)
+	if !ok {
+		return nil, fmt.Errorf("drmap: unknown DRAM backend %q", id)
+	}
+	p, err := CharacterizeBackend(b)
+	if err != nil {
+		return nil, err
+	}
+	return NewEvaluator(p, cfg, batch)
+}
+
+// ParallelCharacterizeAll is CharacterizeAll with the registered
+// backends fanned over a worker pool; every worker builds its own
+// controllers.
 func ParallelCharacterizeAll(ctx context.Context, workers int) ([]*Profile, error) {
-	return service.CharacterizeConfigs(ctx, dram.AllConfigs(), workers)
+	return service.CharacterizeBackends(ctx, dram.Backends(), workers)
 }
 
 // JSON mirrors of the report renderers (machine-readable output).
@@ -401,6 +459,8 @@ type (
 	DSEResultJSON = report.DSEJSON
 	// Fig9PointJSON is one bar of Fig. 9.
 	Fig9PointJSON = report.Fig9PointJSON
+	// BackendJSON is one registered DRAM backend with its summaries.
+	BackendJSON = report.BackendJSON
 )
 
 // EncodeJSON marshals any of the JSON mirror types with indentation.
@@ -417,3 +477,9 @@ func DSEJSON(res *DSEResult, tm Timing) report.DSEJSON { return report.DSEResult
 
 // Fig9JSON encodes one Fig. 9 subplot's points.
 func Fig9JSON(points []Fig9Point) []report.Fig9PointJSON { return report.Fig9JSON(points) }
+
+// BackendsJSON encodes the backend registry in registration order.
+func BackendsJSON(backends []Backend) []report.BackendJSON { return report.BackendsJSON(backends) }
+
+// RenderBackends renders the backend registry as a table.
+func RenderBackends(backends []Backend) string { return report.BackendsTable(backends) }

@@ -267,12 +267,19 @@ func TestFacadeParallelCharacterizeAll(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParallelCharacterizeAll: %v", err)
 	}
-	if len(profiles) != len(drmap.Archs()) {
-		t.Fatalf("got %d profiles, want %d", len(profiles), len(drmap.Archs()))
+	backends := drmap.Backends()
+	if len(profiles) != len(backends) {
+		t.Fatalf("got %d profiles, want %d (one per registered backend)", len(profiles), len(backends))
 	}
 	for i, p := range profiles {
-		if p.Arch != drmap.Archs()[i] {
-			t.Errorf("profile %d is %v, want %v", i, p.Arch, drmap.Archs()[i])
+		if p.Backend.ID != backends[i].ID {
+			t.Errorf("profile %d is %q, want %q", i, p.Backend.ID, backends[i].ID)
+		}
+	}
+	// The first four profiles are the paper architectures in order.
+	for i, arch := range drmap.Archs() {
+		if profiles[i].Arch != arch {
+			t.Errorf("profile %d is %v, want %v", i, profiles[i].Arch, arch)
 		}
 	}
 	if got := len(drmap.Fig1JSON(profiles)); got != len(profiles) {

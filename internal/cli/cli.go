@@ -5,42 +5,60 @@ package cli
 
 import (
 	"fmt"
+	"strings"
 
 	"drmap/internal/cnn"
 	"drmap/internal/dram"
 	"drmap/internal/tiling"
 )
 
-// ParseArch maps a flag value to an architecture.
-func ParseArch(s string) (dram.Arch, error) {
-	switch s {
-	case "ddr3":
-		return dram.DDR3, nil
-	case "salp1":
-		return dram.SALP1, nil
-	case "salp2":
-		return dram.SALP2, nil
-	case "masa":
-		return dram.SALPMASA, nil
-	default:
-		return 0, fmt.Errorf("unknown architecture %q (want ddr3, salp1, salp2, masa)", s)
-	}
+// BackendList renders the registered backend IDs for flag help and
+// error messages, so the accepted spellings can never go stale.
+func BackendList() string {
+	return strings.Join(dram.BackendIDs(), ", ")
 }
 
-// ParseConfig maps a flag value to a preset DRAM configuration,
-// including the generality presets.
+// paperBackendList renders the IDs of the four paper architectures.
+func paperBackendList() string {
+	backends := dram.PaperBackends()
+	ids := make([]string, len(backends))
+	for i, b := range backends {
+		ids[i] = b.ID
+	}
+	return strings.Join(ids, ", ")
+}
+
+// ParseBackend maps a flag value to a registered DRAM backend; the
+// error message lists whatever the registry currently holds.
+func ParseBackend(s string) (dram.Backend, error) {
+	if b, ok := dram.Lookup(s); ok {
+		return b, nil
+	}
+	return dram.Backend{}, fmt.Errorf("unknown DRAM backend %q (want %s)", s, BackendList())
+}
+
+// ParseArch maps a flag value to one of the four paper architectures.
+// Tools that accept any registered DRAM system use ParseBackend; this
+// parser is for figure-reproduction paths that are defined over the
+// paper's capability enum only.
+func ParseArch(s string) (dram.Arch, error) {
+	for _, b := range dram.PaperBackends() {
+		if b.ID == s {
+			return b.Config.Arch, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown architecture %q (want %s)", s, paperBackendList())
+}
+
+// ParseConfig maps a flag value to a registered DRAM configuration,
+// including the generality presets; the error message is derived from
+// the registry.
 func ParseConfig(s string) (dram.Config, error) {
-	switch s {
-	case "ddr4":
-		return dram.DDR4Config(), nil
-	case "lpddr3":
-		return dram.LPDDR3Config(), nil
-	}
-	arch, err := ParseArch(s)
+	b, err := ParseBackend(s)
 	if err != nil {
-		return dram.Config{}, fmt.Errorf("unknown DRAM %q (want ddr3, salp1, salp2, masa, ddr4, lpddr3)", s)
+		return dram.Config{}, err
 	}
-	return dram.ConfigFor(arch), nil
+	return b.Config, nil
 }
 
 // ParseNetwork maps a flag value to a built-in workload.

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"strings"
 	"testing"
 
 	"drmap/internal/dram"
@@ -20,10 +21,30 @@ func TestParseArch(t *testing.T) {
 	if _, err := ParseArch("ddr5"); err == nil {
 		t.Error("ParseArch accepted ddr5")
 	}
+	// Registered generality backends are not paper architectures.
+	if _, err := ParseArch("ddr4"); err == nil {
+		t.Error("ParseArch accepted the ddr4 backend as a paper architecture")
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, b := range dram.Backends() {
+		got, err := ParseBackend(b.ID)
+		if err != nil {
+			t.Errorf("ParseBackend(%q): %v", b.ID, err)
+			continue
+		}
+		if got.ID != b.ID || got.Config != b.Config {
+			t.Errorf("ParseBackend(%q) did not round-trip the registry", b.ID)
+		}
+	}
+	if _, err := ParseBackend("ddr5"); err == nil {
+		t.Error("ParseBackend accepted ddr5")
+	}
 }
 
 func TestParseConfig(t *testing.T) {
-	for _, s := range []string{"ddr3", "salp1", "salp2", "masa", "ddr4", "lpddr3"} {
+	for _, s := range []string{"ddr3", "salp1", "salp2", "masa", "ddr4", "lpddr3", "lpddr4", "hbm2"} {
 		cfg, err := ParseConfig(s)
 		if err != nil {
 			t.Errorf("ParseConfig(%q): %v", s, err)
@@ -35,6 +56,33 @@ func TestParseConfig(t *testing.T) {
 	}
 	if _, err := ParseConfig("hbm"); err == nil {
 		t.Error("ParseConfig accepted hbm")
+	}
+}
+
+// TestErrorMessagesDeriveFromRegistry: the accepted spellings in parse
+// errors come from the registry, so they cannot go stale as backends
+// are added.
+func TestErrorMessagesDeriveFromRegistry(t *testing.T) {
+	_, err := ParseConfig("nope")
+	if err == nil {
+		t.Fatal("ParseConfig accepted nope")
+	}
+	for _, id := range dram.BackendIDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("ParseConfig error %q does not list backend %q", err, id)
+		}
+	}
+	_, err = ParseArch("nope")
+	if err == nil {
+		t.Fatal("ParseArch accepted nope")
+	}
+	for _, b := range dram.PaperBackends() {
+		if !strings.Contains(err.Error(), b.ID) {
+			t.Errorf("ParseArch error %q does not list paper backend %q", err, b.ID)
+		}
+	}
+	if strings.Contains(err.Error(), "ddr4") {
+		t.Errorf("ParseArch error %q lists a non-paper backend", err)
 	}
 }
 

@@ -115,8 +115,15 @@ func NewEvaluator(p *profile.Profile, acfg accel.Config, batch int) (*Evaluator,
 	}, nil
 }
 
-// Arch returns the evaluator's DRAM architecture.
+// Arch returns the evaluator's DRAM controller capability.
 func (ev *Evaluator) Arch() dram.Arch { return ev.Profile.Arch }
+
+// Backend returns the registered DRAM system the evaluator prices; the
+// zero value marks an ad-hoc configuration.
+func (ev *Evaluator) Backend() dram.Backend { return ev.Profile.Backend }
+
+// Label names the evaluator's DRAM system for reports.
+func (ev *Evaluator) Label() string { return ev.Profile.Label() }
 
 // Timing returns the evaluator's DRAM timing.
 func (ev *Evaluator) Timing() dram.Timing { return ev.Profile.Config.Timing }
@@ -243,11 +250,20 @@ type LayerResult struct {
 	MinEDP float64
 }
 
-// DSEResult is the DSE outcome for a whole network on one architecture.
+// DSEResult is the DSE outcome for a whole network on one DRAM system.
 type DSEResult struct {
+	// Backend identifies the DRAM system the search ran on; zero for
+	// ad-hoc configurations.
+	Backend dram.Backend
+	// Arch is the system's controller capability (kept alongside the
+	// backend because the paper's comparison tables are capability-keyed).
 	Arch   dram.Arch
 	Layers []LayerResult
 }
+
+// Label names the DSE's DRAM system for reports: the backend name when
+// the search ran on a registered backend, else the capability arch.
+func (r *DSEResult) Label() string { return dram.LabelFor(r.Backend, r.Arch) }
 
 // TotalEDP sums the per-layer minimum EDPs; the paper's "minimum total
 // EDP for a whole network" aggregates per-layer EDPs the same way
@@ -292,7 +308,7 @@ func RunDSEObjective(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule
 	if err != nil {
 		return nil, err
 	}
-	result := &DSEResult{Arch: ev.Arch()}
+	result := &DSEResult{Backend: ev.Backend(), Arch: ev.Arch()}
 	for _, lg := range grids {
 		result.Layers = append(result.Layers, ev.EvaluateLayerGrid(lg, schedules, policies, obj))
 	}
@@ -305,11 +321,15 @@ func RunDSEObjective(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule
 type Fig9Point struct {
 	Layer   string
 	Policy  mapping.Policy
+	Backend dram.Backend // registered DRAM system (zero for ad-hoc configs)
 	Arch    dram.Arch
 	Cost    LayerEDP
 	Seconds float64
 	EDP     float64
 }
+
+// Label names the point's DRAM system the way reports print it.
+func (p Fig9Point) Label() string { return dram.LabelFor(p.Backend, p.Arch) }
 
 // TotalLayerName labels the aggregate pseudo-layer of Fig. 9.
 const TotalLayerName = "Total"
@@ -327,8 +347,9 @@ func Fig9Series(net cnn.Network, s tiling.Schedule, evs []*Evaluator, policies [
 	}
 	var points []Fig9Point
 	type key struct {
-		pol  string
-		arch dram.Arch
+		pol     string
+		backend string
+		arch    dram.Arch
 	}
 	totals := make(map[key]*Fig9Point)
 	for _, layer := range net.Layers {
@@ -343,27 +364,28 @@ func Fig9Series(net cnn.Network, s tiling.Schedule, evs []*Evaluator, policies [
 				p := Fig9Point{
 					Layer:   layer.Name,
 					Policy:  pol,
+					Backend: ev.Backend(),
 					Arch:    ev.Arch(),
 					Cost:    cost,
 					Seconds: cost.Seconds(tm),
 					EDP:     cost.EDP(tm),
 				}
 				points = append(points, p)
-				k := key{pol: pol.Name, arch: ev.Arch()}
+				k := key{pol: pol.Name, backend: ev.Backend().ID, arch: ev.Arch()}
 				if agg, ok := totals[k]; ok {
 					agg.Cost.Add(cost)
 					agg.Seconds += p.Seconds
 					agg.EDP += p.EDP
 				} else {
-					totals[k] = &Fig9Point{Layer: TotalLayerName, Policy: pol, Arch: ev.Arch(),
-						Cost: cost, Seconds: p.Seconds, EDP: p.EDP}
+					totals[k] = &Fig9Point{Layer: TotalLayerName, Policy: pol, Backend: ev.Backend(),
+						Arch: ev.Arch(), Cost: cost, Seconds: p.Seconds, EDP: p.EDP}
 				}
 			}
 		}
 	}
 	for _, pol := range policies {
 		for _, ev := range evs {
-			if agg, ok := totals[key{pol: pol.Name, arch: ev.Arch()}]; ok {
+			if agg, ok := totals[key{pol: pol.Name, backend: ev.Backend().ID, arch: ev.Arch()}]; ok {
 				points = append(points, *agg)
 			}
 		}
@@ -371,8 +393,23 @@ func Fig9Series(net cnn.Network, s tiling.Schedule, evs []*Evaluator, policies [
 	return points, nil
 }
 
+// SelectLabeledPoint finds the Fig. 9 point for a (layer, policy ID,
+// system label) triple, or nil if absent. Labels distinguish backends
+// that share a controller capability (e.g. DDR3 vs DDR4-2400).
+func SelectLabeledPoint(points []Fig9Point, layer string, policyID int, label string) *Fig9Point {
+	for i := range points {
+		p := &points[i]
+		if p.Layer == layer && p.Policy.ID == policyID && p.Label() == label {
+			return p
+		}
+	}
+	return nil
+}
+
 // SelectPoint finds the Fig. 9 point for a (layer, policy ID, arch)
-// triple, or nil if absent.
+// triple, or nil if absent. The paper's comparison tables are keyed by
+// the four-arch capability; series mixing several backends of one
+// capability should use SelectLabeledPoint.
 func SelectPoint(points []Fig9Point, layer string, policyID int, arch dram.Arch) *Fig9Point {
 	for i := range points {
 		p := &points[i]

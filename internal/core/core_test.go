@@ -24,9 +24,9 @@ func evaluators(t *testing.T) []*Evaluator {
 	if testEvaluators != nil {
 		return testEvaluators
 	}
-	ps, err := profile.CharacterizeAll()
+	ps, err := profile.CharacterizePaper()
 	if err != nil {
-		t.Fatalf("CharacterizeAll: %v", err)
+		t.Fatalf("CharacterizePaper: %v", err)
 	}
 	testProfiles = ps
 	for _, p := range ps {

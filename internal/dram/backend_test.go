@@ -1,0 +1,161 @@
+package dram
+
+import "testing"
+
+// TestRegistryInvariants pins the contract every consumer (CLI, service,
+// reports) relies on: IDs are unique and flag-safe, every registered
+// configuration validates, and Lookup round-trips Backends().
+func TestRegistryInvariants(t *testing.T) {
+	backends := Backends()
+	if len(backends) < 6 {
+		t.Fatalf("registry has %d backends, want >= 6 (paper four + generality presets)", len(backends))
+	}
+	seen := map[string]bool{}
+	for _, b := range backends {
+		if !validBackendID(b.ID) {
+			t.Errorf("backend ID %q is not flag-safe", b.ID)
+		}
+		if seen[b.ID] {
+			t.Errorf("duplicate backend ID %q", b.ID)
+		}
+		seen[b.ID] = true
+		if b.Name == "" {
+			t.Errorf("backend %q has no name", b.ID)
+		}
+		if err := b.Config.Validate(); err != nil {
+			t.Errorf("backend %q config invalid: %v", b.ID, err)
+		}
+		got, ok := Lookup(b.ID)
+		if !ok {
+			t.Errorf("Lookup(%q) missed a listed backend", b.ID)
+			continue
+		}
+		if got.ID != b.ID || got.Name != b.Name || got.Config != b.Config {
+			t.Errorf("Lookup(%q) does not round-trip Backends()", b.ID)
+		}
+	}
+	if len(BackendIDs()) != len(backends) {
+		t.Errorf("BackendIDs lists %d IDs for %d backends", len(BackendIDs()), len(backends))
+	}
+}
+
+// TestPaperBackendsMatchEnumPresets: the registry's paper entries are
+// the same configurations (and the same labels) the Arch enum served,
+// in figure order, so registry-driven code is bit-for-bit compatible.
+func TestPaperBackendsMatchEnumPresets(t *testing.T) {
+	paper := PaperBackends()
+	if len(paper) != len(Archs) {
+		t.Fatalf("got %d paper backends, want %d", len(paper), len(Archs))
+	}
+	for i, b := range paper {
+		arch := Archs[i]
+		if b.Config != ConfigFor(arch) {
+			t.Errorf("paper backend %q config differs from ConfigFor(%v)", b.ID, arch)
+		}
+		if b.Name != arch.String() {
+			t.Errorf("paper backend %q named %q, want %q", b.ID, b.Name, arch.String())
+		}
+		if b.Config.Arch != arch {
+			t.Errorf("paper backend %q has capability %v, want %v", b.ID, b.Config.Arch, arch)
+		}
+	}
+}
+
+// TestGeneralityBackendsAreCommodity: the non-SALP generality presets
+// must not claim subarray capability - Arch is a controller capability,
+// not a device generation.
+func TestGeneralityBackendsAreCommodity(t *testing.T) {
+	for _, id := range []string{"ddr4", "lpddr3", "lpddr4", "hbm2"} {
+		b, ok := Lookup(id)
+		if !ok {
+			t.Errorf("generality backend %q not registered", id)
+			continue
+		}
+		if b.Config.Arch.HasSALP() {
+			t.Errorf("backend %q claims SALP capability", id)
+		}
+	}
+}
+
+func TestRegisterRejectsBadBackends(t *testing.T) {
+	if err := Register(Backend{ID: "", Config: DDR3Config()}); err == nil {
+		t.Error("Register accepted an empty ID")
+	}
+	if err := Register(Backend{ID: "DDR3!", Config: DDR3Config()}); err == nil {
+		t.Error("Register accepted a non-flag-safe ID")
+	}
+	if err := Register(Backend{ID: "ddr3", Config: DDR3Config()}); err == nil {
+		t.Error("Register accepted a duplicate ID")
+	}
+	if err := Register(Backend{ID: "ddr3-dup-name-test", Name: "DDR3", Config: DDR3Config()}); err == nil {
+		t.Error("Register accepted a duplicate display name")
+	}
+	bad := DDR3Config()
+	bad.Geometry.Rows = 0
+	if err := Register(Backend{ID: "broken-test-backend", Config: bad}); err == nil {
+		t.Error("Register accepted an invalid config")
+	}
+	if _, ok := Lookup("broken-test-backend"); ok {
+		t.Error("failed registration leaked into the registry")
+	}
+}
+
+func TestRegisterAndLookupCustomBackend(t *testing.T) {
+	cfg := DDR3Config()
+	cfg.Geometry.Channels = 2
+	// The registry is process-global, so stay idempotent under
+	// `go test -count=N`: register only on the first run.
+	if _, registered := Lookup("ddr3-2ch-test"); !registered {
+		if err := Register(Backend{ID: "ddr3-2ch-test", Config: cfg}); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	b, ok := Lookup("ddr3-2ch-test")
+	if !ok {
+		t.Fatal("custom backend not found after Register")
+	}
+	if b.Name != "ddr3-2ch-test" {
+		t.Errorf("empty Name did not default to ID: %q", b.Name)
+	}
+	if b.Config.Geometry.Channels != 2 {
+		t.Errorf("custom backend config not preserved: %+v", b.Config.Geometry)
+	}
+	found := false
+	for _, id := range BackendIDs() {
+		if id == "ddr3-2ch-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("custom backend missing from BackendIDs: %v", BackendIDs())
+	}
+}
+
+func TestLPDDR4ConfigValid(t *testing.T) {
+	cfg := LPDDR4Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("LPDDR4 preset invalid: %v", err)
+	}
+	// 8 Gb x16 = 1 GiB.
+	if got := cfg.Geometry.ChipBytes(); got != 1024*1024*1024 {
+		t.Errorf("LPDDR4 chip = %d bytes, want 1 GiB", got)
+	}
+	if cfg.Power.VDD >= LPDDR3Config().Power.VDD+0.2 {
+		t.Error("LPDDR4 core rail should not exceed LPDDR3's")
+	}
+}
+
+func TestHBM2ConfigValid(t *testing.T) {
+	cfg := HBM2Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("HBM2 preset invalid: %v", err)
+	}
+	// Pseudo-channel: 64 data bits, BL4 -> 32 bytes per column access.
+	if got := cfg.Geometry.AccessBytes(); got != 32 {
+		t.Errorf("HBM2 access = %d bytes, want 32", got)
+	}
+	// TSV I/O must undercut every off-package preset.
+	if cfg.Power.ReadIOPicoJPerBit >= LPDDR3Config().Power.ReadIOPicoJPerBit {
+		t.Error("HBM2 I/O energy should undercut LPDDR3's")
+	}
+}

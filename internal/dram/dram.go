@@ -8,6 +8,13 @@
 // JEDEC timing parameters used by the cycle-accurate controller in
 // package memctrl, and the IDD current parameters used by the energy
 // model in package vampire.
+//
+// The identity of a DRAM system is a registered Backend (backend.go):
+// the paper's four architectures and the generality presets (DDR4,
+// LPDDR3, LPDDR4, HBM2; see EXPERIMENTS.md) are seeded at init, and
+// Register makes new systems addressable by every tool and service
+// endpoint at runtime. The Arch enum survives as the controller
+// capability inside Config, which is what it always described.
 package dram
 
 import (

@@ -3,8 +3,9 @@ package dram
 // Additional commodity presets beyond the paper's DDR3-1600 testbed.
 // Sec. V-B argues DRMap generalizes to any DRAM whose organization is
 // channel/rank/chip/bank/subarray/row/column; these presets let the
-// generality experiments check that claim on DDR4 and LPDDR3 timing and
-// power points. Note that Arch describes the *subarray capability* a
+// generality experiments check that claim on DDR4, LPDDR3, LPDDR4 and
+// HBM2-class timing and power points. All four are registered as
+// backends (backend.go) and documented in EXPERIMENTS.md. Note that Arch describes the *subarray capability* a
 // controller can exploit, not the device generation: a commodity DDR4
 // part uses the DDR3 (no-SALP) semantics.
 
@@ -108,6 +109,115 @@ func LPDDR3Config() Config {
 			IDD5B:              130,
 			ReadIOPicoJPerBit:  1.2,
 			WriteIOPicoJPerBit: 1.6,
+			SubarrayActFactor:  1.0,
+		},
+	}
+}
+
+// LPDDR4Config returns an LPDDR4-3200 8Gb x16 mobile part: 8 banks,
+// 2 KB page, tCK = 0.625 ns. LPDDR4's native BL16 burst and dual-rail
+// supply (VDD1/VDD2) are flattened to BL8 and a single 1.1 V rail with
+// rail-weighted currents; see EXPERIMENTS.md for the caveats.
+func LPDDR4Config() Config {
+	return Config{
+		Arch: DDR3, // commodity: no subarray-level parallelism
+		Geometry: Geometry{
+			Channels:    1,
+			Ranks:       1,
+			Chips:       1,
+			Banks:       8,
+			Subarrays:   8,
+			Rows:        65536,
+			Columns:     128, // 2 KB page: 128 BL8 bursts x 16 bits
+			ChipBits:    16,
+			BurstLength: 8,
+		},
+		Timing: Timing{
+			TCKNanos: 0.625,
+			CL:       28,
+			CWL:      14,
+			TRCD:     29,
+			TRP:      34,
+			TRAS:     68,
+			TRC:      102,
+			TBL:      4,
+			TCCD:     4,
+			TRTP:     12,
+			TWR:      29,
+			TWTR:     16,
+			TRRD:     16,
+			TFAW:     64,
+			TRFC:     448, // 280 ns for an 8 Gb die
+			TREFI:    6240,
+			TSASEL:   1,
+		},
+		Power: Power{
+			VDD:                1.1,
+			IDD0:               65,
+			IDD2N:              9,
+			IDD2P:              1.8,
+			IDD3N:              20,
+			IDD3P:              6,
+			IDD4R:              230,
+			IDD4W:              210,
+			IDD5B:              140,
+			ReadIOPicoJPerBit:  0.9,
+			WriteIOPicoJPerBit: 1.2,
+			SubarrayActFactor:  1.0,
+		},
+	}
+}
+
+// HBM2Config returns one HBM2 pseudo-channel at 2.0 Gb/s/pin, modeled
+// as eight lock-stepped x8 slices (64 data bits, BL4, 32 B per column
+// access): 16 banks, 2 KB row across the slices, very cheap TSV I/O.
+// Bank groups are flattened to the short column timing; see
+// EXPERIMENTS.md.
+func HBM2Config() Config {
+	return Config{
+		Arch: DDR3, // commodity semantics: no subarray-level parallelism
+		Geometry: Geometry{
+			Channels:    1,
+			Ranks:       1,
+			Chips:       8,
+			Banks:       16,
+			Subarrays:   8,
+			Rows:        16384,
+			Columns:     64, // 256 B per slice x 8 slices = 2 KB row
+			ChipBits:    8,
+			BurstLength: 4,
+		},
+		Timing: Timing{
+			TCKNanos: 1.0,
+			CL:       14,
+			CWL:      7,
+			TRCD:     14,
+			TRP:      14,
+			TRAS:     33,
+			TRC:      47,
+			TBL:      2, // BL4 occupies 2 command clocks (double data rate)
+			TCCD:     2,
+			TRTP:     4,
+			TWR:      16,
+			TWTR:     8,
+			TRRD:     4,
+			TFAW:     16,
+			TRFC:     260,
+			TREFI:    3900,
+			TSASEL:   1,
+		},
+		Power: Power{
+			VDD:                1.2,
+			IDD0:               50,
+			IDD2N:              20,
+			IDD2P:              8,
+			IDD3N:              30,
+			IDD3P:              22,
+			IDD4R:              110,
+			IDD4W:              105,
+			IDD5B:              160,
+			ReadIOPicoJPerBit:  0.15, // TSV interface: no off-package I/O
+			WriteIOPicoJPerBit: 0.15,
 			SubarrayActFactor:  1.0,
 		},
 	}

@@ -33,8 +33,15 @@ type Cost struct {
 // by access it is the building block of the paper's EDP objective.
 func (c Cost) EDP() float64 { return c.Cycles * c.Energy }
 
-// Profile holds the characterization of one DRAM architecture.
+// Profile holds the characterization of one DRAM system.
 type Profile struct {
+	// Backend identifies the registered DRAM system the profile was
+	// measured on; the zero value marks an ad-hoc configuration (e.g.
+	// a sweep point mutated off a preset).
+	Backend dram.Backend
+	// Arch is the controller capability of the characterized config
+	// (Config.Arch), kept as its own field because the analytical
+	// model's consumers branch on capability, not identity.
 	Arch   dram.Arch
 	Config dram.Config
 	// Stream is the steady-state cost per access for each condition,
@@ -125,11 +132,36 @@ func streamCost(cfg dram.Config, model *vampire.Model, opt memctrl.Options, reqs
 	}, nil
 }
 
-// CharacterizeAll measures every preset architecture in paper order.
+// CharacterizeBackend measures one registered DRAM system; the
+// returned profile carries the backend identity for labeling.
+func CharacterizeBackend(b dram.Backend) (*Profile, error) {
+	p, err := Characterize(b.Config)
+	if err != nil {
+		return nil, fmt.Errorf("profile: backend %q: %w", b.ID, err)
+	}
+	p.Backend = b
+	return p, nil
+}
+
+// CharacterizeAll measures every registered backend in registration
+// order: the four paper architectures first, then the generality
+// presets. Figure-reproduction paths that need exactly the paper's set
+// use CharacterizePaper instead.
 func CharacterizeAll() ([]*Profile, error) {
-	profiles := make([]*Profile, 0, len(dram.Archs))
-	for _, cfg := range dram.AllConfigs() {
-		p, err := Characterize(cfg)
+	return characterizeBackends(dram.Backends())
+}
+
+// CharacterizePaper measures the four paper architectures in figure
+// order - the set the paper's Fig. 1/Fig. 9 and headline tables are
+// defined over.
+func CharacterizePaper() ([]*Profile, error) {
+	return characterizeBackends(dram.PaperBackends())
+}
+
+func characterizeBackends(backends []dram.Backend) ([]*Profile, error) {
+	profiles := make([]*Profile, 0, len(backends))
+	for _, b := range backends {
+		p, err := CharacterizeBackend(b)
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +235,10 @@ func patternFor(kind trace.AccessKind, g dram.Geometry) []trace.Request {
 // need not touch the map directly.
 func (p *Profile) StreamCost(kind trace.AccessKind) Cost { return p.Stream[kind] }
 
+// Label names the profiled system for reports: the backend name when
+// the profile came from the registry, else the capability arch.
+func (p *Profile) Label() string { return dram.LabelFor(p.Backend, p.Arch) }
+
 // Validate checks the physical plausibility relations the paper's
 // Fig. 1 relies on; it is used by tests and by the characterization
 // tool to fail loudly if a model change breaks the shape.
@@ -212,25 +248,25 @@ func (p *Profile) Validate() error {
 	sub := p.Stream[trace.AccessSubarraySwitch]
 	bank := p.Stream[trace.AccessBankSwitch]
 	if !(hit.Cycles < conflict.Cycles) {
-		return fmt.Errorf("profile %v: hit (%.2f) not cheaper than conflict (%.2f)", p.Arch, hit.Cycles, conflict.Cycles)
+		return fmt.Errorf("profile %s: hit (%.2f) not cheaper than conflict (%.2f)", p.Label(), hit.Cycles, conflict.Cycles)
 	}
 	if !(hit.Energy < conflict.Energy) {
-		return fmt.Errorf("profile %v: hit energy (%.3g) not below conflict energy (%.3g)", p.Arch, hit.Energy, conflict.Energy)
+		return fmt.Errorf("profile %s: hit energy (%.3g) not below conflict energy (%.3g)", p.Label(), hit.Energy, conflict.Energy)
 	}
 	if bank.Cycles > conflict.Cycles {
-		return fmt.Errorf("profile %v: bank parallelism (%.2f) costlier than conflict (%.2f)", p.Arch, bank.Cycles, conflict.Cycles)
+		return fmt.Errorf("profile %s: bank parallelism (%.2f) costlier than conflict (%.2f)", p.Label(), bank.Cycles, conflict.Cycles)
 	}
-	if p.Arch == dram.DDR3 {
+	if !p.Arch.HasSALP() {
 		// Commodity DRAM cannot exploit subarrays: switching subarrays
 		// must cost the same as a row conflict.
 		if diff := sub.Cycles - conflict.Cycles; diff > 1 || diff < -1 {
-			return fmt.Errorf("profile DDR3: subarray switch (%.2f) != conflict (%.2f)", sub.Cycles, conflict.Cycles)
+			return fmt.Errorf("profile %s: commodity subarray switch (%.2f) != conflict (%.2f)", p.Label(), sub.Cycles, conflict.Cycles)
 		}
 	} else if sub.Cycles >= conflict.Cycles {
-		return fmt.Errorf("profile %v: SALP subarray switch (%.2f) not below conflict (%.2f)", p.Arch, sub.Cycles, conflict.Cycles)
+		return fmt.Errorf("profile %s: SALP subarray switch (%.2f) not below conflict (%.2f)", p.Label(), sub.Cycles, conflict.Cycles)
 	}
 	if sub.Cycles+0.5 < bank.Cycles {
-		return fmt.Errorf("profile %v: subarray switch (%.2f) implausibly cheaper than bank switch (%.2f)", p.Arch, sub.Cycles, bank.Cycles)
+		return fmt.Errorf("profile %s: subarray switch (%.2f) implausibly cheaper than bank switch (%.2f)", p.Label(), sub.Cycles, bank.Cycles)
 	}
 	return nil
 }

@@ -140,10 +140,34 @@ func TestStreamCostAccessor(t *testing.T) {
 	}
 }
 
-func TestCharacterizeAllCoversArchsInOrder(t *testing.T) {
+func TestCharacterizeAllCoversRegistryInOrder(t *testing.T) {
 	profiles, err := CharacterizeAll()
 	if err != nil {
 		t.Fatalf("CharacterizeAll: %v", err)
+	}
+	backends := dram.Backends()
+	if len(profiles) != len(backends) {
+		t.Fatalf("got %d profiles, want %d (one per registered backend)", len(profiles), len(backends))
+	}
+	for i, p := range profiles {
+		if p.Backend.ID != backends[i].ID {
+			t.Errorf("profile %d is %q, want %q", i, p.Backend.ID, backends[i].ID)
+		}
+		if p.Config != backends[i].Config {
+			t.Errorf("profile %d characterized a different config than its backend", i)
+		}
+		// Every registered backend's profile must satisfy the Fig. 1
+		// shape relations - the generality presets included.
+		if err := p.Validate(); err != nil {
+			t.Errorf("backend %q: %v", p.Backend.ID, err)
+		}
+	}
+}
+
+func TestCharacterizePaperMatchesArchOrder(t *testing.T) {
+	profiles, err := CharacterizePaper()
+	if err != nil {
+		t.Fatalf("CharacterizePaper: %v", err)
 	}
 	if len(profiles) != len(dram.Archs) {
 		t.Fatalf("got %d profiles, want %d", len(profiles), len(dram.Archs))
@@ -151,6 +175,9 @@ func TestCharacterizeAllCoversArchsInOrder(t *testing.T) {
 	for i, p := range profiles {
 		if p.Arch != dram.Archs[i] {
 			t.Errorf("profile %d is %v, want %v", i, p.Arch, dram.Archs[i])
+		}
+		if p.Backend.Name != dram.Archs[i].String() {
+			t.Errorf("profile %d labeled %q, want %q", i, p.Backend.Name, dram.Archs[i])
 		}
 	}
 }

@@ -7,14 +7,13 @@ import (
 	"strings"
 
 	"drmap/internal/core"
-	"drmap/internal/dram"
 )
 
 // chartWidth is the maximum bar length in characters.
 const chartWidth = 48
 
 // Fig9Chart renders one Fig. 9 subplot the way the paper draws it: a
-// log-scale horizontal bar per (layer, mapping, architecture), grouped
+// log-scale horizontal bar per (layer, mapping, DRAM system), grouped
 // by layer, so the orders-of-magnitude gap between DRMap and the
 // subarray-first mappings is visible at a glance.
 func Fig9Chart(points []core.Fig9Point, schedule string) string {
@@ -60,14 +59,15 @@ func Fig9Chart(points []core.Fig9Point, schedule string) string {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	systems := systemOrder(points)
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "EDP (log scale, %.2e .. %.2e J*s) - %s scheduling\n", min, max, schedule)
 	for _, layer := range layerOrder(points) {
 		fmt.Fprintf(&sb, "%s\n", layer)
 		for _, id := range ids {
-			for _, arch := range dram.Archs {
-				p := core.SelectPoint(points, layer, id, arch)
+			for _, sys := range systems {
+				p := core.SelectLabeledPoint(points, layer, id, sys)
 				if p == nil {
 					continue
 				}
@@ -76,7 +76,7 @@ func Fig9Chart(points []core.Fig9Point, schedule string) string {
 					marker = "*" // DRMap
 				}
 				fmt.Fprintf(&sb, " %sM%d %-10s %-*s %.2e\n",
-					marker, id, arch.String(), chartWidth, bar(p.EDP), p.EDP)
+					marker, id, sys, chartWidth, bar(p.EDP), p.EDP)
 			}
 		}
 	}

@@ -41,9 +41,12 @@ type ConditionJSON struct {
 	IsolatedCycles float64  `json:"isolated_cycles"`
 }
 
-// ProfileJSON is the Fig. 1 characterization of one architecture.
+// ProfileJSON is the Fig. 1 characterization of one DRAM system. Arch
+// carries the display label (the backend name for registry-served
+// profiles); Backend is the registry ID, empty for ad-hoc configs.
 type ProfileJSON struct {
 	Arch       string          `json:"arch"`
+	Backend    string          `json:"backend,omitempty"`
 	Conditions []ConditionJSON `json:"conditions"`
 }
 
@@ -52,7 +55,7 @@ type ProfileJSON struct {
 func Fig1JSON(profiles []*profile.Profile) []ProfileJSON {
 	out := make([]ProfileJSON, 0, len(profiles))
 	for _, p := range profiles {
-		pj := ProfileJSON{Arch: p.Arch.String()}
+		pj := ProfileJSON{Arch: p.Label(), Backend: p.Backend.ID}
 		for _, kind := range trace.AccessKinds {
 			pj.Conditions = append(pj.Conditions, ConditionJSON{
 				Condition:      kind.String(),
@@ -105,6 +108,74 @@ func TableIJSON() []PolicyJSON {
 	return out
 }
 
+// BackendGeometryJSON summarizes a backend's physical organization.
+type BackendGeometryJSON struct {
+	Channels    int   `json:"channels"`
+	Ranks       int   `json:"ranks"`
+	Chips       int   `json:"chips"`
+	Banks       int   `json:"banks"`
+	Subarrays   int   `json:"subarrays"`
+	Rows        int   `json:"rows"`
+	Columns     int   `json:"columns"`
+	ChipBits    int   `json:"chip_bits"`
+	BurstLength int   `json:"burst_length"`
+	RowBytes    int   `json:"row_bytes"`
+	AccessBytes int   `json:"access_bytes"`
+	TotalBytes  int64 `json:"total_bytes"`
+}
+
+// BackendTimingJSON summarizes a backend's primary timings.
+type BackendTimingJSON struct {
+	TCKNanos float64 `json:"tck_ns"`
+	CL       int     `json:"cl"`
+	TRCD     int     `json:"trcd"`
+	TRP      int     `json:"trp"`
+	TRAS     int     `json:"tras"`
+	TRC      int     `json:"trc"`
+}
+
+// BackendJSON is one registered DRAM backend: its registry identity,
+// controller capability and a geometry/timing summary.
+type BackendJSON struct {
+	ID       string              `json:"id"`
+	Name     string              `json:"name"`
+	Arch     string              `json:"arch"`
+	SALP     bool                `json:"salp"`
+	Geometry BackendGeometryJSON `json:"geometry"`
+	Timing   BackendTimingJSON   `json:"timing"`
+}
+
+// BackendToJSON converts one registered backend.
+func BackendToJSON(b dram.Backend) BackendJSON {
+	g := b.Config.Geometry
+	t := b.Config.Timing
+	return BackendJSON{
+		ID:   b.ID,
+		Name: b.Name,
+		Arch: b.Config.Arch.String(),
+		SALP: b.Config.Arch.HasSALP(),
+		Geometry: BackendGeometryJSON{
+			Channels: g.Channels, Ranks: g.Ranks, Chips: g.Chips,
+			Banks: g.Banks, Subarrays: g.Subarrays, Rows: g.Rows,
+			Columns: g.Columns, ChipBits: g.ChipBits, BurstLength: g.BurstLength,
+			RowBytes: g.RowBytes(), AccessBytes: g.AccessBytes(), TotalBytes: g.TotalBytes(),
+		},
+		Timing: BackendTimingJSON{
+			TCKNanos: t.TCKNanos, CL: t.CL, TRCD: t.TRCD,
+			TRP: t.TRP, TRAS: t.TRAS, TRC: t.TRC,
+		},
+	}
+}
+
+// BackendsJSON encodes the backend registry in registration order.
+func BackendsJSON(backends []dram.Backend) []BackendJSON {
+	out := make([]BackendJSON, 0, len(backends))
+	for _, b := range backends {
+		out = append(out, BackendToJSON(b))
+	}
+	return out
+}
+
 // DSELayerJSON is the chosen design point of one layer.
 type DSELayerJSON struct {
 	Layer    string     `json:"layer"`
@@ -118,9 +189,12 @@ type DSELayerJSON struct {
 	MinEDPJs float64    `json:"min_edp_js"`
 }
 
-// DSEJSON is Algorithm 1's outcome for a network on one architecture.
+// DSEJSON is Algorithm 1's outcome for a network on one DRAM system.
+// Arch carries the display label; Backend is the registry ID the
+// request named, empty for ad-hoc configurations.
 type DSEJSON struct {
 	Arch         string         `json:"arch"`
+	Backend      string         `json:"backend,omitempty"`
 	Layers       []DSELayerJSON `json:"layers"`
 	TotalEDPJs   float64        `json:"total_edp_js"`
 	TotalEnergyJ float64        `json:"total_energy_j"`
@@ -130,7 +204,8 @@ type DSEJSON struct {
 // express cycle counts in seconds.
 func DSEResultJSON(res *core.DSEResult, tm dram.Timing) DSEJSON {
 	out := DSEJSON{
-		Arch:         res.Arch.String(),
+		Arch:         res.Label(),
+		Backend:      res.Backend.ID,
 		TotalEDPJs:   res.TotalEDP(),
 		TotalEnergyJ: res.TotalEnergy(),
 	}
@@ -150,11 +225,13 @@ func DSEResultJSON(res *core.DSEResult, tm dram.Timing) DSEJSON {
 	return out
 }
 
-// Fig9PointJSON is one bar of Fig. 9.
+// Fig9PointJSON is one bar of Fig. 9; Arch carries the system's display
+// label, Backend the registry ID (empty for ad-hoc configs).
 type Fig9PointJSON struct {
 	Layer   string  `json:"layer"`
 	Mapping int     `json:"mapping"`
 	Arch    string  `json:"arch"`
+	Backend string  `json:"backend,omitempty"`
 	Cycles  float64 `json:"cycles"`
 	EnergyJ float64 `json:"energy_j"`
 	Seconds float64 `json:"seconds"`
@@ -168,7 +245,8 @@ func Fig9JSON(points []core.Fig9Point) []Fig9PointJSON {
 		out = append(out, Fig9PointJSON{
 			Layer:   p.Layer,
 			Mapping: p.Policy.ID,
-			Arch:    p.Arch.String(),
+			Arch:    p.Label(),
+			Backend: p.Backend.ID,
 			Cycles:  p.Cost.Cycles,
 			EnergyJ: p.Cost.Energy,
 			Seconds: p.Seconds,

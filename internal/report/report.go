@@ -32,12 +32,12 @@ func table(write func(w *tabwriter.Writer)) string {
 // inputs) and the isolated latencies of the row-buffer conditions.
 func Fig1Table(profiles []*profile.Profile) string {
 	return table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "condition\tarch\tstream cycles/access\tstream nJ/access\tisolated cycles")
+		fmt.Fprintln(w, "condition\tsystem\tstream cycles/access\tstream nJ/access\tisolated cycles")
 		for _, kind := range trace.AccessKinds {
 			for _, p := range profiles {
 				c := p.Stream[kind]
 				fmt.Fprintf(w, "%s\t%s\t%.2f\t%.3f\t%.1f\n",
-					kind, p.Arch, c.Cycles, c.Energy*1e9, p.Isolated[kind])
+					kind, p.Label(), c.Cycles, c.Energy*1e9, p.Isolated[kind])
 			}
 		}
 	})
@@ -51,6 +51,21 @@ func TableI() string {
 			fmt.Fprintf(w, "%d\t%v, %v, %v, %v\n", p.ID, p.Order[0], p.Order[1], p.Order[2], p.Order[3])
 		}
 	})
+}
+
+// systemOrder returns the distinct DRAM-system labels of a Fig. 9
+// series in first-appearance order; for paper series this is exactly
+// the four architectures in figure order.
+func systemOrder(points []core.Fig9Point) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		if l := p.Label(); !seen[l] {
+			seen[l] = true
+			order = append(order, l)
+		}
+	}
+	return order
 }
 
 // layerOrder returns the distinct layer labels of a Fig. 9 series in
@@ -79,18 +94,19 @@ func Fig9Table(points []core.Fig9Point, schedule string) string {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	systems := systemOrder(points)
 	out := fmt.Sprintf("EDP [J*s] per AlexNet layer - %s scheduling\n", schedule)
 	return out + table(func(w *tabwriter.Writer) {
 		fmt.Fprint(w, "layer\tmapping")
-		for _, arch := range dram.Archs {
-			fmt.Fprintf(w, "\t%s", arch)
+		for _, sys := range systems {
+			fmt.Fprintf(w, "\t%s", sys)
 		}
 		fmt.Fprintln(w)
 		for _, layer := range layerOrder(points) {
 			for _, id := range ids {
 				fmt.Fprintf(w, "%s\t%d", layer, id)
-				for _, arch := range dram.Archs {
-					if p := core.SelectPoint(points, layer, id, arch); p != nil {
+				for _, sys := range systems {
+					if p := core.SelectLabeledPoint(points, layer, id, sys); p != nil {
 						fmt.Fprintf(w, "\t%.3e", p.EDP)
 					} else {
 						fmt.Fprint(w, "\t-")
@@ -141,10 +157,24 @@ func SALPGainsTable(points []core.Fig9Point) string {
 	})
 }
 
+// BackendsTable renders the DRAM backend registry: every system the
+// tools and the serving API accept, with its geometry and clock.
+func BackendsTable(backends []dram.Backend) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "id\tname\tcapability\tgeometry\ttCK[ns]\tcapacity[MiB]")
+		for _, b := range backends {
+			g := b.Config.Geometry
+			fmt.Fprintf(w, "%s\t%s\t%v\t%dch x %drank x %dchip x %dbank x %dsa\t%.3g\t%d\n",
+				b.ID, b.Name, b.Config.Arch, g.Channels, g.Ranks, g.Chips, g.Banks, g.Subarrays,
+				b.Config.Timing.TCKNanos, g.TotalBytes()>>20)
+		}
+	})
+}
+
 // DSETable renders Algorithm 1's output: the chosen design point and
 // minimum EDP per layer.
 func DSETable(res *core.DSEResult) string {
-	out := fmt.Sprintf("DSE result on %v\n", res.Arch)
+	out := fmt.Sprintf("DSE result on %s\n", res.Label())
 	return out + table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "layer\tmapping\tschedule\ttiling\tmin EDP [J*s]")
 		for _, lr := range res.Layers {

@@ -26,7 +26,7 @@ func fixtures(t *testing.T) ([]*profile.Profile, []*core.Evaluator, []core.Fig9P
 	if fixPoints != nil {
 		return fixProfiles, fixEvs, fixPoints
 	}
-	ps, err := profile.CharacterizeAll()
+	ps, err := profile.CharacterizePaper()
 	if err != nil {
 		t.Fatal(err)
 	}

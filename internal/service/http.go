@@ -99,6 +99,7 @@ func handle[Req, Resp any](timeout time.Duration, call func(context.Context, Req
 //
 //	GET  /healthz
 //	GET  /api/v1/policies
+//	GET  /api/v1/backends
 //	POST /api/v1/characterize
 //	POST /api/v1/dse
 //	POST /api/v1/simulate
@@ -113,6 +114,9 @@ func NewHandler(s *Service, requestTimeout time.Duration) http.Handler {
 	})
 	mux.HandleFunc("GET /api/v1/policies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Policies())
+	})
+	mux.HandleFunc("GET /api/v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Backends())
 	})
 	mux.HandleFunc("POST /api/v1/characterize", handle(requestTimeout, s.Characterize))
 	// GET /api/v1/characterize?arch=ddr3 is a bodyless convenience form.

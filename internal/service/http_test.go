@@ -247,3 +247,63 @@ func TestHTTPSweepAndSimulate(t *testing.T) {
 		t.Errorf("simulate cost %+v", simr.Cost)
 	}
 }
+
+// TestHTTPBackends: GET /api/v1/backends lists the registry (paper
+// architectures plus generality presets) with geometry summaries.
+func TestHTTPBackends(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 1, CacheEntries: 4}))
+	resp, err := http.Get(ts.URL + "/api/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BackendsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(br.Backends) < 6 {
+		t.Fatalf("got %d backends, want >= 6", len(br.Backends))
+	}
+	byID := map[string]bool{}
+	for _, b := range br.Backends {
+		byID[b.ID] = true
+		if b.Name == "" || b.Arch == "" {
+			t.Errorf("backend %q missing name/arch: %+v", b.ID, b)
+		}
+		if b.Geometry.Banks <= 0 || b.Timing.TCKNanos <= 0 {
+			t.Errorf("backend %q missing geometry/timing summary: %+v", b.ID, b)
+		}
+	}
+	for _, want := range []string{"ddr3", "salp1", "salp2", "masa", "ddr4", "lpddr3", "lpddr4", "hbm2"} {
+		if !byID[want] {
+			t.Errorf("backend %q not listed", want)
+		}
+	}
+}
+
+// TestHTTPDSEOnGeneralityBackend is the acceptance flow for the
+// registry refactor: POST /api/v1/dse with a non-paper backend ID
+// returns a valid DSE result labeled with the backend.
+func TestHTTPDSEOnGeneralityBackend(t *testing.T) {
+	ts := newTestServer(t, New(Options{Workers: 0, CacheEntries: 8}))
+	resp, body := postJSON(t, ts.URL+"/api/v1/dse", `{"arch":"ddr4","network":"lenet5"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var dr DSEResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if dr.Result.Arch != "DDR4-2400" || dr.Result.Backend != "ddr4" {
+		t.Errorf("result labeled %q/%q, want DDR4-2400/ddr4", dr.Result.Arch, dr.Result.Backend)
+	}
+	if want := len(cnn.LeNet5().Layers); len(dr.Result.Layers) != want {
+		t.Fatalf("got %d layers, want %d", len(dr.Result.Layers), want)
+	}
+	if dr.Result.TotalEDPJs <= 0 {
+		t.Error("non-positive total EDP")
+	}
+}

@@ -107,31 +107,49 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 		cells[i/len(schedules)] = append(cells[i/len(schedules)], col...)
 	}
 
-	result := &core.DSEResult{Arch: ev.Arch()}
+	result := &core.DSEResult{Backend: ev.Backend(), Arch: ev.Arch()}
 	for li, lg := range grids {
 		result.Layers = append(result.Layers, core.ReduceCells(lg, schedules, policies, cells[li], ev.Timing()))
 	}
 	return result, nil
 }
 
-// CharacterizeConfigs runs the Fig. 1 characterization of several DRAM
-// configurations concurrently. profile.Characterize builds fresh
-// memctrl.Controllers internally, so each worker owns its controllers
-// and no simulator state is shared across goroutines. Results keep the
-// input order. A canceled context abandons unstarted configurations.
-func CharacterizeConfigs(ctx context.Context, cfgs []dram.Config, workers int) ([]*profile.Profile, error) {
-	profiles := make([]*profile.Profile, len(cfgs))
-	errs := make([]error, len(cfgs))
-	err := runPool(ctx, len(cfgs), workers, func(i int) {
-		profiles[i], errs[i] = profile.Characterize(cfgs[i])
+// characterizeEach fans n characterizations over the worker pool.
+// profile.Characterize builds fresh memctrl.Controllers internally, so
+// each worker owns its controllers and no simulator state is shared
+// across goroutines. Results keep the input order; a canceled context
+// abandons unstarted items. label names item i in errors.
+func characterizeEach(ctx context.Context, n, workers int, one func(i int) (*profile.Profile, error), label func(i int) string) ([]*profile.Profile, error) {
+	profiles := make([]*profile.Profile, n)
+	errs := make([]error, n)
+	err := runPool(ctx, n, workers, func(i int) {
+		profiles[i], errs[i] = one(i)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("service: characterization canceled: %w", err)
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("service: characterize %v: %w", cfgs[i].Arch, err)
+			return nil, fmt.Errorf("service: characterize %s: %w", label(i), err)
 		}
 	}
 	return profiles, nil
+}
+
+// CharacterizeBackends runs the Fig. 1 characterization of several
+// registered backends concurrently; each profile carries its backend
+// identity.
+func CharacterizeBackends(ctx context.Context, backends []dram.Backend, workers int) ([]*profile.Profile, error) {
+	return characterizeEach(ctx, len(backends), workers,
+		func(i int) (*profile.Profile, error) { return profile.CharacterizeBackend(backends[i]) },
+		func(i int) string { return backends[i].ID })
+}
+
+// CharacterizeConfigs is CharacterizeBackends for ad-hoc (unregistered)
+// configurations, e.g. sweep points mutated off a preset; the profiles
+// carry no backend identity.
+func CharacterizeConfigs(ctx context.Context, cfgs []dram.Config, workers int) ([]*profile.Profile, error) {
+	return characterizeEach(ctx, len(cfgs), workers,
+		func(i int) (*profile.Profile, error) { return profile.Characterize(cfgs[i]) },
+		func(i int) string { return cfgs[i].Arch.String() })
 }

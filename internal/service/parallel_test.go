@@ -160,3 +160,62 @@ func TestCharacterizeConfigsMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelDSEMatchesSerialOnGeneralityBackend extends the
+// equivalence contract beyond the paper set: on DDR4 (a registered
+// non-paper backend), the parallel executor's DSEResult - including
+// the backend identity it carries - is bit-for-bit identical to serial
+// RunDSE's.
+func TestParallelDSEMatchesSerialOnGeneralityBackend(t *testing.T) {
+	b, ok := dram.Lookup("ddr4")
+	if !ok {
+		t.Fatal("ddr4 backend not registered")
+	}
+	p, err := profile.CharacterizeBackend(b)
+	if err != nil {
+		t.Fatalf("characterize ddr4: %v", err)
+	}
+	ev, err := core.NewEvaluator(p, accel.TableII(), 1)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	net := cnn.AlexNet()
+	serial, err := core.RunDSE(net, ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("serial RunDSE: %v", err)
+	}
+	if serial.Backend.ID != "ddr4" {
+		t.Errorf("serial result carries backend %q, want ddr4", serial.Backend.ID)
+	}
+	for _, workers := range []int{1, 8} {
+		par, err := ParallelDSE(context.Background(), net, ev, tiling.Schedules, mapping.TableI(), core.MinimizeEDP, workers)
+		if err != nil {
+			t.Fatalf("ParallelDSE(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: parallel DSE diverged from serial on ddr4", workers)
+		}
+	}
+}
+
+// TestCharacterizeBackendsKeepsIdentity: the parallel backend
+// characterization preserves order and backend identity.
+func TestCharacterizeBackendsKeepsIdentity(t *testing.T) {
+	backends := dram.PaperBackends()
+	profiles, err := CharacterizeBackends(context.Background(), backends, 4)
+	if err != nil {
+		t.Fatalf("CharacterizeBackends: %v", err)
+	}
+	for i, p := range profiles {
+		if p.Backend.ID != backends[i].ID {
+			t.Errorf("profile %d is %q, want %q", i, p.Backend.ID, backends[i].ID)
+		}
+		serial, err := profile.CharacterizeBackend(backends[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, p) {
+			t.Errorf("%s: parallel characterization diverged from serial", backends[i].ID)
+		}
+	}
+}

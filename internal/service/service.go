@@ -11,10 +11,15 @@
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
 //	GET  /api/v1/policies     - the Table I mapping policies
+//	GET  /api/v1/backends     - the registered DRAM backends
 //	POST /api/v1/characterize - Fig. 1 characterization {"archs":["ddr3",...]}
 //	POST /api/v1/dse          - Algorithm 1 {"arch":"ddr3","network":"alexnet"}
 //	POST /api/v1/simulate     - trace-driven layer validation
 //	POST /api/v1/sweep        - ablation sweeps {"kind":"subarrays"}
+//
+// Every "arch" field accepts any registered DRAM backend ID (package
+// dram's registry): the four paper architectures plus the generality
+// presets, and whatever the embedding process registers at startup.
 //
 // Quickstart:
 //
@@ -121,6 +126,12 @@ func (s *Service) Policies() PoliciesResponse {
 	return PoliciesResponse{Policies: report.TableIJSON()}
 }
 
+// Backends lists the registered DRAM backends the service will accept
+// in any "arch" field, in registration order.
+func (s *Service) Backends() BackendsResponse {
+	return BackendsResponse{Backends: report.BackendsJSON(dram.Backends())}
+}
+
 // cacheKey namespaces fingerprints by entry point so, e.g., a profile
 // and a DSE over the same config never collide.
 type cacheKey struct {
@@ -145,31 +156,36 @@ func (s *Service) do(kind string, keyable any, compute func() (any, error)) (any
 	})
 }
 
-// profileFor characterizes one configuration, cached and single-flight.
-func (s *Service) profileFor(cfg dram.Config) (*profile.Profile, error) {
-	v, _, err := s.do("profile", cfg, func() (any, error) {
-		return profile.Characterize(cfg)
+// profileFor characterizes one backend, cached and single-flight, and
+// reports whether this call computed the profile fresh (as opposed to
+// a cache hit or a coalesced in-flight evaluation). The cache key is
+// the full backend (ID, name and configuration), so a re-registered ID
+// with a different config can never serve stale data.
+func (s *Service) profileFor(b dram.Backend) (p *profile.Profile, fresh bool, err error) {
+	v, shared, err := s.do("profile", b, func() (any, error) {
+		return profile.CharacterizeBackend(b)
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return v.(*profile.Profile), nil
+	return v.(*profile.Profile), !shared, nil
 }
 
 // evaluatorFor builds an evaluator on the cached characterization.
-func (s *Service) evaluatorFor(cfg dram.Config, batch int) (*core.Evaluator, error) {
-	p, err := s.profileFor(cfg)
+func (s *Service) evaluatorFor(b dram.Backend, batch int) (*core.Evaluator, error) {
+	p, _, err := s.profileFor(b)
 	if err != nil {
 		return nil, err
 	}
 	return core.NewEvaluator(p, s.accel, batch)
 }
 
-// dseKey is the content address of a DSE request: the full DRAM and
-// accelerator configurations plus the resolved workload and search
-// space, so preset changes or custom layers can never alias.
+// dseKey is the content address of a DSE request: the full DRAM
+// backend (ID plus configuration) and accelerator configuration plus
+// the resolved workload and search space, so preset changes, registry
+// changes or custom layers can never alias.
 type dseKey struct {
-	Config    dram.Config
+	Backend   dram.Backend
 	Accel     accel.Config
 	Network   any
 	Schedules []string
@@ -187,7 +203,7 @@ type dseKey struct {
 // whose callers all gave up still completes and is cached, so retries
 // hit the cache instead of recomputing.
 func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error) {
-	arch, err := parseArch(req.Arch)
+	backend, err := parseBackend(req.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +227,6 @@ func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error)
 	if batch == 0 {
 		batch = 1
 	}
-	cfg := dram.ConfigFor(arch)
 
 	schedNames := make([]string, len(schedules))
 	for i, sc := range schedules {
@@ -222,13 +237,13 @@ func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error)
 		polIDs[i] = p.ID
 	}
 	key := dseKey{
-		Config: cfg, Accel: s.accel, Network: net,
+		Backend: backend, Accel: s.accel, Network: net,
 		Schedules: schedNames, Policies: polIDs,
 		Objective: obj.String(), Batch: batch,
 	}
 	evalCtx := context.WithoutCancel(ctx)
 	v, shared, err := s.doBounded(ctx, "dse", key, func() (any, error) {
-		ev, err := s.evaluatorFor(cfg, batch)
+		ev, err := s.evaluatorFor(backend, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -251,23 +266,24 @@ func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error)
 	return &resp, nil
 }
 
-// Characterize measures the requested architectures (all four when the
-// request names none), fanning uncached ones over the worker pool. As
-// with the other endpoints, the caller's wait is bounded by ctx while
-// the characterizations themselves finish and are cached per
-// architecture, so a timed-out client's retry picks up where it left.
+// Characterize measures the requested backends (every registered
+// backend when the request names none), fanning uncached ones over the
+// worker pool. As with the other endpoints, the caller's wait is
+// bounded by ctx while the characterizations themselves finish and are
+// cached per backend, so a timed-out client's retry picks up where it
+// left.
 func (s *Service) Characterize(ctx context.Context, req CharacterizeRequest) (*CharacterizeResponse, error) {
 	names := req.Archs
-	var cfgs []dram.Config
+	var backends []dram.Backend
 	if len(names) == 0 {
-		cfgs = dram.AllConfigs()
+		backends = dram.Backends()
 	} else {
 		for _, name := range names {
-			a, err := parseArch(name)
+			b, err := parseBackend(name)
 			if err != nil {
 				return nil, err
 			}
-			cfgs = append(cfgs, dram.ConfigFor(a))
+			backends = append(backends, b)
 		}
 	}
 
@@ -278,7 +294,7 @@ func (s *Service) Characterize(ctx context.Context, req CharacterizeRequest) (*C
 	ch := make(chan outcome, 1)
 	detached := context.WithoutCancel(ctx)
 	go func() {
-		resp, err := s.characterize(detached, cfgs)
+		resp, err := s.characterize(detached, backends)
 		ch <- outcome{resp: resp, err: err}
 	}()
 	select {
@@ -289,28 +305,20 @@ func (s *Service) Characterize(ctx context.Context, req CharacterizeRequest) (*C
 	}
 }
 
-// characterize runs the per-architecture profile computations over the
+// characterize runs the per-backend profile computations over the
 // worker pool and assembles the response.
-func (s *Service) characterize(ctx context.Context, cfgs []dram.Config) (*CharacterizeResponse, error) {
-	profiles := make([]*profile.Profile, len(cfgs))
-	errs := make([]error, len(cfgs))
-	fresh := make([]bool, len(cfgs))
-	err := runPool(ctx, len(cfgs), s.workers, func(i int) {
-		v, shared, err := s.do("profile", cfgs[i], func() (any, error) {
-			return profile.Characterize(cfgs[i])
-		})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		profiles[i] = v.(*profile.Profile)
-		fresh[i] = !shared
+func (s *Service) characterize(ctx context.Context, backends []dram.Backend) (*CharacterizeResponse, error) {
+	profiles := make([]*profile.Profile, len(backends))
+	errs := make([]error, len(backends))
+	fresh := make([]bool, len(backends))
+	err := runPool(ctx, len(backends), s.workers, func(i int) {
+		profiles[i], fresh[i], errs[i] = s.profileFor(backends[i])
 	})
 	if err != nil {
 		return nil, fmt.Errorf("service: characterization canceled: %w", err)
 	}
 	allCached := true
-	for i := range cfgs {
+	for i := range backends {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
@@ -352,7 +360,7 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateR
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	arch, err := parseArch(req.Arch)
+	backend, err := parseBackend(req.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +386,7 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateR
 		// validation path prices the same datatype the DSE models.
 		bpe = s.accel.BytesPerElement
 	}
-	cfg := dram.ConfigFor(arch)
+	cfg := backend.Config
 	spec := core.LayerSpec{
 		Layer:    layer,
 		Tiling:   tiling.Tiling{Th: req.Tiling.Th, Tw: req.Tiling.Tw, Tj: req.Tiling.Tj, Ti: req.Tiling.Ti},
@@ -386,18 +394,18 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateR
 		Batch:    batch,
 	}
 	type simKey struct {
-		Config dram.Config
-		Policy int
-		Spec   core.LayerSpec
-		BPE    int
+		Backend dram.Backend
+		Policy  int
+		Spec    core.LayerSpec
+		BPE     int
 	}
-	v, shared, err := s.doBounded(ctx, "simulate", simKey{Config: cfg, Policy: req.Policy, Spec: spec, BPE: bpe}, func() (any, error) {
+	v, shared, err := s.doBounded(ctx, "simulate", simKey{Backend: backend, Policy: req.Policy, Spec: spec, BPE: bpe}, func() (any, error) {
 		cost, err := core.SimulateLayer(cfg, policies[0], spec, bpe)
 		if err != nil {
 			return nil, err
 		}
 		return &SimulateResponse{
-			Arch:  arch.String(),
+			Arch:  backend.Name,
 			Layer: layer.Name,
 			Cost:  report.LayerEDPToJSON(cost, cfg.Timing),
 		}, nil
@@ -430,7 +438,7 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, 
 	if archName == "" {
 		archName = "ddr3"
 	}
-	arch, err := parseArch(archName)
+	backend, err := parseBackend(archName)
 	if err != nil {
 		return nil, err
 	}
@@ -450,30 +458,30 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, 
 		if len(values) == 0 {
 			values = []int{32, 64, 128, 256}
 		}
-		run = func() (*sweep.Table, error) { return sweep.Buffers(values, arch, net, batch) }
+		run = func() (*sweep.Table, error) { return sweep.Buffers(values, backend, net, batch) }
 	case "batch":
 		if len(values) == 0 {
 			values = []int{1, 2, 4, 8}
 		}
-		run = func() (*sweep.Table, error) { return sweep.Batches(values, arch, net) }
+		run = func() (*sweep.Table, error) { return sweep.Batches(values, backend, net) }
 	default:
 		return nil, fmt.Errorf("unknown sweep kind %q (want subarrays, buffers or batch)", req.Kind)
 	}
 	type sweepKey struct {
 		Kind    string
 		Values  []int
-		Arch    string
+		Backend dram.Backend
 		Network string
 		Batch   int
 	}
-	keyArch := arch.String()
+	keyBackend := backend
 	if req.Kind == "subarrays" {
 		// The subarrays sweep is SALP-MASA by definition and ignores
 		// the arch field; normalize it out of the key so arch-differing
 		// requests share one cache entry.
-		keyArch = ""
+		keyBackend = dram.Backend{}
 	}
-	v, shared, err := s.doBounded(ctx, "sweep", sweepKey{Kind: req.Kind, Values: values, Arch: keyArch, Network: net.Name, Batch: batch}, func() (any, error) {
+	v, shared, err := s.doBounded(ctx, "sweep", sweepKey{Kind: req.Kind, Values: values, Backend: keyBackend, Network: net.Name, Batch: batch}, func() (any, error) {
 		t, err := run()
 		if err != nil {
 			return nil, err

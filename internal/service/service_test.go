@@ -172,12 +172,16 @@ func TestServiceCharacterize(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Characterize: %v", err)
 	}
-	if len(resp.Profiles) != len(dram.Archs) {
-		t.Fatalf("got %d profiles, want %d", len(resp.Profiles), len(dram.Archs))
+	backends := dram.Backends()
+	if len(resp.Profiles) != len(backends) {
+		t.Fatalf("got %d profiles, want %d (one per registered backend)", len(resp.Profiles), len(backends))
 	}
 	for i, p := range resp.Profiles {
-		if p.Arch != dram.Archs[i].String() {
-			t.Errorf("profile %d is %s, want %s", i, p.Arch, dram.Archs[i])
+		if p.Arch != backends[i].Name {
+			t.Errorf("profile %d is %s, want %s", i, p.Arch, backends[i].Name)
+		}
+		if p.Backend != backends[i].ID {
+			t.Errorf("profile %d backend %q, want %q", i, p.Backend, backends[i].ID)
 		}
 		if len(p.Conditions) != 5 {
 			t.Errorf("%s: %d conditions, want 5", p.Arch, len(p.Conditions))

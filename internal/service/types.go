@@ -46,7 +46,9 @@ func (l LayerJSON) toLayer() (cnn.Layer, error) {
 
 // DSERequest asks for an Algorithm 1 run.
 type DSERequest struct {
-	// Arch is the DRAM architecture: ddr3, salp1, salp2 or masa.
+	// Arch is a registered DRAM backend ID (ddr3, salp1, salp2, masa,
+	// ddr4, lpddr3, lpddr4, hbm2, or anything registered at runtime);
+	// GET /api/v1/backends lists the live set.
 	Arch string `json:"arch"`
 	// Network names a built-in workload (alexnet, vgg16, lenet5,
 	// resnet18); leave empty and populate Layers for a custom network.
@@ -79,7 +81,8 @@ type DSEResponse struct {
 
 // CharacterizeRequest asks for Fig. 1 characterizations.
 type CharacterizeRequest struct {
-	// Archs lists architectures to characterize; empty means all four.
+	// Archs lists registered backend IDs to characterize; empty means
+	// every registered backend.
 	Archs []string `json:"archs,omitempty"`
 }
 
@@ -98,6 +101,7 @@ type PoliciesResponse struct {
 // validation path of the tool flow (cycle-accurate controller + energy
 // model instead of the analytical counts).
 type SimulateRequest struct {
+	// Arch is a registered DRAM backend ID.
 	Arch string `json:"arch"`
 	// Policy is the mapping ID (1-6, or 0 for the commodity default).
 	Policy int `json:"policy"`
@@ -129,8 +133,9 @@ type SweepRequest struct {
 	// Values are the swept points (subarray counts, buffer KBs or batch
 	// sizes); empty picks the sweep's documented defaults.
 	Values []int `json:"values,omitempty"`
-	// Arch applies to the buffers/batch sweeps and defaults to ddr3;
-	// the subarrays sweep ignores it (it is SALP-MASA by definition).
+	// Arch is a registered DRAM backend ID for the buffers/batch sweeps
+	// and defaults to ddr3; the subarrays sweep ignores it (it is
+	// SALP-MASA by definition).
 	Arch string `json:"arch,omitempty"`
 	// Network defaults to alexnet.
 	Network string `json:"network,omitempty"`
@@ -142,6 +147,11 @@ type SweepRequest struct {
 type SweepResponse struct {
 	Table  report.SweepJSON `json:"table"`
 	Cached bool             `json:"cached"`
+}
+
+// BackendsResponse lists the registered DRAM backends.
+type BackendsResponse struct {
+	Backends []report.BackendJSON `json:"backends"`
 }
 
 // HealthResponse reports daemon liveness and serving counters.
@@ -231,9 +241,10 @@ func parseNetwork(name string, layers []LayerJSON) (cnn.Network, error) {
 	return net, net.Validate()
 }
 
-// parseArch resolves an architecture name.
-func parseArch(name string) (dram.Arch, error) {
-	return cli.ParseArch(name)
+// parseBackend resolves a registered DRAM backend ID; the error lists
+// the registry's current contents.
+func parseBackend(name string) (dram.Backend, error) {
+	return cli.ParseBackend(name)
 }
 
 // parseSchedule resolves a single schedule name (adaptive allowed).

@@ -123,14 +123,15 @@ func Subarrays(counts []int, net cnn.Network, batch int) (*Table, error) {
 	return t, nil
 }
 
-// Buffers sweeps the on-chip buffer capacity: smaller buffers force
-// finer partitionings and more DRAM traffic.
-func Buffers(sizesKB []int, arch dram.Arch, net cnn.Network, batch int) (*Table, error) {
+// Buffers sweeps the on-chip buffer capacity on any registered DRAM
+// backend: smaller buffers force finer partitionings and more DRAM
+// traffic.
+func Buffers(sizesKB []int, backend dram.Backend, net cnn.Network, batch int) (*Table, error) {
 	t := &Table{
-		Name:   fmt.Sprintf("Ablation: on-chip buffer capacity (%v, %s)", arch, net.Name),
+		Name:   fmt.Sprintf("Ablation: on-chip buffer capacity (%s, %s)", backend.Label(), net.Name),
 		Header: []string{"buffer-KB", "DRMap-total-EDP[uJs]"},
 	}
-	cfg := dram.ConfigFor(arch)
+	cfg := backend.Config
 	for _, kb := range sizesKB {
 		acfg := accel.TableII()
 		acfg.IfmBufBytes, acfg.WgtBufBytes, acfg.OfmBufBytes = kb*1024, kb*1024, kb*1024
@@ -145,14 +146,14 @@ func Buffers(sizesKB []int, arch dram.Arch, net cnn.Network, batch int) (*Table,
 	return t, nil
 }
 
-// Batches sweeps the batch size: traffic scales linearly, EDP
-// super-linearly (energy x delay).
-func Batches(batches []int, arch dram.Arch, net cnn.Network) (*Table, error) {
+// Batches sweeps the batch size on any registered DRAM backend:
+// traffic scales linearly, EDP super-linearly (energy x delay).
+func Batches(batches []int, backend dram.Backend, net cnn.Network) (*Table, error) {
 	t := &Table{
-		Name:   fmt.Sprintf("Ablation: batch size (%v, %s)", arch, net.Name),
+		Name:   fmt.Sprintf("Ablation: batch size (%s, %s)", backend.Label(), net.Name),
 		Header: []string{"batch", "DRMap-total-EDP[uJs]"},
 	}
-	cfg := dram.ConfigFor(arch)
+	cfg := backend.Config
 	for _, b := range batches {
 		edp, err := drmapTotalEDP(cfg, accel.TableII(), net, b)
 		if err != nil {
@@ -169,8 +170,8 @@ func Batches(batches []int, arch dram.Arch, net cnn.Network) (*Table, error) {
 // prices all 24 loop-order permutations and reports the best EDP among
 // the pruned-away 18 versus the Table I six. The pruning is sound if
 // no pruned permutation beats the six.
-func PolicyPruning(arch dram.Arch, layer cnn.Layer, batch int) (*Table, error) {
-	prof, err := profile.Characterize(dram.ConfigFor(arch))
+func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, error) {
+	prof, err := profile.CharacterizeBackend(backend)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +186,7 @@ func PolicyPruning(arch dram.Arch, layer cnn.Layer, batch int) (*Table, error) {
 		tableI[p.Order] = true
 	}
 	t := &Table{
-		Name:   fmt.Sprintf("Ablation: Table I pruning soundness (%v, layer %s)", arch, layer.Name),
+		Name:   fmt.Sprintf("Ablation: Table I pruning soundness (%s, layer %s)", backend.Label(), layer.Name),
 		Header: []string{"policy-set", "best-EDP[uJs]"},
 	}
 	bestKept, bestPruned := -1.0, -1.0

@@ -60,7 +60,7 @@ func TestSubarraySweepMonotone(t *testing.T) {
 func TestBufferSweepMonotone(t *testing.T) {
 	// Bigger buffers can only help (the DSE search space grows
 	// monotonically): EDP must be non-increasing in buffer size.
-	tb, err := Buffers([]int{16, 64, 256}, dram.DDR3, cnn.LeNet5(), 1)
+	tb, err := Buffers([]int{16, 64, 256}, mustBackend("ddr3"), cnn.LeNet5(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestBufferSweepMonotone(t *testing.T) {
 func TestBatchSweepSuperlinear(t *testing.T) {
 	// EDP = energy x delay: doubling the batch doubles both factors, so
 	// EDP must grow at least ~4x per doubling (minus fixed effects).
-	tb, err := Batches([]int{1, 2, 4}, dram.DDR3, cnn.LeNet5())
+	tb, err := Batches([]int{1, 2, 4}, mustBackend("ddr3"), cnn.LeNet5())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestBatchSweepSuperlinear(t *testing.T) {
 func TestPolicyPruningSound(t *testing.T) {
 	// The paper prunes 24 loop orders to the 6 with the row loop
 	// outer-most; no pruned permutation may beat the kept set.
-	tb, err := PolicyPruning(dram.SALP1, cnn.LeNet5().Layers[1], 1)
+	tb, err := PolicyPruning(mustBackend("salp1"), cnn.LeNet5().Layers[1], 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,4 +97,13 @@ func TestPolicyPruningSound(t *testing.T) {
 	if pruned < kept*(1-1e-9) {
 		t.Errorf("a pruned permutation (%.6g) beats Table I's best (%.6g): pruning unsound", pruned, kept)
 	}
+}
+
+// mustBackend resolves a registered backend for test fixtures.
+func mustBackend(id string) dram.Backend {
+	b, ok := dram.Lookup(id)
+	if !ok {
+		panic("sweep test: backend " + id + " not registered")
+	}
+	return b
 }
