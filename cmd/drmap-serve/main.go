@@ -6,15 +6,18 @@
 //
 // Usage:
 //
-//	drmap-serve [-addr :8080] [-workers N] [-cache N] [-timeout 60s]
+//	drmap-serve [-addr :8080] [-role standalone|coordinator|worker]
+//	            [-workers N] [-cache N] [-timeout 60s]
 //
 // Endpoints:
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
+//	GET  /metrics             - plain-text serving + cluster counters
 //	GET  /api/v1/policies     - the Table I mapping policies
-//	GET  /api/v1/backends     - the registered DRAM backends
+//	GET  /api/v1/backends     - the registered DRAM backends (ID-sorted)
 //	POST /api/v1/characterize - Fig. 1 characterization
 //	POST /api/v1/dse          - Algorithm 1 design space exploration
+//	POST /api/v1/batch        - many DSE jobs in one request
 //	POST /api/v1/simulate     - cycle-accurate layer validation
 //	POST /api/v1/sweep        - ablation sweeps
 //
@@ -22,10 +25,21 @@
 // GET /api/v1/backends (the paper's four architectures plus the
 // DDR4/LPDDR3/LPDDR4/HBM2 generality presets).
 //
-// Quickstart:
+// # Cluster roles
 //
-//	drmap-serve &
-//	curl -s localhost:8080/api/v1/dse -d '{"arch":"ddr3","network":"alexnet"}'
+// -role coordinator additionally serves POST /cluster/v1/register and
+// GET /cluster/v1/workers, and distributes every DSE (and each batch
+// job) across the registered workers, falling back to the local pool
+// while none are live. -role worker joins a coordinator (-coordinator
+// URL) and serves POST /cluster/v1/shard alongside the normal API.
+//
+// Quickstart (one host, three processes):
+//
+//	drmap-serve -role coordinator -addr :8080 &
+//	drmap-worker -coordinator http://127.0.0.1:8080 -addr :8081 &
+//	drmap-worker -coordinator http://127.0.0.1:8080 -addr :8082 &
+//	curl -s localhost:8080/api/v1/batch -d '{"jobs":[
+//	  {"arch":"ddr3","network":"alexnet"},{"arch":"masa","network":"alexnet"}]}'
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
 // evaluations finish within the grace period.
@@ -35,10 +49,12 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"drmap/internal/cluster"
 	"drmap/internal/service"
 )
 
@@ -46,6 +62,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-serve: ")
 	addr := flag.String("addr", ":8080", "listen address")
+	role := flag.String("role", "standalone", "standalone, coordinator or worker")
+	coordinator := flag.String("coordinator", "", "coordinator base URL (role=worker)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker at (role=worker; default derived from -addr)")
+	workerID := flag.String("worker-id", "", "stable worker identity (role=worker; default hostname-pid)")
+	ttl := flag.Duration("heartbeat-ttl", cluster.DefaultHeartbeatTTL, "worker liveness TTL (role=coordinator)")
 	workers := flag.Int("workers", 0, "DSE worker pool size (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (negative disables retention)")
 	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request evaluation timeout")
@@ -53,13 +74,46 @@ func main() {
 	flag.Parse()
 
 	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries})
-	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout})
+
+	var mount func(*http.ServeMux)
+	var onServing func(ctx context.Context)
+	switch *role {
+	case "standalone":
+	case "coordinator":
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{HeartbeatTTL: *ttl})
+		svc.SetRunner(coord)
+		svc.SetExtraMetrics(coord.Metrics)
+		mount = coord.Mount
+	case "worker":
+		if *coordinator == "" {
+			log.Fatal("role=worker needs -coordinator URL (start one with: drmap-serve -role coordinator)")
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = cluster.AdvertiseFor(*addr)
+		}
+		w := cluster.NewWorker(svc, cluster.WorkerOptions{
+			ID: *workerID, AdvertiseURL: adv, CoordinatorURL: *coordinator,
+		})
+		svc.SetExtraMetrics(w.Metrics)
+		mount = w.Mount
+		onServing = func(ctx context.Context) {
+			go w.Run(ctx, func(err error) { log.Print(err) })
+		}
+	default:
+		log.Fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
+	}
+
+	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout, Mount: mount})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if onServing != nil {
+		onServing(ctx)
+	}
 
-	log.Printf("listening on %s (%d workers, %d cache entries, %s timeout)",
-		*addr, svc.Workers(), *cacheEntries, *timeout)
+	log.Printf("listening on %s as %s (%d workers, %d cache entries, %s timeout)",
+		*addr, *role, svc.Workers(), *cacheEntries, *timeout)
 	start := time.Now()
 	if err := service.Run(ctx, srv, *grace); err != nil {
 		log.Fatal(err)

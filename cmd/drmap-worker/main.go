@@ -1,0 +1,79 @@
+// Command drmap-worker is a DRMap cluster worker: it registers with a
+// coordinator (drmap-serve -role coordinator) via periodic heartbeats
+// and executes DSE shards - spans of the layer x schedule column grid -
+// on its local worker pool, with its own content-addressed
+// characterization cache.
+//
+// Usage:
+//
+//	drmap-worker -coordinator http://coord:8080 [-addr :8081]
+//	             [-advertise http://me:8081] [-id worker-a]
+//	             [-workers N] [-cache N]
+//
+// Endpoints (the full drmap-serve API stays available, so a worker can
+// also answer local requests):
+//
+//	POST /cluster/v1/shard - shard evaluation (the coordinator's path)
+//	GET  /healthz          - liveness
+//	GET  /metrics          - counters incl. drmap_worker_shards_served_total
+//
+// A worker keeps heartbeating through coordinator restarts, so it
+// re-registers automatically as soon as the coordinator is back.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drmap/internal/cluster"
+	"drmap/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drmap-worker: ")
+	addr := flag.String("addr", ":8081", "listen address")
+	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://coord:8080 (required)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker at (default derived from -addr)")
+	id := flag.String("id", "", "stable worker identity (default hostname-pid)")
+	workers := flag.Int("workers", 0, "local pool size (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries")
+	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "registration heartbeat interval")
+	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request evaluation timeout")
+	grace := flag.Duration("grace", service.DefaultShutdownGrace, "graceful shutdown window")
+	flag.Parse()
+
+	if *coordinator == "" {
+		log.Fatal("missing -coordinator URL (start one with: drmap-serve -role coordinator)")
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = cluster.AdvertiseFor(*addr)
+	}
+
+	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	w := cluster.NewWorker(svc, cluster.WorkerOptions{
+		ID:                *id,
+		AdvertiseURL:      adv,
+		CoordinatorURL:    *coordinator,
+		HeartbeatInterval: *heartbeat,
+	})
+	svc.SetExtraMetrics(w.Metrics)
+	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout, Mount: w.Mount})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go w.Run(ctx, func(err error) { log.Print(err) })
+
+	log.Printf("worker %s listening on %s, advertising %s to %s (%d pool workers)",
+		w.ID(), *addr, adv, *coordinator, svc.Workers())
+	start := time.Now()
+	if err := service.Run(ctx, srv, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly after %s (%d shards served)", time.Since(start).Round(time.Second), w.ShardsServed())
+}

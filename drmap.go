@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"drmap/internal/accel"
+	"drmap/internal/cluster"
 	"drmap/internal/cnn"
 	"drmap/internal/core"
 	"drmap/internal/dram"
@@ -84,9 +85,10 @@ func RegisterBackend(b Backend) error { return dram.Register(b) }
 // LookupBackend returns the backend registered under id.
 func LookupBackend(id string) (Backend, bool) { return dram.Lookup(id) }
 
-// Backends lists every registered DRAM backend in registration order:
-// the four paper architectures, the generality presets (DDR4-2400,
-// LPDDR3-1600, LPDDR4-3200, HBM2-PC), then runtime registrations.
+// Backends lists every registered DRAM backend sorted by ID: the four
+// paper architectures, the generality presets (DDR4-2400, LPDDR3-1600,
+// LPDDR4-3200, HBM2-PC) and any runtime registrations, in one
+// deterministic listing.
 func Backends() []Backend { return dram.Backends() }
 
 // PaperBackends lists the four paper architectures in figure order.
@@ -240,8 +242,8 @@ func Characterize(cfg DRAMConfig) (*Profile, error) { return profile.Characteriz
 // carries the backend identity for labeling.
 func CharacterizeBackend(b Backend) (*Profile, error) { return profile.CharacterizeBackend(b) }
 
-// CharacterizeAll measures every registered backend in registration
-// order (paper architectures first, then the generality presets).
+// CharacterizeAll measures every registered backend in ID order (the
+// deterministic Backends listing).
 func CharacterizeAll() ([]*Profile, error) { return profile.CharacterizeAll() }
 
 // CharacterizePaper measures the four paper architectures in figure
@@ -416,6 +418,52 @@ type (
 // NewService builds the concurrent DSE/characterization service.
 func NewService(opt ServiceOptions) *Service { return service.New(opt) }
 
+// Distributed serving (package cluster): a coordinator shards the DSE
+// column grid over HTTP workers and merges results bit-for-bit equal to
+// serial RunDSE; see cmd/drmap-serve -role and cmd/drmap-worker.
+type (
+	// DSEJob is a fully resolved DSE run - the unit a cluster
+	// distributes and the input of a custom ServiceOptions.Runner.
+	DSEJob = service.DSEJob
+	// BatchRequest / BatchResponse are the JSON shapes of /api/v1/batch.
+	BatchRequest  = service.BatchRequest
+	BatchResponse = service.BatchResponse
+	// ServiceMetric is one GET /metrics counter.
+	ServiceMetric = service.Metric
+	// ClusterCoordinator shards DSE jobs across registered workers; it
+	// implements the service's DSERunner.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterCoordinatorOptions tune a coordinator (TTL, shard sizing).
+	ClusterCoordinatorOptions = cluster.CoordinatorOptions
+	// ClusterWorker executes shards on a local Service and heartbeats
+	// its registration to a coordinator.
+	ClusterWorker = cluster.Worker
+	// ClusterWorkerOptions tune a worker (identity, URLs, heartbeat).
+	ClusterWorkerOptions = cluster.WorkerOptions
+	// ClusterWorkerInfo identifies a registered worker in a
+	// coordinator's membership.
+	ClusterWorkerInfo = cluster.WorkerInfo
+)
+
+// ErrNoWorkers marks a distributed run attempted with no live workers;
+// a Service configured with a cluster Runner answers such jobs from its
+// local pool.
+var ErrNoWorkers = service.ErrNoWorkers
+
+// NewClusterCoordinator builds a DSE shard coordinator with an empty
+// worker membership. Install it as ServiceOptions.Runner (and mount its
+// endpoints via ServerOptions.Mount) to distribute a service's DSE and
+// batch traffic.
+func NewClusterCoordinator(opt ClusterCoordinatorOptions) *ClusterCoordinator {
+	return cluster.NewCoordinator(opt)
+}
+
+// NewClusterWorker wraps a Service as a cluster worker: mount its shard
+// endpoint with Mount and keep it registered with Run.
+func NewClusterWorker(svc *Service, opt ClusterWorkerOptions) *ClusterWorker {
+	return cluster.NewWorker(svc, opt)
+}
+
 // ParallelDSE is RunDSE with the layer x schedule x policy grid fanned
 // over a worker pool (workers <= 0 means one per CPU). The result is
 // bit-for-bit identical to RunDSE's.
@@ -478,7 +526,8 @@ func DSEJSON(res *DSEResult, tm Timing) report.DSEJSON { return report.DSEResult
 // Fig9JSON encodes one Fig. 9 subplot's points.
 func Fig9JSON(points []Fig9Point) []report.Fig9PointJSON { return report.Fig9JSON(points) }
 
-// BackendsJSON encodes the backend registry in registration order.
+// BackendsJSON encodes a backend list in the order given (Backends()
+// supplies the ID-sorted registry).
 func BackendsJSON(backends []Backend) []report.BackendJSON { return report.BackendsJSON(backends) }
 
 // RenderBackends renders the backend registry as a table.

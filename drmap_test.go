@@ -2,6 +2,8 @@ package drmap_test
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"sync"
@@ -276,10 +278,23 @@ func TestFacadeParallelCharacterizeAll(t *testing.T) {
 			t.Errorf("profile %d is %q, want %q", i, p.Backend.ID, backends[i].ID)
 		}
 	}
-	// The first four profiles are the paper architectures in order.
-	for i, arch := range drmap.Archs() {
-		if profiles[i].Arch != arch {
-			t.Errorf("profile %d is %v, want %v", i, profiles[i].Arch, arch)
+	// Backends() is ID-sorted, so the profiles are too, and every paper
+	// architecture is present under its registered ID.
+	byID := map[string]*drmap.Profile{}
+	for i, p := range profiles {
+		byID[p.Backend.ID] = p
+		if i > 0 && !(profiles[i-1].Backend.ID < p.Backend.ID) {
+			t.Errorf("profiles out of ID order: %q before %q", profiles[i-1].Backend.ID, p.Backend.ID)
+		}
+	}
+	for i, id := range []string{"ddr3", "salp1", "salp2", "masa"} {
+		p, ok := byID[id]
+		if !ok {
+			t.Errorf("paper backend %q has no profile", id)
+			continue
+		}
+		if p.Arch != drmap.Archs()[i] {
+			t.Errorf("profile %q is %v, want %v", id, p.Arch, drmap.Archs()[i])
 		}
 	}
 	if got := len(drmap.Fig1JSON(profiles)); got != len(profiles) {
@@ -298,5 +313,45 @@ func TestFacadeService(t *testing.T) {
 	}
 	if again, err := svc.DSE(context.Background(), drmap.DSERequest{Arch: "ddr3", Network: "lenet5"}); err != nil || !again.Cached {
 		t.Errorf("repeat service DSE: cached=%v err=%v", again != nil && again.Cached, err)
+	}
+}
+
+// TestFacadeCluster exercises the distributed-serving exports: a
+// coordinator with an empty membership reports ErrNoWorkers, a service
+// wired to it still answers (local fallback), and a registered facade
+// worker turns a batch into distributed shards.
+func TestFacadeCluster(t *testing.T) {
+	coord := drmap.NewClusterCoordinator(drmap.ClusterCoordinatorOptions{})
+	svc := drmap.NewService(drmap.ServiceOptions{Workers: 2, CacheEntries: 8, Runner: coord})
+	resp, err := svc.Batch(context.Background(), drmap.BatchRequest{Jobs: []drmap.DSERequest{
+		{Arch: "ddr3", Network: "lenet5"},
+		{Arch: "masa", Network: "lenet5"},
+	}})
+	if err != nil {
+		t.Fatalf("Batch with no workers: %v", err)
+	}
+	if resp.Completed != 2 || resp.Failed != 0 {
+		t.Fatalf("batch completed=%d failed=%d, want 2/0", resp.Completed, resp.Failed)
+	}
+
+	worker := drmap.NewClusterWorker(drmap.NewService(drmap.ServiceOptions{Workers: 2, CacheEntries: 8}), drmap.ClusterWorkerOptions{ID: "facade-w"})
+	mux := http.NewServeMux()
+	worker.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	coord.Membership().Heartbeat(drmap.ClusterWorkerInfo{ID: worker.ID(), URL: ts.URL, Capacity: 2})
+
+	again, err := svc.Batch(context.Background(), drmap.BatchRequest{Jobs: []drmap.DSERequest{
+		{Arch: "salp1", Network: "lenet5"},
+		{Arch: "ddr4", Network: "lenet5"},
+	}})
+	if err != nil {
+		t.Fatalf("Batch with a worker: %v", err)
+	}
+	if again.Completed != 2 {
+		t.Fatalf("distributed batch completed=%d, want 2", again.Completed)
+	}
+	if worker.ShardsServed() == 0 {
+		t.Error("facade worker served no shards")
 	}
 }

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drmap/internal/core"
+	"drmap/internal/service"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultShardsPerWorker over-partitions the column space so a slow
+	// or dying worker strands at most 1/ShardsPerWorker of its share.
+	DefaultShardsPerWorker = 4
+	// DefaultMaxAttempts bounds how many workers one shard may burn
+	// through before the job fails over to the local pool.
+	DefaultMaxAttempts = 3
+	// DefaultShardTimeout bounds one shard dispatch. Without it a
+	// worker that freezes mid-shard (deadlocked, SIGSTOPped - TCP still
+	// ACKs, so nothing else errors) would wedge the dispatch, and with
+	// it the single-flight cache entry of the whole request, forever.
+	// Shards evaluate in milliseconds to seconds; two minutes is
+	// generous headroom, not a tuning knob.
+	DefaultShardTimeout = 2 * time.Minute
+)
+
+// CoordinatorOptions tune a Coordinator.
+type CoordinatorOptions struct {
+	// HeartbeatTTL expires workers that stop heartbeating; <= 0 means
+	// DefaultHeartbeatTTL.
+	HeartbeatTTL time.Duration
+	// ShardsPerWorker over-partitions the column space; <= 0 means
+	// DefaultShardsPerWorker.
+	ShardsPerWorker int
+	// MaxAttempts bounds per-shard redispatch; <= 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// ShardTimeout bounds one shard dispatch round trip, so a frozen
+	// worker is retried elsewhere instead of hanging the job; <= 0
+	// means DefaultShardTimeout.
+	ShardTimeout time.Duration
+	// Client performs shard dispatch; nil means a plain client (each
+	// call is already bounded by ShardTimeout).
+	Client *http.Client
+	// Now is the membership clock; nil means time.Now. Injectable so
+	// stale-heartbeat handling is testable without sleeping.
+	Now func() time.Time
+}
+
+// Coordinator partitions DSE jobs into shards, dispatches them to
+// registered workers, and merges the results. It implements
+// service.DSERunner, so installing it as a Service's Runner makes
+// POST /api/v1/dse and /api/v1/batch cluster-distributed transparently.
+// It is safe for concurrent use.
+type Coordinator struct {
+	members         *Membership
+	client          *http.Client
+	shardsPerWorker int
+	maxAttempts     int
+	shardTimeout    time.Duration
+
+	rr        atomic.Uint64 // round-robin dispatch cursor
+	inflight  atomic.Int64  // shards currently dispatched
+	completed atomic.Int64  // shards merged successfully
+	retries   atomic.Int64  // shard dispatches that failed and were retried
+}
+
+// NewCoordinator builds a Coordinator with an empty membership.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	spw := opt.ShardsPerWorker
+	if spw <= 0 {
+		spw = DefaultShardsPerWorker
+	}
+	attempts := opt.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	shardTimeout := opt.ShardTimeout
+	if shardTimeout <= 0 {
+		shardTimeout = DefaultShardTimeout
+	}
+	return &Coordinator{
+		members:         NewMembership(opt.HeartbeatTTL, opt.Now),
+		client:          client,
+		shardsPerWorker: spw,
+		maxAttempts:     attempts,
+		shardTimeout:    shardTimeout,
+	}
+}
+
+// Membership exposes the worker registry (registration handlers and
+// tests drive it directly).
+func (c *Coordinator) Membership() *Membership { return c.members }
+
+// Mount registers the coordinator's endpoints on a mux:
+//
+//	POST /cluster/v1/register - worker registration/heartbeat
+//	GET  /cluster/v1/workers  - membership listing
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("GET "+PathWorkers, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, WorkersResponse{Workers: c.members.Snapshot()})
+	})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad register body: " + err.Error()})
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "register needs id and url"})
+		return
+	}
+	c.members.Heartbeat(WorkerInfo{ID: req.ID, URL: req.URL, Capacity: req.Capacity})
+	writeJSON(w, http.StatusOK, RegisterResponse{OK: true, TTLMillis: c.members.TTL().Milliseconds()})
+}
+
+// Metrics returns the cluster gauges for GET /metrics.
+func (c *Coordinator) Metrics() []service.Metric {
+	return []service.Metric{
+		{Name: "drmap_cluster_workers", Value: int64(len(c.members.Live()))},
+		{Name: "drmap_cluster_inflight_shards", Value: c.inflight.Load()},
+		{Name: "drmap_cluster_shards_completed_total", Value: c.completed.Load()},
+		{Name: "drmap_cluster_shard_retries_total", Value: c.retries.Load()},
+	}
+}
+
+// RunDSE distributes one resolved DSE job across the live workers and
+// merges the shards into a DSEResult bit-for-bit identical to serial
+// core.RunDSE. With no live workers it returns an error wrapping
+// service.ErrNoWorkers, which the owning Service answers from its local
+// pool - a cluster degrades to standalone rather than failing.
+func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSEResult, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	live := c.members.Live()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("cluster: %w", service.ErrNoWorkers)
+	}
+	grids, err := job.Grid() // Validate checks only cheap fields; the (one) enumeration happens here
+	if err != nil {
+		return nil, err
+	}
+	spans := core.ColumnShards(job.Columns(grids), len(live)*c.shardsPerWorker)
+	cells, err := c.dispatchAll(ctx, job, spans)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(job, grids, cells)
+}
+
+// dispatchAll runs every shard concurrently (each with its own retry
+// loop) and returns the union of their cells. The first failure cancels
+// the remaining dispatches.
+func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans []core.ColumnSpan) ([]core.CellResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([][]core.CellResult, len(spans))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, span := range spans {
+		wg.Add(1)
+		go func(i int, span core.ColumnSpan) {
+			defer wg.Done()
+			cells, err := c.dispatchShard(ctx, job, i, len(spans), span)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+				return
+			}
+			results[i] = cells
+		}(i, span)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	cells := make([]core.CellResult, 0, total)
+	for _, r := range results {
+		cells = append(cells, r...)
+	}
+	return cells, nil
+}
+
+// dispatchShard sends one shard to a live worker, retrying on another
+// worker when a dispatch fails or times out (the failed worker is
+// marked dead until its next heartbeat). Running out of live workers
+// or attempts surfaces as service.ErrNoWorkers so the job as a whole
+// fails over to the owning service's local pool.
+func (c *Coordinator) dispatchShard(ctx context.Context, job service.DSEJob, shard, total int, span core.ColumnSpan) ([]core.CellResult, error) {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: shard %d/%d canceled: %w", shard, total, err)
+		}
+		w, ok := c.pickWorker()
+		if !ok {
+			if lastErr != nil {
+				return nil, fmt.Errorf("cluster: shard %d/%d: every live worker failed (last: %v): %w", shard, total, lastErr, service.ErrNoWorkers)
+			}
+			return nil, fmt.Errorf("cluster: shard %d/%d: %w", shard, total, service.ErrNoWorkers)
+		}
+		cells, err := c.callShard(ctx, w, ShardRequest{Job: job, Span: span, Shard: shard, Total: total})
+		if err == nil {
+			c.completed.Add(1)
+			return cells, nil
+		}
+		if ctx.Err() != nil {
+			// The caller gave up; the worker is not at fault.
+			return nil, fmt.Errorf("cluster: shard %d/%d canceled: %w", shard, total, ctx.Err())
+		}
+		lastErr = fmt.Errorf("worker %s: %w", w.ID, err)
+		c.members.MarkDead(w.ID)
+		c.retries.Add(1)
+	}
+	return nil, fmt.Errorf("cluster: shard %d/%d failed after %d attempts (last: %v): %w", shard, total, c.maxAttempts, lastErr, service.ErrNoWorkers)
+}
+
+// pickWorker round-robins over the live workers (sorted by ID, so the
+// rotation is deterministic for a fixed membership).
+func (c *Coordinator) pickWorker() (WorkerInfo, bool) {
+	live := c.members.Live()
+	if len(live) == 0 {
+		return WorkerInfo{}, false
+	}
+	return live[int((c.rr.Add(1)-1)%uint64(len(live)))], true
+}
+
+// callShard performs one shard HTTP round trip, bounded by the shard
+// timeout so a frozen worker surfaces as a retryable failure.
+func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequest) ([]core.CellResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.shardTimeout)
+	defer cancel()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode shard: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+PathShard, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("shard endpoint returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decode shard response: %w", err)
+	}
+	return sr.Cells, nil
+}
+
+// Merge folds shard cells into the job's DSEResult. The reduction is
+// core.ReduceCells - the exact code the serial scan and the single-host
+// parallel executor reduce through - so the merged result is bit-for-bit
+// identical to theirs regardless of shard order, interleaving, or
+// duplicate delivery (a duplicated cell can never beat itself under the
+// serial tie-break). Cells with out-of-range indices are rejected: they
+// indicate a worker evaluating a different job than the coordinator cut.
+func Merge(job service.DSEJob, grids []core.LayerGrid, cells []core.CellResult) (*core.DSEResult, error) {
+	perLayer := make([][]core.CellResult, len(grids))
+	for _, cell := range cells {
+		if cell.LayerIndex < 0 || cell.LayerIndex >= len(grids) ||
+			cell.ScheduleIndex < 0 || cell.ScheduleIndex >= len(job.Schedules) ||
+			cell.PolicyIndex < 0 || cell.PolicyIndex >= len(job.Policies) ||
+			cell.TilingIndex < 0 || cell.TilingIndex >= len(grids[cell.LayerIndex].Tilings) {
+			return nil, fmt.Errorf("cluster: merge: cell %+v outside the job's grid", cell)
+		}
+		perLayer[cell.LayerIndex] = append(perLayer[cell.LayerIndex], cell)
+	}
+	res := &core.DSEResult{Backend: job.Backend, Arch: job.Backend.Config.Arch}
+	tm := job.Backend.Config.Timing
+	for li, lg := range grids {
+		res.Layers = append(res.Layers, core.ReduceCells(lg, job.Schedules, job.Policies, perLayer[li], tm))
+	}
+	return res, nil
+}
+
+// writeJSON writes a JSON response body (the cluster endpoints' shapes
+// are small; no indentation).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"drmap/internal/service"
+)
+
+// DefaultHeartbeatInterval is how often a worker re-registers - one
+// third of the default TTL, so two consecutive heartbeats may be lost
+// before the coordinator drops the worker.
+const DefaultHeartbeatInterval = DefaultHeartbeatTTL / 3
+
+// AdvertiseFor derives a dialable base URL from a listen address when
+// the operator gives none: ":8081" is reachable as 127.0.0.1 only when
+// coordinator and worker share a host, so cross-host deployments must
+// pass an explicit advertise URL.
+func AdvertiseFor(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// WorkerOptions tune a Worker.
+type WorkerOptions struct {
+	// ID is the worker's stable identity; empty derives one from the
+	// hostname and PID.
+	ID string
+	// AdvertiseURL is the base URL the coordinator dials for shards
+	// (e.g. "http://10.0.0.7:8081"). Required to register.
+	AdvertiseURL string
+	// CoordinatorURL is the coordinator's base URL; empty runs the
+	// worker serve-only (something else registers it, e.g. a test).
+	CoordinatorURL string
+	// HeartbeatInterval is the registration cadence; <= 0 means
+	// DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// Client performs registration calls; nil means a 10s-timeout
+	// client (heartbeats must fail fast, not hang past the TTL).
+	Client *http.Client
+}
+
+// Worker executes shards on a local Service - through its worker pool,
+// its CPU gate, and its content-addressed characterization cache - and
+// keeps itself registered with a coordinator via heartbeat. It is safe
+// for concurrent use.
+type Worker struct {
+	svc      *service.Service
+	id       string
+	opt      WorkerOptions
+	client   *http.Client
+	shards   atomic.Int64 // shards served
+	rejected atomic.Int64 // shard requests rejected as malformed
+}
+
+// NewWorker builds a worker around a Service.
+func NewWorker(svc *service.Service, opt WorkerOptions) *Worker {
+	id := opt.ID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if opt.HeartbeatInterval <= 0 {
+		opt.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	return &Worker{svc: svc, id: id, opt: opt, client: client}
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.id }
+
+// ShardsServed returns how many shards this worker has executed.
+func (w *Worker) ShardsServed() int64 { return w.shards.Load() }
+
+// Metrics returns the worker-side gauges for GET /metrics.
+func (w *Worker) Metrics() []service.Metric {
+	return []service.Metric{
+		{Name: "drmap_worker_shards_served_total", Value: w.shards.Load()},
+		{Name: "drmap_worker_shards_rejected_total", Value: w.rejected.Load()},
+	}
+}
+
+// Mount registers the worker's shard endpoint on a mux:
+//
+//	POST /cluster/v1/shard
+func (w *Worker) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathShard, w.handleShard)
+}
+
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&req); err != nil {
+		w.rejected.Add(1)
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad shard body: " + err.Error()})
+		return
+	}
+	cells, err := w.svc.EvaluateShard(r.Context(), req.Job, req.Span)
+	if err != nil {
+		w.rejected.Add(1)
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	w.shards.Add(1)
+	writeJSON(rw, http.StatusOK, ShardResponse{WorkerID: w.id, Cells: cells})
+}
+
+// Register performs one registration/heartbeat round trip.
+func (w *Worker) Register(ctx context.Context) error {
+	if w.opt.CoordinatorURL == "" {
+		return fmt.Errorf("cluster: worker %s has no coordinator URL", w.id)
+	}
+	if w.opt.AdvertiseURL == "" {
+		return fmt.Errorf("cluster: worker %s has no advertise URL", w.id)
+	}
+	body, err := json.Marshal(RegisterRequest{ID: w.id, URL: w.opt.AdvertiseURL, Capacity: w.svc.Workers()})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.CoordinatorURL+PathRegister, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: register %s: %w", w.id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("cluster: register %s: coordinator returned %s: %s", w.id, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Run keeps the worker registered until ctx is canceled: one immediate
+// registration, then a heartbeat every interval. Heartbeat failures are
+// retried at the same cadence (the coordinator may be restarting; the
+// worker re-registers as soon as it is back), reported through onError
+// when set.
+func (w *Worker) Run(ctx context.Context, onError func(error)) error {
+	if err := w.Register(ctx); err != nil && onError != nil {
+		onError(err)
+	}
+	t := time.NewTicker(w.opt.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			if err := w.Register(ctx); err != nil && onError != nil {
+				onError(err)
+			}
+		}
+	}
+}

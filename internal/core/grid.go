@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"drmap/internal/accel"
 	"drmap/internal/cnn"
 	"drmap/internal/dram"
 	"drmap/internal/mapping"
@@ -43,6 +44,15 @@ type CellResult struct {
 // empty, or a layer admits no buffer-fitting partitioning - the same
 // failure modes RunDSE reports.
 func DSEGrid(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule, policies []mapping.Policy) ([]LayerGrid, error) {
+	return DSEGridFor(net, ev.Accel, schedules, policies)
+}
+
+// DSEGridFor is DSEGrid from an accelerator configuration alone. The
+// enumeration depends only on the workload and the accelerator buffers,
+// not on any DRAM characterization, so a cluster coordinator can shard
+// the column space and map tiling indices back to tilings without ever
+// building an evaluator.
+func DSEGridFor(net cnn.Network, acfg accel.Config, schedules []tiling.Schedule, policies []mapping.Policy) ([]LayerGrid, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,13 +61,55 @@ func DSEGrid(net cnn.Network, ev *Evaluator, schedules []tiling.Schedule, polici
 	}
 	grids := make([]LayerGrid, 0, len(net.Layers))
 	for i, layer := range net.Layers {
-		tilings := tiling.Enumerate(layer, ev.Accel)
+		tilings := tiling.Enumerate(layer, acfg)
 		if len(tilings) == 0 {
 			return nil, fmt.Errorf("core: layer %s: no partitioning fits the buffers", layer.Name)
 		}
 		grids = append(grids, LayerGrid{Index: i, Layer: layer, Tilings: tilings})
 	}
 	return grids, nil
+}
+
+// ColumnSpan is a half-open range [Start, End) of (layer, schedule)
+// column indices - the unit of work a cluster shard carries. Column i
+// addresses layer i/len(schedules), schedule i%len(schedules), matching
+// the parallel executor's index arithmetic.
+type ColumnSpan struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of columns in the span.
+func (s ColumnSpan) Len() int { return s.End - s.Start }
+
+// ColumnShards partitions the column index space [0, columns) into at
+// most shards contiguous, near-equal spans. The partition is a pure
+// function of its arguments, so every coordinator (and a coordinator
+// restarted mid-run) cuts identical shards for the same job. shards <= 1
+// (or shards >= columns) degenerates sensibly: one span, or one span per
+// column.
+func ColumnShards(columns, shards int) []ColumnSpan {
+	if columns <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > columns {
+		shards = columns
+	}
+	spans := make([]ColumnSpan, 0, shards)
+	quo, rem := columns/shards, columns%shards
+	start := 0
+	for i := 0; i < shards; i++ {
+		size := quo
+		if i < rem {
+			size++
+		}
+		spans = append(spans, ColumnSpan{Start: start, End: start + size})
+		start += size
+	}
+	return spans
 }
 
 // EvaluateScheduleColumn searches one (layer, schedule) column of the

@@ -126,3 +126,59 @@ func TestReduceCellsTieBreak(t *testing.T) {
 		t.Errorf("infeasible cells produced MinEDP %g", lr.MinEDP)
 	}
 }
+
+// TestColumnShards pins the deterministic partition contract: spans
+// cover [0, columns) exactly once, in order, with near-equal sizes, and
+// the cut is a pure function of (columns, shards).
+func TestColumnShards(t *testing.T) {
+	for _, tc := range []struct{ columns, shards, want int }{
+		{0, 4, 0},  // empty space
+		{10, 1, 1}, // one shard
+		{10, 0, 1}, // degenerate shard count
+		{10, 3, 3}, // uneven split
+		{3, 8, 3},  // more shards than columns
+		{12, 4, 4}, // even split
+	} {
+		spans := ColumnShards(tc.columns, tc.shards)
+		if len(spans) != tc.want {
+			t.Errorf("ColumnShards(%d, %d) cut %d spans, want %d", tc.columns, tc.shards, len(spans), tc.want)
+			continue
+		}
+		next := 0
+		for _, s := range spans {
+			if s.Start != next || s.End <= s.Start {
+				t.Errorf("ColumnShards(%d, %d): span %+v breaks coverage at %d", tc.columns, tc.shards, s, next)
+			}
+			next = s.End
+		}
+		if tc.columns > 0 && next != tc.columns {
+			t.Errorf("ColumnShards(%d, %d) covers [0, %d), want [0, %d)", tc.columns, tc.shards, next, tc.columns)
+		}
+		if len(spans) > 0 {
+			if max, min := spans[0].Len(), spans[len(spans)-1].Len(); max-min > 1 {
+				t.Errorf("ColumnShards(%d, %d): span sizes differ by %d, want <= 1", tc.columns, tc.shards, max-min)
+			}
+		}
+		if !reflect.DeepEqual(spans, ColumnShards(tc.columns, tc.shards)) {
+			t.Errorf("ColumnShards(%d, %d) is not deterministic", tc.columns, tc.shards)
+		}
+	}
+}
+
+// TestDSEGridForMatchesDSEGrid: the evaluator-free enumeration is the
+// one DSEGrid serves, so coordinator-side sharding and worker-side
+// evaluation agree on column indexing.
+func TestDSEGridForMatchesDSEGrid(t *testing.T) {
+	ev := evaluatorFor(t, dram.DDR3)
+	viaEv, err := DSEGrid(cnn.LeNet5(), ev, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("DSEGrid: %v", err)
+	}
+	viaCfg, err := DSEGridFor(cnn.LeNet5(), ev.Accel, tiling.Schedules, mapping.TableI())
+	if err != nil {
+		t.Fatalf("DSEGridFor: %v", err)
+	}
+	if !reflect.DeepEqual(viaEv, viaCfg) {
+		t.Error("DSEGridFor diverged from DSEGrid")
+	}
+}

@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -47,7 +48,6 @@ var registry = struct {
 	sync.RWMutex
 	byID   map[string]Backend
 	byName map[string]string // display name -> owning ID
-	order  []string
 }{byID: make(map[string]Backend), byName: make(map[string]string)}
 
 // validBackendID reports whether an ID is usable as a flag value, URL
@@ -93,7 +93,6 @@ func Register(b Backend) error {
 	}
 	registry.byID[b.ID] = b
 	registry.byName[b.Name] = b.ID
-	registry.order = append(registry.order, b.ID)
 	return nil
 }
 
@@ -112,25 +111,30 @@ func Lookup(id string) (Backend, bool) {
 	return b, ok
 }
 
-// Backends returns every registered backend in registration order: the
-// four paper architectures first, then the generality presets, then
-// anything user code registered.
+// Backends returns every registered backend sorted by ID, so registry
+// listings (flag help, GET /api/v1/backends, characterize-all output)
+// are deterministic regardless of registration or map iteration order.
+// PaperBackends serves the figure-ordered paper set.
 func Backends() []Backend {
 	registry.RLock()
 	defer registry.RUnlock()
-	out := make([]Backend, 0, len(registry.order))
-	for _, id := range registry.order {
-		out = append(out, registry.byID[id])
+	out := make([]Backend, 0, len(registry.byID))
+	for _, b := range registry.byID {
+		out = append(out, b)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// BackendIDs returns every registered ID in registration order.
+// BackendIDs returns every registered ID sorted lexicographically.
 func BackendIDs() []string {
 	registry.RLock()
 	defer registry.RUnlock()
-	out := make([]string, len(registry.order))
-	copy(out, registry.order)
+	out := make([]string, 0, len(registry.byID))
+	for id := range registry.byID {
+		out = append(out, id)
+	}
+	sort.Strings(out)
 	return out
 }
 

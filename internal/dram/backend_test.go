@@ -159,3 +159,22 @@ func TestHBM2ConfigValid(t *testing.T) {
 		t.Error("HBM2 I/O energy should undercut LPDDR3's")
 	}
 }
+
+// TestBackendsSortedByID: registry listings are deterministic - sorted
+// by ID regardless of registration or map iteration order - so flag
+// help, GET /api/v1/backends and characterize-all output never shuffle.
+func TestBackendsSortedByID(t *testing.T) {
+	backends := Backends()
+	ids := BackendIDs()
+	if len(ids) != len(backends) {
+		t.Fatalf("BackendIDs lists %d IDs for %d backends", len(ids), len(backends))
+	}
+	for i := range backends {
+		if backends[i].ID != ids[i] {
+			t.Errorf("Backends()[%d] = %q but BackendIDs()[%d] = %q", i, backends[i].ID, i, ids[i])
+		}
+		if i > 0 && !(ids[i-1] < ids[i]) {
+			t.Errorf("IDs out of order: %q before %q", ids[i-1], ids[i])
+		}
+	}
+}

@@ -143,10 +143,9 @@ func CharacterizeBackend(b dram.Backend) (*Profile, error) {
 	return p, nil
 }
 
-// CharacterizeAll measures every registered backend in registration
-// order: the four paper architectures first, then the generality
-// presets. Figure-reproduction paths that need exactly the paper's set
-// use CharacterizePaper instead.
+// CharacterizeAll measures every registered backend in ID order (the
+// deterministic dram.Backends listing). Figure-reproduction paths that
+// need exactly the paper's set use CharacterizePaper instead.
 func CharacterizeAll() ([]*Profile, error) {
 	return characterizeBackends(dram.Backends())
 }

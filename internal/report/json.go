@@ -167,7 +167,7 @@ func BackendToJSON(b dram.Backend) BackendJSON {
 	}
 }
 
-// BackendsJSON encodes the backend registry in registration order.
+// BackendsJSON encodes a backend list in the order given.
 func BackendsJSON(backends []dram.Backend) []BackendJSON {
 	out := make([]BackendJSON, 0, len(backends))
 	for _, b := range backends {

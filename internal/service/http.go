@@ -20,6 +20,9 @@ type ServerOptions struct {
 	// ShutdownGrace bounds graceful shutdown; 0 means
 	// DefaultShutdownGrace.
 	ShutdownGrace time.Duration
+	// Mount, when set, registers extra endpoints on the daemon's mux -
+	// the cluster roles hang their /cluster/v1/* routes here.
+	Mount func(mux *http.ServeMux)
 }
 
 // Serving defaults.
@@ -98,19 +101,28 @@ func handle[Req, Resp any](timeout time.Duration, call func(context.Context, Req
 // NewHandler wires the Service's endpoints onto a mux:
 //
 //	GET  /healthz
+//	GET  /metrics
 //	GET  /api/v1/policies
 //	GET  /api/v1/backends
 //	POST /api/v1/characterize
 //	POST /api/v1/dse
+//	POST /api/v1/batch
 //	POST /api/v1/simulate
 //	POST /api/v1/sweep
-func NewHandler(s *Service, requestTimeout time.Duration) http.Handler {
+//
+// The returned mux is open for further registration (cluster roles add
+// their /cluster/v1/* endpoints).
+func NewHandler(s *Service, requestTimeout time.Duration) *http.ServeMux {
 	if requestTimeout <= 0 {
 		requestTimeout = DefaultRequestTimeout
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(s.MetricsText()))
 	})
 	mux.HandleFunc("GET /api/v1/policies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Policies())
@@ -135,6 +147,7 @@ func NewHandler(s *Service, requestTimeout time.Duration) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /api/v1/dse", handle(requestTimeout, s.DSE))
+	mux.HandleFunc("POST /api/v1/batch", handle(requestTimeout, s.Batch))
 	mux.HandleFunc("POST /api/v1/simulate", handle(requestTimeout, s.Simulate))
 	mux.HandleFunc("POST /api/v1/sweep", handle(requestTimeout, s.Sweep))
 	return mux
@@ -148,9 +161,13 @@ func NewServer(s *Service, opt ServerOptions) *http.Server {
 	if reqTimeout <= 0 {
 		reqTimeout = DefaultRequestTimeout
 	}
+	mux := NewHandler(s, reqTimeout)
+	if opt.Mount != nil {
+		opt.Mount(mux)
+	}
 	return &http.Server{
 		Addr:              opt.Addr,
-		Handler:           NewHandler(s, reqTimeout),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      reqTimeout + 15*time.Second,

@@ -1,0 +1,43 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric is one counter on the plain-text GET /metrics endpoint.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Metrics snapshots the serving counters: evaluations, cache
+// effectiveness, pool size, then whatever the configured extra source
+// adds (cluster wiring contributes worker and in-flight-shard gauges).
+func (s *Service) Metrics() []Metric {
+	cs := s.CacheStats()
+	out := []Metric{
+		{Name: "drmap_evaluations_total", Value: s.Evaluations()},
+		{Name: "drmap_cache_hits_total", Value: cs.Hits},
+		{Name: "drmap_cache_misses_total", Value: cs.Misses},
+		{Name: "drmap_cache_coalesced_total", Value: cs.Coalesced},
+		{Name: "drmap_cache_evictions_total", Value: cs.Evictions},
+		{Name: "drmap_cache_entries", Value: int64(cs.Entries)},
+		{Name: "drmap_pool_workers", Value: int64(s.workers)},
+	}
+	if s.extraMetrics != nil {
+		out = append(out, s.extraMetrics()...)
+	}
+	return out
+}
+
+// MetricsText renders the counters in the Prometheus text exposition
+// style (one "name value" line per counter), the format GET /metrics
+// serves.
+func (s *Service) MetricsText() string {
+	var b strings.Builder
+	for _, m := range s.Metrics() {
+		fmt.Fprintf(&b, "%s %d\n", m.Name, m.Value)
+	}
+	return b.String()
+}

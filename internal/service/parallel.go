@@ -81,24 +81,8 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 	if err != nil {
 		return nil, err
 	}
-	columns := make([][]core.CellResult, len(grids)*len(schedules))
-	var skipped atomic.Bool
-	err = runPool(ctx, len(columns), workers, func(i int) {
-		if gate != nil {
-			select {
-			case gate <- struct{}{}:
-				defer func() { <-gate }()
-			case <-ctx.Done():
-				skipped.Store(true)
-				return
-			}
-		}
-		li, si := i/len(schedules), i%len(schedules)
-		columns[i] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
-	})
-	if err == nil && skipped.Load() {
-		err = ctx.Err()
-	}
+	span := core.ColumnSpan{Start: 0, End: len(grids) * len(schedules)}
+	columns, err := evaluateColumns(ctx, gate, grids, ev, schedules, policies, obj, span, workers)
 	if err != nil {
 		return nil, fmt.Errorf("service: parallel DSE canceled: %w", err)
 	}
@@ -112,6 +96,37 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 		result.Layers = append(result.Layers, core.ReduceCells(lg, schedules, policies, cells[li], ev.Timing()))
 	}
 	return result, nil
+}
+
+// evaluateColumns fans one span of the (layer, schedule) column space
+// over a local worker pool: column i covers layer i/len(schedules),
+// schedule i%len(schedules). The returned slice holds one cell list per
+// column, indexed relative to span.Start. The optional gate bounds
+// CPU-bound parallelism across concurrent requests (see parallelDSE).
+func evaluateColumns(ctx context.Context, gate chan struct{}, grids []core.LayerGrid, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, span core.ColumnSpan, workers int) ([][]core.CellResult, error) {
+	columns := make([][]core.CellResult, span.Len())
+	var skipped atomic.Bool
+	err := runPool(ctx, span.Len(), workers, func(i int) {
+		if gate != nil {
+			select {
+			case gate <- struct{}{}:
+				defer func() { <-gate }()
+			case <-ctx.Done():
+				skipped.Store(true)
+				return
+			}
+		}
+		col := span.Start + i
+		li, si := col/len(schedules), col%len(schedules)
+		columns[i] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
+	})
+	if err == nil && skipped.Load() {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return columns, nil
 }
 
 // characterizeEach fans n characterizations over the worker pool.

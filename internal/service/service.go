@@ -10,10 +10,12 @@
 // The drmap-serve daemon (cmd/drmap-serve) exposes:
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
+//	GET  /metrics             - plain-text serving/cluster counters
 //	GET  /api/v1/policies     - the Table I mapping policies
-//	GET  /api/v1/backends     - the registered DRAM backends
+//	GET  /api/v1/backends     - the registered DRAM backends (ID-sorted)
 //	POST /api/v1/characterize - Fig. 1 characterization {"archs":["ddr3",...]}
 //	POST /api/v1/dse          - Algorithm 1 {"arch":"ddr3","network":"alexnet"}
+//	POST /api/v1/batch        - many DSE jobs in one request {"jobs":[...]}
 //	POST /api/v1/simulate     - trace-driven layer validation
 //	POST /api/v1/sweep        - ablation sweeps {"kind":"subarrays"}
 //
@@ -57,6 +59,14 @@ type Options struct {
 	// Accel is the accelerator configuration; the zero value selects
 	// the paper's Table II accelerator.
 	Accel accel.Config
+	// Runner, when set, executes resolved DSE jobs - e.g. a cluster
+	// coordinator distributing shards over remote workers - instead of
+	// the local pool. A runner returning an error that wraps
+	// ErrNoWorkers falls back to the local pool.
+	Runner DSERunner
+	// ExtraMetrics, when set, supplies additional counters appended to
+	// GET /metrics (e.g. cluster worker/shard gauges).
+	ExtraMetrics func() []Metric
 }
 
 // DefaultCacheEntries is the drmap-serve default result-cache bound.
@@ -73,7 +83,9 @@ type Service struct {
 	// concurrently running requests to `workers` tokens, so N distinct
 	// in-flight requests queue for CPU instead of oversubscribing it
 	// N*workers-fold.
-	gate chan struct{}
+	gate         chan struct{}
+	runner       DSERunner
+	extraMetrics func() []Metric
 }
 
 // New builds a Service.
@@ -86,12 +98,23 @@ func New(opt Options) *Service {
 	}
 	workers := defaultWorkers(opt.Workers)
 	return &Service{
-		workers: workers,
-		accel:   opt.Accel,
-		cache:   NewCache(opt.CacheEntries),
-		gate:    make(chan struct{}, workers),
+		workers:      workers,
+		accel:        opt.Accel,
+		cache:        NewCache(opt.CacheEntries),
+		gate:         make(chan struct{}, workers),
+		runner:       opt.Runner,
+		extraMetrics: opt.ExtraMetrics,
 	}
 }
+
+// SetRunner installs (or clears) the distributed DSE runner after
+// construction - cmd wiring builds the service first, then the cluster
+// coordinator around it. Call before serving requests.
+func (s *Service) SetRunner(r DSERunner) { s.runner = r }
+
+// SetExtraMetrics installs the extra-metrics source after construction.
+// Call before serving requests.
+func (s *Service) SetExtraMetrics(f func() []Metric) { s.extraMetrics = f }
 
 // internalError marks a failure that occurred while computing a result,
 // as opposed to rejecting a request's inputs; the HTTP layer maps it to
@@ -127,7 +150,7 @@ func (s *Service) Policies() PoliciesResponse {
 }
 
 // Backends lists the registered DRAM backends the service will accept
-// in any "arch" field, in registration order.
+// in any "arch" field, sorted by ID.
 func (s *Service) Backends() BackendsResponse {
 	return BackendsResponse{Backends: report.BackendsJSON(dram.Backends())}
 }
@@ -243,19 +266,23 @@ func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error)
 	}
 	evalCtx := context.WithoutCancel(ctx)
 	v, shared, err := s.doBounded(ctx, "dse", key, func() (any, error) {
-		ev, err := s.evaluatorFor(backend, batch)
+		job := DSEJob{
+			Backend: backend, Accel: s.accel, Network: net,
+			Schedules: schedules, Policies: policies,
+			Objective: obj, Batch: batch,
+		}
+		res, err := s.runJob(evalCtx, job)
 		if err != nil {
 			return nil, err
 		}
-		res, err := parallelDSE(evalCtx, s.gate, net, ev, schedules, policies, obj, s.workers)
-		if err != nil {
-			return nil, err
-		}
+		// The evaluator's timing is its profile's config timing, i.e.
+		// the backend's - available without characterizing locally when
+		// a cluster ran the job.
 		return &DSEResponse{
 			Network:   net.Name,
 			Objective: obj.String(),
 			Batch:     batch,
-			Result:    report.DSEResultJSON(res, ev.Timing()),
+			Result:    report.DSEResultJSON(res, backend.Config.Timing),
 		}, nil
 	})
 	if err != nil {
