@@ -1,0 +1,455 @@
+// Package client is the typed Go SDK for the drmap-serve HTTP API: the
+// synchronous v1 endpoints (DSE, characterize, batch, sweep, registry
+// listings) and the job-oriented v2 surface - submit a job, poll its
+// status, stream its events as they commit, cancel it - with retries
+// and context plumbing throughout.
+//
+// Quickstart:
+//
+//	c := client.New("http://localhost:8080")
+//	job, err := c.SubmitDSE(ctx, client.DSERequest{Arch: "ddr3", Network: "alexnet"})
+//	stream, err := c.Events(ctx, job.ID, 0)
+//	for {
+//		ev, err := stream.Next()
+//		if err != nil { break } // io.EOF once the terminal state event arrived
+//		// ev.Type: state | progress | layer | item | result | error
+//	}
+//	final, err := c.Job(ctx, job.ID)
+//	res, err := client.DSEResultOf(final)
+//
+// Idempotent calls (every GET, and the v1 POST evaluations, which the
+// server content-addresses) retry on transport errors and 502/503/504
+// with backoff; job submissions and cancels are sent exactly once.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"drmap/internal/service"
+)
+
+// The request/response types are the server's own JSON shapes,
+// re-exported so SDK users never import internal packages.
+type (
+	DSERequest           = service.DSERequest
+	DSEResponse          = service.DSEResponse
+	BatchRequest         = service.BatchRequest
+	BatchResponse        = service.BatchResponse
+	BatchItem            = service.BatchItem
+	CharacterizeRequest  = service.CharacterizeRequest
+	CharacterizeResponse = service.CharacterizeResponse
+	SweepRequest         = service.SweepRequest
+	SweepResponse        = service.SweepResponse
+	BackendsResponse     = service.BackendsResponse
+	PoliciesResponse     = service.PoliciesResponse
+	HealthResponse       = service.HealthResponse
+	JobRequest           = service.JobRequest
+	Job                  = service.JobView
+	JobProgress          = service.JobProgress
+	Event                = service.JobEvent
+)
+
+// Job states and event types, mirrored for switch statements.
+const (
+	JobPending   = string(service.JobPending)
+	JobRunning   = string(service.JobRunning)
+	JobSucceeded = string(service.JobSucceeded)
+	JobFailed    = string(service.JobFailed)
+	JobCanceled  = string(service.JobCanceled)
+
+	EventState    = service.EventState
+	EventProgress = service.EventProgress
+	EventLayer    = service.EventLayer
+	EventItem     = service.EventItem
+	EventResult   = service.EventResult
+	EventError    = service.EventError
+)
+
+// APIError is a non-2xx response, carrying the HTTP status and the
+// server's error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("drmap server: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsNotFound reports whether err is a 404 APIError (e.g. a job that
+// was never submitted or has been TTL-evicted).
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return AsAPIError(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// AsAPIError extracts an APIError from err.
+func AsAPIError(err error, target **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok && target != nil {
+		*target = ae
+	}
+	return ok
+}
+
+// Defaults.
+const (
+	DefaultRetries      = 2
+	DefaultBackoff      = 250 * time.Millisecond
+	DefaultPollInterval = 200 * time.Millisecond
+)
+
+// Client talks to one drmap-serve base URL. It is safe for concurrent
+// use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	poll    time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the transport (default: a fresh http.Client
+// with no timeout - per-call contexts bound waits instead, so long
+// streams are not torn down mid-job).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry tunes the retry policy for idempotent calls: up to retries
+// re-sends with linearly growing backoff. retries 0 disables retries.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries = retries; c.backoff = backoff }
+}
+
+// WithPollInterval tunes Wait's polling cadence.
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// New builds a client for a drmap-serve base URL, e.g.
+// "http://localhost:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		retries: DefaultRetries,
+		backoff: DefaultBackoff,
+		poll:    DefaultPollInterval,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do performs one call. idempotent calls retry on transport errors and
+// 502/503/504; non-idempotent ones (job submit, cancel) are sent once.
+// body, when non-nil, is marshaled to JSON; out, when non-nil, receives
+// the decoded 2xx response.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var encoded []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		encoded = b
+	}
+	attempts := 1
+	if idempotent {
+		attempts = c.retries + 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var reqBody io.Reader
+		if encoded != nil {
+			reqBody = bytes.NewReader(encoded)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, reqBody)
+		if err != nil {
+			return err
+		}
+		if encoded != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		retryable, err := decodeResponse(resp, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("client: %s %s: %w", method, path, lastErr)
+}
+
+// retryableStatus reports whether a status is transient enough to
+// retry an idempotent call (or reconnect an event stream).
+func retryableStatus(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// decodeResponse consumes one HTTP response: 2xx decodes into out,
+// non-2xx becomes an APIError. The bool reports whether the failure is
+// worth retrying (gateway-ish statuses).
+func decodeResponse(resp *http.Response, out any) (retryable bool, err error) {
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return retryableStatus(resp.StatusCode), &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return false, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return false, fmt.Errorf("client: decode response: %w", err)
+	}
+	return false, nil
+}
+
+// --- v1: synchronous evaluations -----------------------------------
+
+// DSE runs one synchronous Algorithm 1 search (POST /api/v1/dse).
+func (c *Client) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error) {
+	var out DSEResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/dse", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch runs many DSE jobs in one request (POST /api/v1/batch).
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/batch", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Characterize measures backends (POST /api/v1/characterize); an empty
+// request characterizes the server's whole registry.
+func (c *Client) Characterize(ctx context.Context, req CharacterizeRequest) (*CharacterizeResponse, error) {
+	var out CharacterizeResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/characterize", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep runs one ablation sweep (POST /api/v1/sweep).
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	var out SweepResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/sweep", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Backends lists the server's DRAM backend registry.
+func (c *Client) Backends(ctx context.Context) (*BackendsResponse, error) {
+	var out BackendsResponse
+	if err := c.do(ctx, http.MethodGet, "/api/v1/backends", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Policies lists the Table I mapping policies.
+func (c *Client) Policies(ctx context.Context) (*PoliciesResponse, error) {
+	var out PoliciesResponse
+	if err := c.do(ctx, http.MethodGet, "/api/v1/policies", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health reads the daemon's liveness and serving counters.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- v2: asynchronous jobs -----------------------------------------
+
+// SubmitJob submits one job (POST /api/v2/jobs) and returns its view
+// immediately; the job runs server-side, detached from ctx.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/api/v2/jobs", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitDSE submits an asynchronous DSE job.
+func (c *Client) SubmitDSE(ctx context.Context, req DSERequest) (*Job, error) {
+	return c.SubmitJob(ctx, JobRequest{Kind: "dse", DSE: &req})
+}
+
+// SubmitBatch submits an asynchronous batch job.
+func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (*Job, error) {
+	return c.SubmitJob(ctx, JobRequest{Kind: "batch", Batch: &req})
+}
+
+// SubmitCharacterize submits an asynchronous characterization job.
+func (c *Client) SubmitCharacterize(ctx context.Context, req CharacterizeRequest) (*Job, error) {
+	return c.SubmitJob(ctx, JobRequest{Kind: "characterize", Characterize: &req})
+}
+
+// SubmitSweep submits an asynchronous sweep job.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (*Job, error) {
+	return c.SubmitJob(ctx, JobRequest{Kind: "sweep", Sweep: &req})
+}
+
+// Job fetches one job's status, progress and - once terminal - result
+// (GET /api/v2/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodGet, "/api/v2/jobs/"+url.PathEscape(id), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobFilter narrows Jobs listings; zero values mean "any".
+type JobFilter struct {
+	Kind  string
+	State string
+	Limit int
+}
+
+// Jobs lists jobs, newest first (GET /api/v2/jobs).
+func (c *Client) Jobs(ctx context.Context, f JobFilter) ([]Job, error) {
+	q := url.Values{}
+	if f.Kind != "" {
+		q.Set("kind", f.Kind)
+	}
+	if f.State != "" {
+		q.Set("state", f.State)
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	path := "/api/v2/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out service.JobsListResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Cancel cancels a job (DELETE /api/v2/jobs/{id}). Canceling an
+// already-finished job returns a 409 APIError.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodDelete, "/api/v2/jobs/"+url.PathEscape(id), nil, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Wait polls until the job is terminal (or ctx expires) and returns
+// the final view, result included. Use Events to consume progress live
+// instead of waiting blind.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if service.JobState(j.State).Terminal() {
+			return j, nil
+		}
+		select {
+		case <-time.After(c.poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// --- typed result decoding -----------------------------------------
+
+// resultOf decodes a terminal job's result payload.
+func resultOf[T any](j *Job) (*T, error) {
+	if j == nil || len(j.Result) == 0 {
+		return nil, fmt.Errorf("client: job %s carries no result (state %s)", jobID(j), jobState(j))
+	}
+	out := new(T)
+	if err := json.Unmarshal(j.Result, out); err != nil {
+		return nil, fmt.Errorf("client: decode job result: %w", err)
+	}
+	return out, nil
+}
+
+func jobID(j *Job) string {
+	if j == nil {
+		return "<nil>"
+	}
+	return j.ID
+}
+
+func jobState(j *Job) service.JobState {
+	if j == nil {
+		return ""
+	}
+	return j.State
+}
+
+// DSEResultOf decodes a finished DSE job's result.
+func DSEResultOf(j *Job) (*DSEResponse, error) { return resultOf[DSEResponse](j) }
+
+// BatchResultOf decodes a finished (or canceled-with-partial-results)
+// batch job's result.
+func BatchResultOf(j *Job) (*BatchResponse, error) { return resultOf[BatchResponse](j) }
+
+// CharacterizeResultOf decodes a finished characterization job's result.
+func CharacterizeResultOf(j *Job) (*CharacterizeResponse, error) {
+	return resultOf[CharacterizeResponse](j)
+}
+
+// SweepResultOf decodes a finished sweep job's result.
+func SweepResultOf(j *Job) (*SweepResponse, error) { return resultOf[SweepResponse](j) }

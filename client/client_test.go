@@ -1,0 +1,266 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drmap/internal/service"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Options{Workers: 2, CacheEntries: 32})
+	ts := httptest.NewServer(service.NewHandler(svc, 2*time.Minute))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+// TestClientRoundTrip drives the whole SDK surface against an
+// in-process server: v1 sync calls, v2 submit/poll/stream/cancel, and
+// typed result decoding.
+func TestClientRoundTrip(t *testing.T) {
+	ts, _ := newServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	// Registry and health.
+	backends, err := c.Backends(ctx)
+	if err != nil {
+		t.Fatalf("Backends: %v", err)
+	}
+	if len(backends.Backends) < 6 {
+		t.Fatalf("got %d backends", len(backends.Backends))
+	}
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("Health: %+v, %v", h, err)
+	}
+
+	// v1 synchronous DSE.
+	sync, err := c.DSE(ctx, DSERequest{Arch: "ddr3", Network: "lenet5"})
+	if err != nil {
+		t.Fatalf("DSE: %v", err)
+	}
+	if len(sync.Result.Layers) == 0 || sync.Result.TotalEDPJs <= 0 {
+		t.Fatalf("DSE result %+v", sync.Result)
+	}
+
+	// v2 submit + follow + typed decode: identical search, so the
+	// result must match the v1 answer exactly.
+	job, err := c.SubmitDSE(ctx, DSERequest{Arch: "ddr3", Network: "lenet5"})
+	if err != nil {
+		t.Fatalf("SubmitDSE: %v", err)
+	}
+	var sawTerminal bool
+	final, err := c.Follow(ctx, job.ID, 0, func(ev Event) {
+		if ev.Type == EventState && service.JobState(ev.State).Terminal() {
+			sawTerminal = true
+		}
+	})
+	if err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if !sawTerminal || final.State != service.JobSucceeded {
+		t.Fatalf("final %+v (terminal event seen: %v)", final, sawTerminal)
+	}
+	res, err := DSEResultOf(final)
+	if err != nil {
+		t.Fatalf("DSEResultOf: %v", err)
+	}
+	if !reflect.DeepEqual(res.Result, sync.Result) {
+		t.Error("v2 job result diverged from v1 sync result")
+	}
+
+	// Wait (poll path) returns the same terminal view.
+	waited, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if waited.State != service.JobSucceeded || len(waited.Result) == 0 {
+		t.Fatalf("waited view %+v", waited)
+	}
+
+	// Listing finds the v2 job. The v1 sync call above also ran as a
+	// job, but ephemeral ones leave the store once answered.
+	jobs, err := c.Jobs(ctx, JobFilter{Kind: "dse"})
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Fatalf("listing %+v, want only the v2 job", jobs)
+	}
+
+	// Cancel after completion surfaces the server's 409.
+	if _, err := c.Cancel(ctx, job.ID); err == nil {
+		t.Error("cancel of finished job succeeded")
+	} else {
+		var ae *APIError
+		if !AsAPIError(err, &ae) || ae.Status != http.StatusConflict {
+			t.Errorf("cancel error %v, want 409 APIError", err)
+		}
+	}
+
+	// Unknown job: IsNotFound.
+	if _, err := c.Job(ctx, "job-404"); !IsNotFound(err) {
+		t.Errorf("unknown job error %v, want 404", err)
+	}
+}
+
+// TestClientEventStreamResume: a stream opened at from=N replays only
+// events >= N, and LastSeq supports manual reconnection.
+func TestClientEventStreamResume(t *testing.T) {
+	ts, _ := newServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	job, err := c.SubmitCharacterize(ctx, CharacterizeRequest{Archs: []string{"ddr3", "salp1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := c.Events(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Event
+	for {
+		ev, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ev)
+	}
+	stream.Close()
+	if len(all) < 2 {
+		t.Fatalf("replay returned %d events", len(all))
+	}
+
+	// Resume from the middle: only the tail replays.
+	mid := all[len(all)/2].Seq
+	resumed, err := c.Events(ctx, job.ID, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	first, err := resumed.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq < mid {
+		t.Errorf("resumed stream started at seq %d, want >= %d", first.Seq, mid)
+	}
+	n := 1
+	for {
+		if _, err := resumed.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if want := 0; n <= want {
+		t.Errorf("resumed stream empty")
+	}
+	if resumed.LastSeq() != all[len(all)-1].Seq {
+		t.Errorf("LastSeq %d, want %d", resumed.LastSeq(), all[len(all)-1].Seq)
+	}
+}
+
+// TestClientRetriesIdempotent: idempotent calls survive transient 503s;
+// job submissions are sent exactly once.
+func TestClientRetriesIdempotent(t *testing.T) {
+	var gets, posts atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			if gets.Add(1) <= 2 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(map[string]string{"error": "warming up"})
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]any{"status": "ok", "workers": 1})
+		case http.MethodPost:
+			posts.Add(1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "job store full"})
+		}
+	}))
+	defer backend.Close()
+
+	c := New(backend.URL, WithRetry(3, time.Millisecond))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health after transient 503s: %v", err)
+	}
+	if h.Status != "ok" || gets.Load() != 3 {
+		t.Errorf("health %+v after %d GETs, want ok after 3", h, gets.Load())
+	}
+
+	if _, err := c.SubmitDSE(context.Background(), DSERequest{Arch: "ddr3"}); err == nil {
+		t.Fatal("submit against a 503 server succeeded")
+	}
+	if posts.Load() != 1 {
+		t.Errorf("job submit sent %d times, want exactly 1 (not idempotent)", posts.Load())
+	}
+}
+
+// TestClientCancelRunning: cancel stops a running job and the view
+// reports canceled; BatchResultOf surfaces partial results.
+func TestClientCancelRunning(t *testing.T) {
+	ts, svc := newServer(t)
+	// Warm one item so the batch has a guaranteed-finished item.
+	if _, err := svc.DSE(context.Background(), service.DSERequest{Arch: "ddr3", Network: "lenet5"}); err != nil {
+		t.Fatal(err)
+	}
+	c := New(ts.URL)
+	ctx := context.Background()
+	job, err := c.SubmitBatch(ctx, BatchRequest{Jobs: []DSERequest{
+		{Arch: "ddr3", Network: "lenet5"},
+		{Arch: "salp2", Network: "vgg16"}, // big enough to still be running
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the cached item committed, then cancel.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		v, err := c.Job(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Progress.ItemsDone >= 1 || service.JobState(v.State).Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first item never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, job.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.JobCanceled {
+		t.Fatalf("state %s, want canceled", final.State)
+	}
+	resp, err := BatchResultOf(final)
+	if err != nil {
+		t.Fatalf("canceled batch without partial result: %v", err)
+	}
+	if resp.Results[0].Result == nil {
+		t.Error("finished item missing from the canceled batch's partial result")
+	}
+}

@@ -1,0 +1,140 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"drmap/internal/service"
+)
+
+// EventStream consumes one job's NDJSON event stream
+// (GET /api/v2/jobs/{id}/events). It is not safe for concurrent use.
+type EventStream struct {
+	body    io.ReadCloser
+	dec     *json.Decoder
+	lastSeq int
+}
+
+// Events opens a job's event stream starting at sequence number from
+// (0 replays the whole log; a Job view's Events field resumes after
+// everything that view reflected). The stream delivers committed
+// events immediately, follows the job live, and ends with io.EOF once
+// the terminal state event has been delivered. Close the stream (or
+// cancel ctx) to stop following early - the job itself keeps running.
+func (c *Client) Events(ctx context.Context, id string, from int) (*EventStream, error) {
+	path := c.base + "/api/v2/jobs/" + url.PathEscape(id) + "/events?from=" + strconv.Itoa(from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, err := decodeResponse(resp, nil)
+		if err == nil {
+			err = &APIError{Status: resp.StatusCode, Message: resp.Status}
+		}
+		return nil, err
+	}
+	return &EventStream{body: resp.Body, dec: json.NewDecoder(resp.Body), lastSeq: from - 1}, nil
+}
+
+// Next returns the next event. It blocks until one arrives, the stream
+// ends (io.EOF - the job reached a terminal state and the log is
+// drained), or the underlying connection fails.
+func (s *EventStream) Next() (Event, error) {
+	var e Event
+	if err := s.dec.Decode(&e); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("client: decode event: %w", err)
+	}
+	s.lastSeq = e.Seq
+	return e, nil
+}
+
+// LastSeq returns the sequence number of the last delivered event;
+// resume a dropped stream with Events(ctx, id, LastSeq()+1).
+func (s *EventStream) LastSeq() int { return s.lastSeq }
+
+// Close stops the stream. The job keeps running server-side.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// Follow streams a job's events from `from` until it is terminal,
+// calling fn for each event and transparently reconnecting (with the
+// client's retry backoff) when the connection drops mid-job. It
+// returns the final job view.
+func (c *Client) Follow(ctx context.Context, id string, from int, fn func(Event)) (*Job, error) {
+	cursor := from
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		stream, err := c.Events(ctx, id, cursor)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Gateway-ish statuses are as transient as transport errors
+			// (same contract as Client.do); other server answers are
+			// definitive - reconnecting won't change a 404's mind.
+			var ae *APIError
+			if AsAPIError(err, &ae) && !retryableStatus(ae.Status) {
+				return nil, err
+			}
+			if attempt >= c.retries {
+				return nil, err
+			}
+			continue
+		}
+		for {
+			ev, err := stream.Next()
+			if err == nil {
+				attempt = 0 // progress resets the reconnect budget
+				cursor = ev.Seq + 1
+				fn(ev)
+				if ev.Type == EventState && service.JobState(ev.State).Terminal() {
+					stream.Close()
+					return c.Job(ctx, id)
+				}
+				continue
+			}
+			stream.Close()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			cursor = stream.LastSeq() + 1
+			// io.EOF is ambiguous on the wire: a clean server-side end
+			// looks like a mid-job drop at an event boundary. The job
+			// itself disambiguates - only reconnect if it is not done.
+			if errors.Is(err, io.EOF) {
+				j, jerr := c.Job(ctx, id)
+				if jerr != nil {
+					return nil, jerr
+				}
+				if service.JobState(j.State).Terminal() {
+					return j, nil
+				}
+			}
+			if attempt >= c.retries {
+				return nil, fmt.Errorf("client: event stream for %s dropped mid-job: %w", id, err)
+			}
+			break // reconnect from the cursor
+		}
+	}
+}

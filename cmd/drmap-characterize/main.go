@@ -6,20 +6,27 @@
 //
 // Usage:
 //
-//	drmap-characterize [-arch all|<backend-id>] [-validate] [-list]
+//	drmap-characterize [-arch all|<backend-id>] [-validate] [-list] [-server URL]
 //
 // -arch accepts any registered DRAM backend ID; "all" characterizes
 // the whole registry (paper architectures plus generality presets).
 // -list prints the registry and exits.
+//
+// -server http://host:8080 characterizes on a drmap-serve daemon
+// through the typed API client instead of in-process (the server's
+// registry decides what "all" and -list cover) and prints the
+// profiles as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"drmap"
+	"drmap/client"
 	"drmap/internal/cli"
 )
 
@@ -29,7 +36,19 @@ func main() {
 	archFlag := flag.String("arch", "all", "DRAM backend to characterize: all, "+cli.BackendList())
 	validate := flag.Bool("validate", false, "check the Fig. 1 shape relations and exit non-zero on violation")
 	list := flag.Bool("list", false, "print the DRAM backend registry and exit")
+	server := flag.String("server", "", "drmap-serve base URL: characterize remotely and print JSON")
 	flag.Parse()
+
+	if *server != "" {
+		if *validate {
+			// The shape relations are checked on *profile.Profile;
+			// failing loudly beats silently skipping the validation a
+			// CI script relies on.
+			log.Fatal("-validate runs on local characterizations only; drop -server or -validate")
+		}
+		runRemote(*server, *archFlag, *list)
+		return
+	}
 
 	if *list {
 		fmt.Println("Registered DRAM backends:")
@@ -69,4 +88,39 @@ func main() {
 		fmt.Println("\nall shape relations hold (hit < conflict, SALP < DDR3 on subarrays, ...)")
 	}
 	os.Exit(0)
+}
+
+// runRemote characterizes through a drmap-serve daemon's API and
+// prints the response JSON (the server's registry is authoritative, so
+// no local rendering of its backends is attempted).
+func runRemote(server, arch string, list bool) {
+	ctx := context.Background()
+	c := client.New(server)
+	if list {
+		resp, err := c.Backends(ctx)
+		if err != nil {
+			log.Fatalf("list backends at %s: %v", server, err)
+		}
+		printJSON(resp)
+		return
+	}
+	// Same -arch semantics as the local path: one backend ID, or "all"
+	// (= the server's whole registry, expressed as an empty list).
+	var req client.CharacterizeRequest
+	if arch != "all" {
+		req.Archs = []string{arch}
+	}
+	resp, err := c.Characterize(ctx, req)
+	if err != nil {
+		log.Fatalf("characterize at %s: %v", server, err)
+	}
+	printJSON(resp)
+}
+
+func printJSON(v any) {
+	s, err := drmap.EncodeJSON(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s)
 }

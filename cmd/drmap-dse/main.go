@@ -6,20 +6,30 @@
 // Usage:
 //
 //	drmap-dse [-arch all|<backend-id>] [-network alexnet|vgg16|lenet5|resnet18]
-//	          [-batch N] [-print-mappings]
+//	          [-batch N] [-print-mappings] [-server URL]
 //
 // -arch accepts any registered DRAM backend ID (ddr3, salp1, salp2,
 // masa, ddr4, lpddr3, lpddr4, hbm2, ...); "all" runs the four paper
 // architectures in figure order.
+//
+// -server http://host:8080 runs the search remotely on a drmap-serve
+// daemon instead of in-process: the search is submitted as an
+// asynchronous v2 job and each layer's design point prints the moment
+// the server commits it, followed by the totals.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 
 	"drmap"
+	"drmap/client"
 	"drmap/internal/cli"
+	"drmap/internal/report"
 )
 
 func main() {
@@ -29,11 +39,17 @@ func main() {
 	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
 	batch := flag.Int("batch", 1, "batch size")
 	printMappings := flag.Bool("print-mappings", false, "print Table I (the candidate mapping policies) and exit")
+	server := flag.String("server", "", "drmap-serve base URL: run the DSE remotely as a streaming v2 job")
 	flag.Parse()
 
 	if *printMappings {
 		fmt.Println("Table I - DRAM mapping policies explored by the DSE:")
 		fmt.Print(drmap.RenderTableI())
+		return
+	}
+
+	if *server != "" {
+		runRemote(*server, *archFlag, *networkFlag, *batch)
 		return
 	}
 
@@ -69,5 +85,73 @@ func main() {
 		}
 		fmt.Print(drmap.RenderDSE(res))
 		fmt.Println()
+	}
+}
+
+// paperArchIDs derives the figure-order backend set "-arch all"
+// targets from the same registry call the local path uses, so local
+// and remote runs can never drift; the remote server may know more
+// (GET /api/v1/backends lists its registry).
+func paperArchIDs() []string {
+	backends := drmap.PaperBackends()
+	ids := make([]string, len(backends))
+	for i, b := range backends {
+		ids[i] = b.ID
+	}
+	return ids
+}
+
+// printLayer renders one layer's design point, whether it arrived as a
+// live stream event or from the final result of a cached job.
+func printLayer(l report.DSELayerJSON) {
+	fmt.Printf("  %-10s %-4s mapping=%d (%s)  schedule=%-8s tiling=%dx%dx%dx%d  edp=%.4e J*s\n",
+		l.Layer, l.Kind, l.Mapping.ID, l.Mapping.Name, l.Schedule,
+		l.Tiling.Th, l.Tiling.Tw, l.Tiling.Tj, l.Tiling.Ti, l.MinEDPJs)
+}
+
+// runRemote submits the search to a drmap-serve daemon as an async v2
+// job per backend and streams each layer's pick as it lands.
+func runRemote(server, arch, network string, batch int) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	c := client.New(server)
+
+	archs := []string{arch}
+	if arch == "all" {
+		archs = paperArchIDs()
+	}
+	for _, a := range archs {
+		job, err := c.SubmitDSE(ctx, client.DSERequest{Arch: a, Network: network, Batch: batch})
+		if err != nil {
+			log.Fatalf("submit %s: %v", a, err)
+		}
+		fmt.Printf("%s on %s (job %s @ %s):\n", network, a, job.ID, server)
+		streamed := 0
+		final, err := c.Follow(ctx, job.ID, 0, func(ev client.Event) {
+			switch ev.Type {
+			case client.EventLayer:
+				streamed++
+				printLayer(*ev.Layer)
+			case client.EventError:
+				log.Fatalf("job %s: %s", job.ID, ev.Error)
+			}
+		})
+		if err != nil {
+			log.Fatalf("stream %s: %v", job.ID, err)
+		}
+		res, err := client.DSEResultOf(final)
+		if err != nil {
+			log.Fatalf("job %s finished %s: %v", job.ID, final.State, err)
+		}
+		// A cached (or coalesced) answer streams no layer events - the
+		// server never re-evaluated - so print the table from the
+		// final result instead.
+		if streamed == 0 {
+			for _, l := range res.Result.Layers {
+				printLayer(l)
+			}
+		}
+		fmt.Printf("  total: edp=%.4e J*s  energy=%.4e J  (%s, cached=%v)\n\n",
+			res.Result.TotalEDPJs, res.Result.TotalEnergyJ, res.Result.Arch, res.Cached)
 	}
 }

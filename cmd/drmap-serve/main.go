@@ -12,7 +12,7 @@
 // Endpoints:
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
-//	GET  /metrics             - plain-text serving + cluster counters
+//	GET  /metrics             - plain-text serving + cluster + job counters
 //	GET  /api/v1/policies     - the Table I mapping policies
 //	GET  /api/v1/backends     - the registered DRAM backends (ID-sorted)
 //	POST /api/v1/characterize - Fig. 1 characterization
@@ -20,6 +20,16 @@
 //	POST /api/v1/batch        - many DSE jobs in one request
 //	POST /api/v1/simulate     - cycle-accurate layer validation
 //	POST /api/v1/sweep        - ablation sweeps
+//
+// and the job-oriented v2 surface (async submit, status, streaming,
+// cancel; the v1 POST endpoints are synchronous wrappers over the same
+// job manager - see API.md):
+//
+//	POST   /api/v2/jobs             - submit a dse/batch/characterize/sweep job
+//	GET    /api/v2/jobs             - list jobs (?kind=, ?state=, ?limit=)
+//	GET    /api/v2/jobs/{id}        - status, progress, result once terminal
+//	GET    /api/v2/jobs/{id}/events - NDJSON/SSE event stream (?from= resumes)
+//	DELETE /api/v2/jobs/{id}        - cancel
 //
 // Every "arch" field accepts any backend ID listed by
 // GET /api/v1/backends (the paper's four architectures plus the
@@ -69,11 +79,18 @@ func main() {
 	ttl := flag.Duration("heartbeat-ttl", cluster.DefaultHeartbeatTTL, "worker liveness TTL (role=coordinator)")
 	workers := flag.Int("workers", 0, "DSE worker pool size (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (negative disables retention)")
-	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request evaluation timeout")
+	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request evaluation timeout (v1; v2 jobs are unbounded)")
 	grace := flag.Duration("grace", service.DefaultShutdownGrace, "graceful shutdown window")
+	maxJobs := flag.Int("max-jobs", service.DefaultMaxJobs, "v2 job store capacity")
+	jobTTL := flag.Duration("job-ttl", service.DefaultJobTTL, "how long finished v2 jobs (results + event logs) stay retrievable")
 	flag.Parse()
 
 	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	jobs := service.NewJobManager(svc, service.JobManagerOptions{MaxJobs: *maxJobs, TTL: *jobTTL})
+
+	// GET /metrics always carries the job-store gauges; cluster roles
+	// append their own.
+	extraMetrics := func() []service.Metric { return jobs.Metrics() }
 
 	var mount func(*http.ServeMux)
 	var onServing func(ctx context.Context)
@@ -82,7 +99,7 @@ func main() {
 	case "coordinator":
 		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{HeartbeatTTL: *ttl})
 		svc.SetRunner(coord)
-		svc.SetExtraMetrics(coord.Metrics)
+		extraMetrics = func() []service.Metric { return append(jobs.Metrics(), coord.Metrics()...) }
 		mount = coord.Mount
 	case "worker":
 		if *coordinator == "" {
@@ -95,7 +112,7 @@ func main() {
 		w := cluster.NewWorker(svc, cluster.WorkerOptions{
 			ID: *workerID, AdvertiseURL: adv, CoordinatorURL: *coordinator,
 		})
-		svc.SetExtraMetrics(w.Metrics)
+		extraMetrics = func() []service.Metric { return append(jobs.Metrics(), w.Metrics()...) }
 		mount = w.Mount
 		onServing = func(ctx context.Context) {
 			go w.Run(ctx, func(err error) { log.Print(err) })
@@ -103,8 +120,9 @@ func main() {
 	default:
 		log.Fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
 	}
+	svc.SetExtraMetrics(extraMetrics)
 
-	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout, Mount: mount})
+	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout, Jobs: jobs, Mount: mount})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

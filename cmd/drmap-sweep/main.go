@@ -6,20 +6,26 @@
 // Usage:
 //
 //	drmap-sweep [-kind subarrays|buffers|batch|pruning|all] [-arch backend-id]
-//	            [-network alexnet|vgg16|lenet5|resnet18] [-csv file]
+//	            [-network alexnet|vgg16|lenet5|resnet18] [-csv file] [-server URL]
 //
 // -arch accepts any registered DRAM backend ID and applies to the
 // buffers/batch/pruning sweeps (defaults: ddr3 for buffers/batch,
 // salp1 for pruning); the subarrays sweep is SALP-MASA by definition.
+//
+// -server http://host:8080 runs one sweep remotely on a drmap-serve
+// daemon as an asynchronous v2 job (kinds subarrays, buffers or batch;
+// the pruning sweep is local-only) and prints the table as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"drmap"
+	"drmap/client"
 	"drmap/internal/cli"
 	"drmap/internal/sweep"
 )
@@ -31,7 +37,13 @@ func main() {
 	archFlag := flag.String("arch", "", "DRAM backend for buffers/batch/pruning: "+cli.BackendList()+" (empty = per-sweep default)")
 	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
 	csvPath := flag.String("csv", "", "also write the (last) sweep as CSV to this file")
+	server := flag.String("server", "", "drmap-serve base URL: run the sweep remotely as a v2 job and print JSON")
 	flag.Parse()
+
+	if *server != "" {
+		runRemote(*server, *kind, *archFlag, *networkFlag, *csvPath)
+		return
+	}
 
 	net, err := cli.ParseNetwork(*networkFlag)
 	if err != nil {
@@ -99,5 +111,55 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote CSV to %s\n", *csvPath)
+	}
+}
+
+// runRemote submits one sweep to a drmap-serve daemon as an async v2
+// job, waits for it, prints the table JSON, and honors -csv.
+func runRemote(server, kind, arch, network, csvPath string) {
+	switch kind {
+	case "subarrays", "buffers", "batch":
+	case "all", "pruning":
+		log.Fatalf("-server runs one sweep kind per invocation (subarrays, buffers or batch); %q is local-only", kind)
+	default:
+		log.Fatalf("unknown sweep kind %q", kind)
+	}
+	ctx := context.Background()
+	c := client.New(server)
+	job, err := c.SubmitSweep(ctx, client.SweepRequest{Kind: kind, Arch: arch, Network: network})
+	if err != nil {
+		log.Fatalf("submit sweep at %s: %v", server, err)
+	}
+	fmt.Printf("sweep %s submitted as job %s @ %s\n", kind, job.ID, server)
+	final, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		log.Fatalf("wait for %s: %v", job.ID, err)
+	}
+	resp, err := client.SweepResultOf(final)
+	if err != nil {
+		log.Fatalf("job %s finished %s: %v", job.ID, final.State, err)
+	}
+	s, err := drmap.EncodeJSON(resp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s)
+	if csvPath != "" {
+		// Rebuild a sweep.Table from the JSON rows and reuse its CSV
+		// writer, so local and remote CSVs share one format.
+		t := sweep.Table{Name: resp.Table.Name, Header: resp.Table.Header}
+		for _, row := range resp.Table.Rows {
+			t.Labels = append(t.Labels, row.Label)
+			t.Rows = append(t.Rows, row.Values)
+		}
+		f, err := os.Create(csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := t.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote CSV to %s\n", csvPath)
 	}
 }

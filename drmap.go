@@ -418,6 +418,33 @@ type (
 // NewService builds the concurrent DSE/characterization service.
 func NewService(opt ServiceOptions) *Service { return service.New(opt) }
 
+// Job-oriented serving (the /api/v2/jobs surface): asynchronous
+// submit, status + progress, NDJSON/SSE event streaming, cancel. The
+// v1 endpoints are synchronous wrappers over the same JobManager.
+// Remote consumers should prefer the typed SDK in package
+// drmap/client.
+type (
+	// JobManager owns the v2 job lifecycle around a Service.
+	JobManager = service.JobManager
+	// JobManagerOptions tune a JobManager (store bound, TTL, clock).
+	JobManagerOptions = service.JobManagerOptions
+	// JobRequest is the POST /api/v2/jobs body (kind + payload).
+	JobRequest = service.JobRequest
+	// JobView is a job as the API reports it.
+	JobView = service.JobView
+	// JobEvent is one entry of a job's streamed event log.
+	JobEvent = service.JobEvent
+	// JobKind / JobState name the workload kinds and lifecycle states.
+	JobKind  = service.JobKind
+	JobState = service.JobState
+)
+
+// NewJobManager builds the v2 job manager around a Service; install it
+// via ServerOptions.Jobs (or let NewHandler build a default one).
+func NewJobManager(svc *Service, opt JobManagerOptions) *JobManager {
+	return service.NewJobManager(svc, opt)
+}
+
 // Distributed serving (package cluster): a coordinator shards the DSE
 // column grid over HTTP workers and merges results bit-for-bit equal to
 // serial RunDSE; see cmd/drmap-serve -role and cmd/drmap-worker.

@@ -1,0 +1,107 @@
+// Streaming a batch job through the v2 API: start an in-process
+// drmap-serve handler, submit the paper's four architectures as one
+// batch job with the typed client, and print each backend's result the
+// moment the server commits it - while later items are still running.
+// The submitting connection is irrelevant once the job exists: this
+// program deliberately drops its first event stream mid-job and
+// re-attaches from the last sequence number it saw, the same recovery
+// a disconnected remote client performs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"drmap/client"
+	"drmap/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streaming_batch: ")
+
+	// An in-process daemon on a loopback port; in production this is
+	// `drmap-serve -addr :8080` (plus workers for cluster mode).
+	svc := service.New(service.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc, time.Minute)}
+	go srv.Serve(ln) //nolint:errcheck // torn down with the process
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+
+	req := client.BatchRequest{Jobs: []client.DSERequest{
+		{Arch: "ddr3", Network: "lenet5"},
+		{Arch: "salp1", Network: "lenet5"},
+		{Arch: "salp2", Network: "lenet5"},
+		{Arch: "masa", Network: "lenet5"},
+	}}
+	job, err := c.SubmitBatch(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s: %d jobs, state %s\n", job.ID, len(req.Jobs), job.State)
+
+	// Stream items as they land; drop the connection after the second
+	// one to demonstrate that the job and its log survive the client.
+	stream, err := c.Events(ctx, job.ID, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := 0
+	for seen < 2 {
+		ev, err := stream.Next()
+		if err != nil {
+			log.Fatalf("stream: %v", err)
+		}
+		if printEvent(ev, req) {
+			seen++
+		}
+	}
+	cursor := stream.LastSeq() + 1
+	stream.Close()
+	fmt.Printf("-- dropped the stream after %d items; reconnecting from seq %d --\n", seen, cursor)
+
+	// Follow replays everything after the cursor and runs to the
+	// job's terminal state, reconnecting by itself if the link drops.
+	final, err := c.Follow(ctx, job.ID, cursor, func(ev client.Event) {
+		printEvent(ev, req)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	resp, err := client.BatchResultOf(final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s %s: %d completed, %d failed, cache hits %d\n",
+		final.ID, final.State, resp.Completed, resp.Failed, resp.Cache.Hits)
+}
+
+// printEvent renders one stream event; it reports whether the event
+// was a finished batch item.
+func printEvent(ev client.Event, req client.BatchRequest) bool {
+	switch ev.Type {
+	case client.EventItem:
+		it := ev.Item
+		if it.Error != "" {
+			fmt.Printf("  item %d (%s): error: %s\n", it.Index, req.Jobs[it.Index].Arch, it.Error)
+		} else {
+			fmt.Printf("  item %d (%s): total EDP %.4e J*s\n",
+				it.Index, req.Jobs[it.Index].Arch, it.Result.Result.TotalEDPJs)
+		}
+		return true
+	case client.EventState:
+		fmt.Printf("  state -> %s\n", ev.State)
+	}
+	return false
+}

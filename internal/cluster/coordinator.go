@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +74,13 @@ type Coordinator struct {
 	inflight  atomic.Int64  // shards currently dispatched
 	completed atomic.Int64  // shards merged successfully
 	retries   atomic.Int64  // shard dispatches that failed and were retried
+
+	// slotMu guards the memoized weighted dispatch table (see
+	// pickWorker): rebuilt only when the live membership's IDs or
+	// capacities change, not on every pick.
+	slotMu  sync.Mutex
+	slotKey string
+	slotTab []WorkerInfo
 }
 
 // NewCoordinator builds a Coordinator with an empty membership.
@@ -144,6 +154,11 @@ func (c *Coordinator) Metrics() []service.Metric {
 // core.RunDSE. With no live workers it returns an error wrapping
 // service.ErrNoWorkers, which the owning Service answers from its local
 // pool - a cluster degrades to standalone rather than failing.
+//
+// A progress sink on ctx (core.WithProgress) receives the column total
+// up front, one ColumnsDone per merged shard, and every layer's pick
+// after the merge - so an async v2 job distributed over the cluster
+// streams shard completions as progress events.
 func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSEResult, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -156,21 +171,46 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 	if err != nil {
 		return nil, err
 	}
-	spans := core.ColumnShards(job.Columns(grids), len(live)*c.shardsPerWorker)
-	cells, err := c.dispatchAll(ctx, job, spans)
+	prog := core.ProgressFrom(ctx)
+	columns := job.Columns(grids)
+	if prog != nil {
+		prog.StartColumns(columns)
+	}
+	spans := core.ColumnShards(columns, len(live)*c.shardsPerWorker)
+	cells, done, err := c.dispatchAll(ctx, job, spans)
+	if err != nil {
+		// Withdraw this attempt's announced and completed columns: when
+		// the owning service falls back to its local pool (ErrNoWorkers),
+		// that run announces the same columns again, and an accumulating
+		// sink would otherwise double-count the job's total.
+		if prog != nil {
+			prog.ColumnsDone(-done)
+			prog.StartColumns(-columns)
+		}
+		return nil, err
+	}
+	res, err := Merge(job, grids, cells)
 	if err != nil {
 		return nil, err
 	}
-	return Merge(job, grids, cells)
+	if prog != nil {
+		for li, lr := range res.Layers {
+			prog.LayerDone(li, len(res.Layers), lr)
+		}
+	}
+	return res, nil
 }
 
 // dispatchAll runs every shard concurrently (each with its own retry
-// loop) and returns the union of their cells. The first failure cancels
-// the remaining dispatches.
-func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans []core.ColumnSpan) ([]core.CellResult, error) {
+// loop) and returns the union of their cells plus how many columns it
+// reported to the context's progress sink (so a failing caller can
+// withdraw them). The first failure cancels the remaining dispatches.
+func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans []core.ColumnSpan) ([]core.CellResult, int, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	prog := core.ProgressFrom(ctx)
 	results := make([][]core.CellResult, len(spans))
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -189,11 +229,15 @@ func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans
 				return
 			}
 			results[i] = cells
+			done.Add(int64(span.Len()))
+			if prog != nil {
+				prog.ColumnsDone(span.Len())
+			}
 		}(i, span)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, int(done.Load()), firstErr
 	}
 	total := 0
 	for _, r := range results {
@@ -203,7 +247,7 @@ func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans
 	for _, r := range results {
 		cells = append(cells, r...)
 	}
-	return cells, nil
+	return cells, int(done.Load()), nil
 }
 
 // dispatchShard sends one shard to a live worker, retrying on another
@@ -242,14 +286,84 @@ func (c *Coordinator) dispatchShard(ctx context.Context, job service.DSEJob, sha
 	return nil, fmt.Errorf("cluster: shard %d/%d failed after %d attempts (last: %v): %w", shard, total, c.maxAttempts, lastErr, service.ErrNoWorkers)
 }
 
-// pickWorker round-robins over the live workers (sorted by ID, so the
-// rotation is deterministic for a fixed membership).
+// maxDispatchWeight caps one worker's weight in the dispatch sequence,
+// so a misreported capacity cannot starve its peers (or balloon the
+// slot table).
+const maxDispatchWeight = 256
+
+// pickWorker selects the next dispatch target: a capacity-weighted
+// round-robin over the live workers, so a worker advertising an
+// 8-slot pool receives four times the shards of a 2-slot one. The
+// rotation is a pure function of the membership snapshot and the
+// dispatch cursor (workers sorted by ID, slots interleaved by weight),
+// so it is deterministic for a fixed membership - and the merge is
+// order- and duplication-independent, so weighting never changes the
+// result, only where the work ran.
 func (c *Coordinator) pickWorker() (WorkerInfo, bool) {
-	live := c.members.Live()
-	if len(live) == 0 {
+	slots := c.weightedSlotsCached(c.members.Live())
+	if len(slots) == 0 {
 		return WorkerInfo{}, false
 	}
-	return live[int((c.rr.Add(1)-1)%uint64(len(live)))], true
+	return slots[int((c.rr.Add(1)-1)%uint64(len(slots)))], true
+}
+
+// weightedSlotsCached memoizes the expanded slot table keyed by the
+// live set's (ID, capacity) pairs, so per-pick cost is one O(n) key
+// build instead of expanding and sorting up to n*maxDispatchWeight
+// slots on every shard dispatch.
+func (c *Coordinator) weightedSlotsCached(live []WorkerInfo) []WorkerInfo {
+	var key strings.Builder
+	for _, w := range live {
+		key.WriteString(w.ID)
+		key.WriteByte(':')
+		key.WriteString(strconv.Itoa(w.Capacity))
+		key.WriteByte(';')
+	}
+	k := key.String()
+	c.slotMu.Lock()
+	defer c.slotMu.Unlock()
+	if c.slotKey != k {
+		c.slotTab = weightedSlots(live)
+		c.slotKey = k
+	}
+	return c.slotTab
+}
+
+// weightedSlots expands live workers into an interleaved dispatch
+// sequence with each worker appearing in proportion to its advertised
+// capacity (min 1, capped by maxDispatchWeight). Interleaving spreads
+// each worker's slots evenly: slot j of a weight-w worker sits at
+// fractional position (j+0.5)/w, and the sequence is those positions
+// sorted (ties broken by worker ID, which Live already ordered), so
+// consecutive dispatches rotate across workers instead of draining one
+// worker's quota at a time.
+func weightedSlots(live []WorkerInfo) []WorkerInfo {
+	if len(live) == 0 {
+		return nil
+	}
+	type slot struct {
+		pos float64
+		w   WorkerInfo
+	}
+	var slots []slot
+	for _, w := range live {
+		weight := w.Capacity
+		if weight < 1 {
+			weight = 1
+		}
+		if weight > maxDispatchWeight {
+			weight = maxDispatchWeight
+		}
+		for j := 0; j < weight; j++ {
+			slots = append(slots, slot{pos: (float64(j) + 0.5) / float64(weight), w: w})
+		}
+	}
+	sort.SliceStable(slots, func(i, j int) bool { return slots[i].pos < slots[j].pos })
+	out := make([]WorkerInfo, len(slots))
+	for i, s := range slots {
+		out[i] = s.w
+	}
+	return out
 }
 
 // callShard performs one shard HTTP round trip, bounded by the shard

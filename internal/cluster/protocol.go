@@ -1,11 +1,14 @@
 // Package cluster shards the DRMap design-space exploration across
 // processes: a coordinator partitions the (layer, schedule) column
 // space of a resolved DSE job into deterministic shards, dispatches
-// them over HTTP/JSON to registered workers, retries on worker failure,
-// and merges the returned cells through core.ReduceCells - so the
-// distributed result is bit-for-bit identical to single-host
-// service.ParallelDSE and serial core.RunDSE, for any worker count,
-// any shard interleaving, and any duplicate delivery.
+// them over HTTP/JSON to registered workers (a capacity-weighted
+// round-robin, so bigger pools receive proportionally more shards),
+// retries on worker failure, and merges the returned cells through
+// core.ReduceCells - so the distributed result is bit-for-bit
+// identical to single-host service.ParallelDSE and serial core.RunDSE,
+// for any worker count, any shard interleaving, and any duplicate
+// delivery. A core.Progress sink on the context observes shard
+// completions and merged layers, feeding the v2 job API's streams.
 //
 // # Topology
 //
@@ -49,8 +52,9 @@ type RegisterRequest struct {
 	ID string `json:"id"`
 	// URL is the base URL the coordinator dials for shards.
 	URL string `json:"url"`
-	// Capacity is the worker's local pool size, reported for operators;
-	// dispatch is round-robin regardless.
+	// Capacity is the worker's local pool size. Dispatch is a
+	// capacity-weighted round-robin: a worker advertising twice the
+	// capacity receives twice the shards (see Coordinator.pickWorker).
 	Capacity int `json:"capacity"`
 }
 

@@ -1,0 +1,48 @@
+// DSE progress reporting. A long-running search (an async v2 job, a
+// distributed cluster run) wants to surface work as it happens: columns
+// of the (layer, schedule) grid completing, and each layer's reduction
+// the moment ReduceCells commits it. The hook rides the context so no
+// executor signature - in particular the DSERunner interface - has to
+// change, and context.WithoutCancel (which the service uses to detach
+// evaluations from caller deadlines) preserves it.
+package core
+
+import "context"
+
+// Progress receives DSE progress as an executor makes it. All methods
+// may be called concurrently from worker goroutines; implementations
+// must be safe for concurrent use and must not block for long - they
+// run on the evaluation's critical path.
+type Progress interface {
+	// StartColumns announces that an evaluation of total (layer,
+	// schedule) columns is starting. A batch job's items each announce
+	// their own total as they start, so sinks should accumulate. An
+	// executor that abandons an announced attempt (e.g. a cluster run
+	// failing over to the local pool, which re-announces) withdraws it
+	// with a negative total.
+	StartColumns(total int)
+	// ColumnsDone reports delta more columns completed (a single-host
+	// executor reports 1 per column, a cluster coordinator one span per
+	// merged shard; negative deltas withdraw an abandoned attempt's
+	// completions).
+	ColumnsDone(delta int)
+	// LayerDone delivers layer index's committed reduction, out of
+	// layers total, the moment ReduceCells produces it.
+	LayerDone(index, layers int, lr LayerResult)
+}
+
+type progressKey struct{}
+
+// WithProgress attaches a progress sink to ctx. Executors that support
+// reporting (the service's parallel executor, the cluster coordinator)
+// look it up with ProgressFrom.
+func WithProgress(ctx context.Context, p Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFrom returns the context's progress sink, or nil when none is
+// attached. Callers must nil-check.
+func ProgressFrom(ctx context.Context) Progress {
+	p, _ := ctx.Value(progressKey{}).(Progress)
+	return p
+}

@@ -210,19 +210,25 @@ func DSEResultJSON(res *core.DSEResult, tm dram.Timing) DSEJSON {
 		TotalEnergyJ: res.TotalEnergy(),
 	}
 	for _, lr := range res.Layers {
-		out.Layers = append(out.Layers, DSELayerJSON{
-			Layer:    lr.Layer.Name,
-			Kind:     lr.Layer.Kind.String(),
-			Mapping:  PolicyToJSON(lr.Best.Policy),
-			Schedule: lr.Best.Schedule.String(),
-			Tiling:   TilingToJSON(lr.Best.Tiling),
-			Cycles:   lr.Cost.Cycles,
-			EnergyJ:  lr.Cost.Energy,
-			Seconds:  lr.Cost.Seconds(tm),
-			MinEDPJs: lr.MinEDP,
-		})
+		out.Layers = append(out.Layers, DSELayerToJSON(lr, tm))
 	}
 	return out
+}
+
+// DSELayerToJSON encodes one layer's DSE pick - the unit the v2 job
+// API streams the moment the layer's reduction commits.
+func DSELayerToJSON(lr core.LayerResult, tm dram.Timing) DSELayerJSON {
+	return DSELayerJSON{
+		Layer:    lr.Layer.Name,
+		Kind:     lr.Layer.Kind.String(),
+		Mapping:  PolicyToJSON(lr.Best.Policy),
+		Schedule: lr.Best.Schedule.String(),
+		Tiling:   TilingToJSON(lr.Best.Tiling),
+		Cycles:   lr.Cost.Cycles,
+		EnergyJ:  lr.Cost.Energy,
+		Seconds:  lr.Cost.Seconds(tm),
+		MinEDPJs: lr.MinEDP,
+	}
 }
 
 // Fig9PointJSON is one bar of Fig. 9; Arch carries the system's display

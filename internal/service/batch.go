@@ -39,6 +39,43 @@ type BatchResponse struct {
 	Cache CacheStats `json:"cache"`
 }
 
+// Validate rejects batches that cannot run as a whole; per-item inputs
+// are validated by each item's own DSE path.
+func (r BatchRequest) Validate() error {
+	if len(r.Jobs) == 0 {
+		return fmt.Errorf("batch: no jobs (give jobs: [{arch, network, ...}, ...])")
+	}
+	if len(r.Jobs) > MaxBatchJobs {
+		return fmt.Errorf("batch: %d jobs exceeds the limit of %d", len(r.Jobs), MaxBatchJobs)
+	}
+	return nil
+}
+
+// batchProgress receives per-item completions as a batch makes them -
+// the hook the v2 job API streams item events through. Implementations
+// must be safe for concurrent use.
+type batchProgress interface {
+	// StartItems announces the batch size.
+	StartItems(total int)
+	// ItemDone delivers one finished item (result or error) the moment
+	// it commits.
+	ItemDone(item BatchItem)
+}
+
+type batchProgressKey struct{}
+
+// withBatchProgress attaches a batch item sink to ctx; Batch reports
+// through it when present.
+func withBatchProgress(ctx context.Context, p batchProgress) context.Context {
+	return context.WithValue(ctx, batchProgressKey{}, p)
+}
+
+// batchProgressFrom returns the context's batch sink, or nil.
+func batchProgressFrom(ctx context.Context) batchProgress {
+	p, _ := ctx.Value(batchProgressKey{}).(batchProgress)
+	return p
+}
+
 // Batch evaluates every job concurrently over the worker pool. Each job
 // runs through the same path as POST /api/v1/dse - validation, the
 // content-addressed cache, single-flight dedup, the cluster runner when
@@ -50,23 +87,27 @@ type BatchResponse struct {
 // a retry of the same batch picks up where this one stopped. Only an
 // empty or oversized batch fails the request as a whole.
 func (s *Service) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
-	if len(req.Jobs) == 0 {
-		return nil, fmt.Errorf("batch: no jobs (give jobs: [{arch, network, ...}, ...])")
-	}
-	if len(req.Jobs) > MaxBatchJobs {
-		return nil, fmt.Errorf("batch: %d jobs exceeds the limit of %d", len(req.Jobs), MaxBatchJobs)
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
 	items := make([]BatchItem, len(req.Jobs))
 	for i := range items {
 		items[i].Index = i
 	}
+	sink := batchProgressFrom(ctx)
+	if sink != nil {
+		sink.StartItems(len(req.Jobs))
+	}
 	err := runPool(ctx, len(req.Jobs), s.workers, func(i int) {
 		resp, err := s.DSE(ctx, req.Jobs[i])
 		if err != nil {
 			items[i].Error = err.Error()
-			return
+		} else {
+			items[i].Result = resp
 		}
-		items[i].Result = resp
+		if sink != nil {
+			sink.ItemDone(items[i])
+		}
 	})
 	if err != nil {
 		// Deadline hit mid-batch: deliver what finished instead of

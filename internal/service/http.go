@@ -20,6 +20,9 @@ type ServerOptions struct {
 	// ShutdownGrace bounds graceful shutdown; 0 means
 	// DefaultShutdownGrace.
 	ShutdownGrace time.Duration
+	// Jobs, when set, is the job manager behind /api/v2/jobs and the
+	// v1 synchronous wrappers; nil builds one with default options.
+	Jobs *JobManager
 	// Mount, when set, registers extra endpoints on the daemon's mux -
 	// the cluster roles hang their /cluster/v1/* routes here.
 	Mount func(mux *http.ServeMux)
@@ -50,12 +53,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps service errors onto HTTP statuses: timeouts 504,
 // cancellations 503, computation failures 500, oversized bodies 413,
-// bad inputs 400.
+// unknown jobs 404, cancels of finished jobs 409, a full job store
+// 503, bad inputs 400.
 func writeError(w http.ResponseWriter, err error) {
 	var internal *internalError
 	var tooBig *http.MaxBytesError
 	status := http.StatusBadRequest
 	switch {
+	case errors.Is(err, ErrJobNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrJobFinished):
+		status = http.StatusConflict
+	case errors.Is(err, ErrJobStoreFull):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -110,11 +120,27 @@ func handle[Req, Resp any](timeout time.Duration, call func(context.Context, Req
 //	POST /api/v1/simulate
 //	POST /api/v1/sweep
 //
+// plus the /api/v2/jobs surface (see mountV2), backed by a job manager
+// with default options; NewHandlerWithJobs accepts a tuned one. The v1
+// dse/batch/characterize/sweep handlers are synchronous submit-and-wait
+// wrappers over that same job manager, with responses identical to the
+// pre-job direct handlers.
+//
 // The returned mux is open for further registration (cluster roles add
 // their /cluster/v1/* endpoints).
 func NewHandler(s *Service, requestTimeout time.Duration) *http.ServeMux {
+	return NewHandlerWithJobs(s, nil, requestTimeout)
+}
+
+// NewHandlerWithJobs is NewHandler with an explicit job manager (nil
+// builds one with default options). The manager must wrap the same
+// Service.
+func NewHandlerWithJobs(s *Service, jm *JobManager, requestTimeout time.Duration) *http.ServeMux {
 	if requestTimeout <= 0 {
 		requestTimeout = DefaultRequestTimeout
+	}
+	if jm == nil {
+		jm = NewJobManager(s, JobManagerOptions{})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -130,7 +156,7 @@ func NewHandler(s *Service, requestTimeout time.Duration) *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Backends())
 	})
-	mux.HandleFunc("POST /api/v1/characterize", handle(requestTimeout, s.Characterize))
+	mux.HandleFunc("POST /api/v1/characterize", handle(requestTimeout, jm.SyncCharacterize))
 	// GET /api/v1/characterize?arch=ddr3 is a bodyless convenience form.
 	mux.HandleFunc("GET /api/v1/characterize", func(w http.ResponseWriter, r *http.Request) {
 		var req CharacterizeRequest
@@ -139,29 +165,32 @@ func NewHandler(s *Service, requestTimeout time.Duration) *http.ServeMux {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
 		defer cancel()
-		resp, err := s.Characterize(ctx, req)
+		resp, err := jm.SyncCharacterize(ctx, req)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("POST /api/v1/dse", handle(requestTimeout, s.DSE))
-	mux.HandleFunc("POST /api/v1/batch", handle(requestTimeout, s.Batch))
+	mux.HandleFunc("POST /api/v1/dse", handle(requestTimeout, jm.SyncDSE))
+	mux.HandleFunc("POST /api/v1/batch", handle(requestTimeout, jm.SyncBatch))
 	mux.HandleFunc("POST /api/v1/simulate", handle(requestTimeout, s.Simulate))
-	mux.HandleFunc("POST /api/v1/sweep", handle(requestTimeout, s.Sweep))
+	mux.HandleFunc("POST /api/v1/sweep", handle(requestTimeout, jm.SyncSweep))
+	mountV2(mux, jm)
 	return mux
 }
 
 // NewServer builds the drmap-serve HTTP server with sane transport
 // timeouts. WriteTimeout leaves headroom over the request timeout so
-// handler deadlines, not connection teardown, bound evaluations.
+// handler deadlines, not connection teardown, bound evaluations; the
+// v2 event-stream handler lifts its own write deadline, since a job's
+// stream legitimately outlives any request timeout.
 func NewServer(s *Service, opt ServerOptions) *http.Server {
 	reqTimeout := opt.RequestTimeout
 	if reqTimeout <= 0 {
 		reqTimeout = DefaultRequestTimeout
 	}
-	mux := NewHandler(s, reqTimeout)
+	mux := NewHandlerWithJobs(s, opt.Jobs, reqTimeout)
 	if opt.Mount != nil {
 		opt.Mount(mux)
 	}

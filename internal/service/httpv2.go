@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxBodyBytesV2 caps v2 request bodies. A full 256-job batch of
+// custom networks is well under 8 MiB.
+const maxBodyBytesV2 = 8 << 20
+
+// decodeBodyV2 hardens v2 request decoding: the body is capped by
+// http.MaxBytesReader, unknown JSON fields are rejected, and trailing
+// garbage after the JSON value is an error.
+func decodeBodyV2(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytesV2)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body exceeds %d bytes: %w", maxBodyBytesV2, err)
+		}
+		return fmt.Errorf("bad request body (see API.md for the v2 schemas): %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bad request body: trailing data after the JSON value")
+	}
+	return nil
+}
+
+// JobsListResponse is the GET /api/v2/jobs body.
+type JobsListResponse struct {
+	Jobs []JobView `json:"jobs"`
+}
+
+// mountV2 registers the job-oriented v2 surface:
+//
+//	POST   /api/v2/jobs             - submit; returns 202 + the job view
+//	GET    /api/v2/jobs             - list (?kind=, ?state=, ?limit=)
+//	GET    /api/v2/jobs/{id}        - status + progress (+ result once terminal)
+//	DELETE /api/v2/jobs/{id}        - cancel (409 once terminal)
+//	GET    /api/v2/jobs/{id}/events - stream events as NDJSON (or SSE
+//	                                  under Accept: text/event-stream);
+//	                                  ?from=N replays from sequence N
+func mountV2(mux *http.ServeMux, jm *JobManager) {
+	mux.HandleFunc("POST /api/v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := decodeBodyV2(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		view, err := jm.Submit(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/api/v2/jobs/"+view.ID)
+		writeJSON(w, http.StatusAccepted, view)
+	})
+
+	mux.HandleFunc("GET /api/v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("bad limit %q: want a non-negative integer", s))
+				return
+			}
+			limit = n
+		}
+		views := jm.List(JobFilter{Kind: q.Get("kind"), State: q.Get("state"), Limit: limit})
+		writeJSON(w, http.StatusOK, JobsListResponse{Jobs: views})
+	})
+
+	mux.HandleFunc("GET /api/v2/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		view, ok := jm.Get(id)
+		if !ok {
+			writeError(w, fmt.Errorf("%w: %s", ErrJobNotFound, id))
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("DELETE /api/v2/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := jm.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /api/v2/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		streamEvents(w, r, jm)
+	})
+}
+
+// streamEvents serves one job's event log and then follows it live
+// until the job is terminal: NDJSON by default (one JSON event per
+// line), SSE when the client asks for text/event-stream. ?from=N
+// resumes from sequence number N, so a disconnected client replays
+// nothing it has seen (and from=0 re-reads the whole log from the job
+// store - results survive disconnects). The stream ends when the
+// terminal state event has been delivered.
+func streamEvents(w http.ResponseWriter, r *http.Request, jm *JobManager) {
+	id := r.PathValue("id")
+	j, ok := jm.lookup(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %s", ErrJobNotFound, id))
+		return
+	}
+	from := 0
+	if s := r.URL.Query().Get("from"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("bad from %q: want a non-negative sequence number", s))
+			return
+		}
+		from = n
+	} else if s := r.Header.Get("Last-Event-ID"); s != "" {
+		// A reconnecting EventSource resumes via the SSE-standard
+		// header carrying the last `id:` it processed; resume just
+		// past it instead of replaying the whole log.
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			from = n + 1
+		}
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	// A job outlives any request timeout by design; lift the server's
+	// write deadline so a long stream is not torn down mid-run.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	for {
+		events, changed, terminal := j.eventsSince(from)
+		for _, e := range events {
+			if sse {
+				if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: ", e.Seq, e.Type); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(e); err != nil { // Encode appends the newline
+				return
+			}
+			if sse {
+				if _, err := fmt.Fprint(w, "\n"); err != nil {
+					return
+				}
+			}
+			from = e.Seq + 1
+		}
+		_ = rc.Flush()
+		if terminal {
+			// eventsSince reads log and state under one lock: terminal
+			// means the drained slice already held the final event.
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,890 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/report"
+)
+
+// JobKind names a workload the v2 job API can run asynchronously.
+type JobKind string
+
+// The job kinds. Each wraps the corresponding synchronous entry point
+// (and therefore shares its validation, caches, cluster runner and
+// counters).
+const (
+	JobDSE          JobKind = "dse"
+	JobBatch        JobKind = "batch"
+	JobCharacterize JobKind = "characterize"
+	JobSweep        JobKind = "sweep"
+)
+
+// JobState is a job's lifecycle state. The machine is linear:
+// pending -> running -> succeeded | failed | canceled.
+type JobState string
+
+// The job states.
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCanceled  JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCanceled
+}
+
+// JobRequest is the POST /api/v2/jobs body: a kind plus exactly the
+// matching payload. The payloads are the v1 request shapes, so any v1
+// request converts to a job by wrapping it.
+type JobRequest struct {
+	Kind         string               `json:"kind"`
+	DSE          *DSERequest          `json:"dse,omitempty"`
+	Batch        *BatchRequest        `json:"batch,omitempty"`
+	Characterize *CharacterizeRequest `json:"characterize,omitempty"`
+	Sweep        *SweepRequest        `json:"sweep,omitempty"`
+}
+
+// JobProgress counts a job's completed work. Columns count (layer,
+// schedule) grid columns across every fresh evaluation the job ran
+// (cached results contribute none - the job then completes with the
+// result alone); items count batch entries.
+type JobProgress struct {
+	ColumnsDone  int `json:"columns_done"`
+	ColumnsTotal int `json:"columns_total"`
+	LayersDone   int `json:"layers_done,omitempty"`
+	ItemsDone    int `json:"items_done,omitempty"`
+	ItemsTotal   int `json:"items_total,omitempty"`
+}
+
+// JobView is a job as the API reports it. Result is set only on
+// GET /api/v2/jobs/{id} once the job holds one (a succeeded job always
+// does; a canceled batch keeps the items that finished before the
+// cancel); the list endpoint omits it.
+type JobView struct {
+	ID         string      `json:"id"`
+	Kind       JobKind     `json:"kind"`
+	State      JobState    `json:"state"`
+	CreatedAt  time.Time   `json:"created_at"`
+	StartedAt  time.Time   `json:"started_at,omitzero"`
+	FinishedAt time.Time   `json:"finished_at,omitzero"`
+	Progress   JobProgress `json:"progress"`
+	// Events is how many event sequence numbers the job has issued;
+	// pass it as ?from= to GET /jobs/{id}/events to receive only events
+	// newer than this view (from=0 replays the whole log).
+	Events int             `json:"events"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Job event types, in the order a consumer can expect them: a state
+// event per transition, progress/layer/item events while running, then
+// result and/or error, and finally the terminal state event that ends
+// the stream.
+const (
+	EventState    = "state"
+	EventProgress = "progress"
+	EventLayer    = "layer"
+	EventItem     = "item"
+	EventResult   = "result"
+	EventError    = "error"
+)
+
+// JobEvent is one entry of a job's event log, streamed by
+// GET /api/v2/jobs/{id}/events as NDJSON (or SSE) and replayable from
+// any sequence number. Consecutive progress events coalesce in the log
+// (each carries the full snapshot, so dropping intermediates loses
+// nothing); sequence numbers stay strictly increasing but may skip.
+type JobEvent struct {
+	Seq   int      `json:"seq"`
+	Type  string   `json:"type"`
+	State JobState `json:"state,omitempty"`
+
+	// Progress snapshot (type "progress"). done/total/items_done/
+	// items_total serialize even at zero - non-Go consumers rely on
+	// the documented fields being present, and 0 is a legitimate value
+	// (the first snapshot after an announcement has done=0).
+	Done       int `json:"done"`
+	Total      int `json:"total"`
+	ItemsDone  int `json:"items_done"`
+	ItemsTotal int `json:"items_total"`
+
+	// Index locates a layer (type "layer") or batch item (type
+	// "item"); always serialized - index 0 is the first layer/item.
+	Index int                  `json:"index"`
+	Layer *report.DSELayerJSON `json:"layer,omitempty"`
+	Item  *BatchItem           `json:"item,omitempty"`
+
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Job store errors the HTTP layer maps onto statuses.
+var (
+	// ErrJobNotFound marks an unknown (or TTL-evicted) job ID -> 404.
+	ErrJobNotFound = errors.New("service: job not found")
+	// ErrJobFinished marks a cancel of an already-terminal job -> 409.
+	ErrJobFinished = errors.New("service: job already finished")
+	// ErrJobStoreFull marks a submit rejected because every stored job
+	// is still active -> 503 (retry later).
+	ErrJobStoreFull = errors.New("service: job store full")
+)
+
+// JobManagerOptions tune a JobManager.
+type JobManagerOptions struct {
+	// MaxJobs bounds the store; <= 0 means DefaultMaxJobs. Terminal
+	// jobs evict (oldest first) to admit new ones; a store of only
+	// active jobs rejects submits with ErrJobStoreFull.
+	MaxJobs int
+	// TTL is how long a terminal job (and its result and event log)
+	// stays retrievable; <= 0 means DefaultJobTTL.
+	TTL time.Duration
+	// MaxEvents caps one job's event log; <= 0 means DefaultMaxEvents.
+	// Progress events coalesce, so the cap only bites on degenerate
+	// workloads; past it, non-terminal events are dropped.
+	MaxEvents int
+	// Now is the eviction clock; nil means time.Now (injectable so TTL
+	// behavior is testable without sleeping).
+	Now func() time.Time
+}
+
+// Job store defaults.
+const (
+	DefaultMaxJobs   = 1024
+	DefaultJobTTL    = 15 * time.Minute
+	DefaultMaxEvents = 4096
+)
+
+// JobManager owns the v2 job lifecycle: it validates and admits jobs,
+// runs each through the owning Service's synchronous entry points on a
+// detached goroutine (so results survive client disconnects), threads
+// progress sinks into the evaluation context, records a replayable
+// event log per job, and evicts terminal jobs by TTL and store bound.
+// The v1 endpoints are thin synchronous wrappers over it (the Sync
+// methods); their jobs are ephemeral - listed while running, dropped
+// from the store the moment the waiting handler reads the outcome. It
+// is safe for concurrent use.
+type JobManager struct {
+	svc       *Service
+	maxJobs   int
+	ttl       time.Duration
+	maxEvents int
+	now       func() time.Time
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // insertion order, for eviction
+	// persistent counts the non-ephemeral (v2-submitted) entries: the
+	// only ones the MaxJobs retention bound is about. Ephemeral v1
+	// sync jobs pass through the store but neither consume capacity
+	// nor get rejected by it - the two surfaces cannot starve each
+	// other.
+	persistent int
+	submitted  int64
+	evicted    int64
+	nextID     int64
+}
+
+// NewJobManager builds a JobManager around a Service.
+func NewJobManager(s *Service, opt JobManagerOptions) *JobManager {
+	if opt.MaxJobs <= 0 {
+		opt.MaxJobs = DefaultMaxJobs
+	}
+	if opt.TTL <= 0 {
+		opt.TTL = DefaultJobTTL
+	}
+	if opt.MaxEvents <= 0 {
+		opt.MaxEvents = DefaultMaxEvents
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	return &JobManager{
+		svc:       s,
+		maxJobs:   opt.MaxJobs,
+		ttl:       opt.TTL,
+		maxEvents: opt.MaxEvents,
+		now:       opt.Now,
+		jobs:      make(map[string]*job),
+	}
+}
+
+// job is the store-side state of one submitted job.
+type job struct {
+	id      string
+	kind    JobKind
+	req     JobRequest
+	created time.Time
+	timing  dram.Timing // the DSE backend's clock, for layer events
+	cancel  context.CancelFunc
+	done    chan struct{}
+	// ephemeral marks a v1 synchronous wrapper's job: visible while
+	// running (so /api/v2/jobs shows v1 load), but its result is never
+	// marshaled into the event log and the job leaves the store the
+	// moment the waiting handler has read the outcome - sustained v1
+	// traffic must not pin response payloads for the job TTL.
+	ephemeral bool
+
+	mu              sync.Mutex
+	state           JobState
+	started         time.Time
+	finished        time.Time
+	cancelRequested bool
+	result          any
+	rawResult       json.RawMessage
+	err             error
+	progress        JobProgress
+	events          []JobEvent
+	nextSeq         int
+	maxEvents       int
+	changed         chan struct{} // closed and replaced on every append
+}
+
+// notifyLocked wakes event-stream readers; callers hold j.mu.
+func (j *job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendLocked commits one event; callers hold j.mu. Consecutive
+// progress events coalesce: the newer snapshot replaces the older one
+// under a fresh sequence number.
+func (j *job) appendLocked(e JobEvent) {
+	e.Seq = j.nextSeq
+	j.nextSeq++
+	if n := len(j.events); n > 0 && e.Type == EventProgress && j.events[n-1].Type == EventProgress {
+		j.events[n-1] = e
+	} else if len(j.events) >= j.maxEvents && e.Type != EventResult && e.Type != EventError && e.Type != EventState {
+		// Shed load without losing the terminal events a reconnecting
+		// client needs.
+	} else {
+		j.events = append(j.events, e)
+	}
+	j.notifyLocked()
+}
+
+// setState transitions the job and logs the state event.
+func (j *job) setState(s JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	j.appendLocked(JobEvent{Type: EventState, State: s})
+}
+
+// eventsSince returns the committed events with Seq >= from, the
+// channel that closes on the next append, and whether the job is
+// terminal (after which no more events can appear). One lock acquires
+// all three, so a reader that drains the returned events and sees
+// terminal has seen the whole log.
+func (j *job) eventsSince(from int) ([]JobEvent, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []JobEvent
+	for _, e := range j.events {
+		if e.Seq >= from {
+			out = append(out, e)
+		}
+	}
+	return out, j.changed, j.state.Terminal()
+}
+
+// view snapshots the job. withResult attaches the (already-encoded)
+// result payload.
+func (j *job) view(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+		Progress:   j.progress,
+		Events:     j.nextSeq,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if withResult {
+		v.Result = j.rawResult
+	}
+	return v
+}
+
+// jobSink adapts a job into the executor-side progress interfaces: it
+// implements core.Progress for column/layer events and the batch item
+// hook. A batch job aggregates the column counts of all its items but
+// suppresses layer events (they cannot be attributed to an item).
+type jobSink struct {
+	j      *job
+	layers bool // emit per-layer events (single-DSE jobs)
+}
+
+// A canceled job's evaluation completes detached (so it can be cached)
+// and keeps reporting; once the job is terminal those reports must not
+// reach the log - the terminal state event is documented to end every
+// stream, and a replay must never see events past it. Each sink method
+// therefore drops its update when the job is already terminal (checked
+// under the same lock finish() transitions under).
+
+func (s *jobSink) StartColumns(total int) {
+	j := s.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress.ColumnsTotal += total
+	s.progressLocked()
+}
+
+func (s *jobSink) ColumnsDone(delta int) {
+	j := s.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress.ColumnsDone += delta
+	s.progressLocked()
+}
+
+func (s *jobSink) LayerDone(index, layers int, lr core.LayerResult) {
+	if !s.layers {
+		return
+	}
+	j := s.j
+	enc := report.DSELayerToJSON(lr, j.timing)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress.LayersDone++
+	j.appendLocked(JobEvent{Type: EventLayer, Index: index, Layer: &enc})
+}
+
+func (s *jobSink) StartItems(total int) {
+	j := s.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress.ItemsTotal = total
+	s.progressLocked()
+}
+
+func (s *jobSink) ItemDone(item BatchItem) {
+	j := s.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress.ItemsDone++
+	it := item
+	j.appendLocked(JobEvent{Type: EventItem, Index: item.Index, Item: &it})
+}
+
+// progressLocked logs a coalescing progress snapshot; callers hold j.mu.
+func (s *jobSink) progressLocked() {
+	p := s.j.progress
+	s.j.appendLocked(JobEvent{
+		Type: EventProgress,
+		Done: p.ColumnsDone, Total: p.ColumnsTotal,
+		ItemsDone: p.ItemsDone, ItemsTotal: p.ItemsTotal,
+	})
+}
+
+// Submit validates and admits one asynchronous job, returning its view
+// immediately. The job runs detached from any request context: only
+// Cancel (DELETE /api/v2/jobs/{id}) stops it, so a submitting client
+// may disconnect and collect the result later.
+func (m *JobManager) Submit(req JobRequest) (JobView, error) {
+	j, err := m.submit(context.Background(), req, false)
+	if err != nil {
+		return JobView{}, err
+	}
+	return j.view(false), nil
+}
+
+// submit validates req, admits the job, and starts its executor
+// goroutine under a context derived from parent (context.Background
+// for detached v2 jobs; the request context for v1 sync wrappers, so a
+// v1 client's deadline or disconnect cancels its job exactly as it
+// canceled the pre-job handlers). ephemeral marks a sync wrapper's
+// job (see the job field).
+func (m *JobManager) submit(parent context.Context, req JobRequest, ephemeral bool) (*job, error) {
+	kind, timing, err := validateJobRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	now := m.now()
+
+	m.mu.Lock()
+	// The capacity machinery guards v2 retention, not execution:
+	// ephemeral (v1 sync) jobs self-drop as soon as they are answered
+	// and are already bounded by in-flight HTTP requests, so they
+	// neither make room (evicting a terminal v2 job before its TTL)
+	// nor count against the bound, nor get rejected by it - v1 traffic
+	// always ran before the job manager existed.
+	m.evictLocked(now, !ephemeral)
+	if !ephemeral && m.persistent >= m.maxJobs {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d active jobs); retry later", ErrJobStoreFull, m.maxJobs)
+	}
+	m.nextID++
+	m.submitted++
+	id := fmt.Sprintf("job-%d", m.nextID)
+	ctx, cancel := context.WithCancel(parent)
+	j := &job{
+		id: id, kind: kind, req: req, created: now, timing: timing,
+		cancel: cancel, done: make(chan struct{}), ephemeral: ephemeral,
+		state: JobPending, maxEvents: m.maxEvents,
+		changed: make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	if !ephemeral {
+		m.persistent++
+	}
+	m.mu.Unlock()
+
+	go m.run(ctx, j)
+	return j, nil
+}
+
+// run executes one job through the Service's synchronous entry points
+// with the job's progress sink attached to the context.
+func (m *JobManager) run(ctx context.Context, j *job) {
+	defer j.cancel() // release the context's resources whatever happens
+	j.mu.Lock()
+	j.started = m.now()
+	j.mu.Unlock()
+	j.setState(JobRunning)
+
+	sink := &jobSink{j: j, layers: j.kind == JobDSE}
+	ctx = core.WithProgress(ctx, sink)
+
+	var result any
+	var err error
+	switch j.kind {
+	case JobDSE:
+		result, err = m.svc.DSE(ctx, *j.req.DSE)
+	case JobBatch:
+		result, err = m.svc.Batch(withBatchProgress(ctx, sink), *j.req.Batch)
+	case JobCharacterize:
+		result, err = m.svc.Characterize(ctx, *j.req.Characterize)
+	case JobSweep:
+		result, err = m.svc.Sweep(ctx, *j.req.Sweep)
+	default: // unreachable: validateJobRequest rejected unknown kinds
+		err = fmt.Errorf("service: unknown job kind %q", j.kind)
+	}
+	m.finish(j, result, err)
+}
+
+// finish commits a job's outcome: the result and/or error events, then
+// the terminal state event that ends every event stream.
+func (m *JobManager) finish(j *job, result any, err error) {
+	var raw json.RawMessage
+	// An ephemeral (v1 sync) job's result goes straight to its waiting
+	// handler; marshaling it into the event log would double both the
+	// encode work and the retained bytes for nothing.
+	if !isNilResult(result) && !j.ephemeral {
+		b, mErr := json.Marshal(result)
+		if mErr != nil && err == nil {
+			result, err = nil, &internalError{err: fmt.Errorf("service: encode job result: %w", mErr)}
+		} else {
+			raw = b
+		}
+	}
+
+	j.mu.Lock()
+	j.finished = m.now()
+	j.result, j.rawResult = result, raw
+	j.err = err
+	state := JobSucceeded
+	switch {
+	case err == nil && j.cancelRequested:
+		// A canceled batch returns its partial results with a nil
+		// error; the job is canceled but keeps the finished items.
+		state = JobCanceled
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		state = JobCanceled
+	default:
+		state = JobFailed
+	}
+	if raw != nil {
+		j.appendLocked(JobEvent{Type: EventResult, Result: raw})
+	}
+	if err != nil {
+		j.appendLocked(JobEvent{Type: EventError, Error: err.Error()})
+	}
+	j.state = state
+	j.appendLocked(JobEvent{Type: EventState, State: state})
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// isNilResult reports whether a typed-nil response pointer hides inside
+// the any. The executors return (*T)(nil) alongside their errors.
+func isNilResult(result any) bool {
+	switch r := result.(type) {
+	case *DSEResponse:
+		return r == nil
+	case *BatchResponse:
+		return r == nil
+	case *CharacterizeResponse:
+		return r == nil
+	case *SweepResponse:
+		return r == nil
+	}
+	return result == nil
+}
+
+// evictLocked drops terminal jobs past the TTL, then - when makeRoom
+// is set and the store is still full - the oldest terminal jobs;
+// callers hold m.mu. Ephemeral submits pass makeRoom=false: they take
+// no retention, so they must not cost a v2 job its TTL window.
+func (m *JobManager) evictLocked(now time.Time, makeRoom bool) {
+	keep := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		stale := j.state.Terminal() && now.Sub(j.finished) > m.ttl
+		j.mu.Unlock()
+		if stale {
+			m.deleteLocked(id, j)
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	m.order = keep
+	for i := 0; makeRoom && m.persistent >= m.maxJobs && i < len(m.order); {
+		id := m.order[i]
+		j := m.jobs[id]
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if terminal && !j.ephemeral {
+			m.deleteLocked(id, j)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+		} else {
+			i++
+		}
+	}
+}
+
+// deleteLocked removes one store entry and keeps the persistent count
+// in step; callers hold m.mu and fix m.order themselves.
+func (m *JobManager) deleteLocked(id string, j *job) {
+	delete(m.jobs, id)
+	m.evicted++
+	if !j.ephemeral {
+		m.persistent--
+	}
+}
+
+// lookup returns the stored job.
+func (m *JobManager) lookup(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Get returns a job's view, result included once terminal.
+func (m *JobManager) Get(id string) (JobView, bool) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(true), true
+}
+
+// JobFilter narrows GET /api/v2/jobs.
+type JobFilter struct {
+	// Kind and State, when non-empty, must match exactly.
+	Kind  string
+	State string
+	// Limit caps the listing; <= 0 means all stored jobs.
+	Limit int
+}
+
+// List returns matching jobs, newest first, without result payloads.
+func (m *JobManager) List(f JobFilter) []JobView {
+	m.mu.Lock()
+	ids := make([]string, len(m.order))
+	copy(ids, m.order)
+	jobs := make([]*job, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- { // newest first
+		jobs = append(jobs, m.jobs[ids[i]])
+	}
+	m.mu.Unlock()
+
+	out := []JobView{}
+	for _, j := range jobs {
+		v := j.view(false)
+		if f.Kind != "" && string(v.Kind) != f.Kind {
+			continue
+		}
+		if f.State != "" && string(v.State) != f.State {
+			continue
+		}
+		out = append(out, v)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Cancel requests a job's cancellation via its context. The in-flight
+// evaluation is detached (the service caches whatever it finishes, so
+// a resubmit of the same request becomes a cache hit), but the job
+// itself transitions to canceled as soon as its executor observes the
+// cancel - a batch keeps the items that already completed. Canceling a
+// terminal job returns ErrJobFinished.
+func (m *JobManager) Cancel(id string) (JobView, error) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return JobView{}, fmt.Errorf("%w: %s is %s", ErrJobFinished, id, j.state)
+	}
+	j.cancelRequested = true
+	j.mu.Unlock()
+	j.cancel()
+	return j.view(false), nil
+}
+
+// Wait blocks until the job is terminal or ctx expires, then returns
+// the final view.
+func (m *JobManager) Wait(ctx context.Context, id string) (JobView, error) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	select {
+	case <-j.done:
+		return j.view(true), nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// runSync is the v1 bridge: submit a job linked to the caller's context
+// and wait for its outcome. Because the job's context is derived from
+// ctx, a deadline or disconnect propagates into the executor exactly as
+// it did when the v1 handlers called the Service directly - the wait
+// needs no ctx select of its own (cancellation makes the executor
+// return promptly), which also preserves v1 Batch's
+// partial-results-on-deadline contract.
+func (m *JobManager) runSync(ctx context.Context, req JobRequest) (any, error) {
+	j, err := m.submit(ctx, req, true)
+	if err != nil {
+		return nil, err
+	}
+	<-j.done
+	// The outcome is read off the job struct directly; the store entry
+	// has served its purpose (in-flight observability) and is dropped
+	// so v1 traffic never accumulates result payloads against the TTL.
+	m.drop(j.id)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// drop removes a job from the store immediately (ephemeral sync jobs).
+func (m *JobManager) drop(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	delete(m.jobs, id)
+	if !j.ephemeral {
+		m.persistent--
+	}
+	for i, other := range m.order {
+		if other == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// SyncDSE is POST /api/v1/dse as a submit-and-wait over the job store.
+func (m *JobManager) SyncDSE(ctx context.Context, req DSERequest) (*DSEResponse, error) {
+	v, err := m.runSync(ctx, JobRequest{Kind: string(JobDSE), DSE: &req})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*DSEResponse), nil
+}
+
+// SyncBatch is POST /api/v1/batch as a submit-and-wait over the job
+// store.
+func (m *JobManager) SyncBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	v, err := m.runSync(ctx, JobRequest{Kind: string(JobBatch), Batch: &req})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*BatchResponse), nil
+}
+
+// SyncCharacterize is POST /api/v1/characterize as a submit-and-wait
+// over the job store.
+func (m *JobManager) SyncCharacterize(ctx context.Context, req CharacterizeRequest) (*CharacterizeResponse, error) {
+	v, err := m.runSync(ctx, JobRequest{Kind: string(JobCharacterize), Characterize: &req})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CharacterizeResponse), nil
+}
+
+// SyncSweep is POST /api/v1/sweep as a submit-and-wait over the job
+// store.
+func (m *JobManager) SyncSweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	v, err := m.runSync(ctx, JobRequest{Kind: string(JobSweep), Sweep: &req})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SweepResponse), nil
+}
+
+// Metrics returns the job-store gauges for GET /metrics.
+func (m *JobManager) Metrics() []Metric {
+	m.mu.Lock()
+	ids := make([]string, len(m.order))
+	copy(ids, m.order)
+	submitted, evicted := m.submitted, m.evicted
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+
+	var active, terminal int64
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state.Terminal() {
+			terminal++
+		} else {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	return []Metric{
+		{Name: "drmap_jobs_submitted_total", Value: submitted},
+		{Name: "drmap_jobs_evicted_total", Value: evicted},
+		{Name: "drmap_jobs_active", Value: active},
+		{Name: "drmap_jobs_stored", Value: active + terminal},
+	}
+}
+
+// validateJobRequest resolves the kind, checks the matching payload is
+// present, and pre-parses the inputs that the synchronous entry point
+// would reject, so a bad submit fails with a 400 instead of a failed
+// job. The parses mirror each entry point's order exactly, so the
+// error text matches what the v1 path reported before jobs existed.
+// For DSE jobs it returns the backend's timing (the clock layer events
+// are priced in).
+func validateJobRequest(req JobRequest) (JobKind, dram.Timing, error) {
+	kind := JobKind(req.Kind)
+	var timing dram.Timing
+	payloads := 0
+	for _, p := range []bool{req.DSE != nil, req.Batch != nil, req.Characterize != nil, req.Sweep != nil} {
+		if p {
+			payloads++
+		}
+	}
+	if payloads > 1 {
+		return "", timing, fmt.Errorf("give exactly the one payload matching kind %q", req.Kind)
+	}
+	switch kind {
+	case JobDSE:
+		if req.DSE == nil {
+			return "", timing, fmt.Errorf(`kind "dse" needs a "dse" payload`)
+		}
+		b, err := parseBackend(req.DSE.Arch)
+		if err != nil {
+			return "", timing, err
+		}
+		if _, err := parseNetwork(req.DSE.Network, req.DSE.Layers); err != nil {
+			return "", timing, err
+		}
+		if _, err := parseSchedules(req.DSE.Schedules); err != nil {
+			return "", timing, err
+		}
+		if _, err := parsePolicies(req.DSE.Policies); err != nil {
+			return "", timing, err
+		}
+		if _, err := parseObjective(req.DSE.Objective); err != nil {
+			return "", timing, err
+		}
+		timing = b.Config.Timing
+	case JobBatch:
+		if req.Batch == nil {
+			return "", timing, fmt.Errorf(`kind "batch" needs a "batch" payload`)
+		}
+		// Item-level inputs are not pre-validated: a bad item fails
+		// alone (the batch contract), not the whole submit.
+		if err := req.Batch.Validate(); err != nil {
+			return "", timing, err
+		}
+	case JobCharacterize:
+		if req.Characterize == nil {
+			return "", timing, fmt.Errorf(`kind "characterize" needs a "characterize" payload`)
+		}
+		for _, name := range req.Characterize.Archs {
+			if _, err := parseBackend(name); err != nil {
+				return "", timing, err
+			}
+		}
+	case JobSweep:
+		if req.Sweep == nil {
+			return "", timing, fmt.Errorf(`kind "sweep" needs a "sweep" payload`)
+		}
+		// Mirror Service.Sweep's parse order: network, backend, kind.
+		netName := req.Sweep.Network
+		if netName == "" {
+			netName = "alexnet"
+		}
+		if _, err := parseNetwork(netName, nil); err != nil {
+			return "", timing, err
+		}
+		archName := req.Sweep.Arch
+		if archName == "" {
+			archName = "ddr3"
+		}
+		if _, err := parseBackend(archName); err != nil {
+			return "", timing, err
+		}
+		switch req.Sweep.Kind {
+		case "subarrays", "buffers", "batch":
+		default:
+			return "", timing, errUnknownSweepKind(req.Sweep.Kind)
+		}
+	default:
+		return "", timing, fmt.Errorf("unknown job kind %q (want dse, batch, characterize or sweep)", req.Kind)
+	}
+	return kind, timing, nil
+}

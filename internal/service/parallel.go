@@ -76,26 +76,87 @@ func ParallelDSE(ctx context.Context, net cnn.Network, ev *core.Evaluator, sched
 // non-nil, every column evaluation holds one gate token, so the total
 // CPU-bound parallelism across all concurrently running requests is
 // bounded by the gate's capacity rather than multiplying per request.
+//
+// Each layer is reduced eagerly: the worker that completes a layer's
+// last column runs core.ReduceCells for it right then, so a progress
+// sink on ctx (core.WithProgress) receives the layer's committed pick
+// while other layers are still evaluating - the source of the v2 job
+// API's streamed per-layer events. The reduction consumes the same
+// cell multiset in any execution order, so the final DSEResult stays
+// bit-for-bit identical to serial core.RunDSEObjective's.
 func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int) (*core.DSEResult, error) {
 	grids, err := core.DSEGrid(net, ev, schedules, policies)
 	if err != nil {
 		return nil, err
 	}
-	span := core.ColumnSpan{Start: 0, End: len(grids) * len(schedules)}
-	columns, err := evaluateColumns(ctx, gate, grids, ev, schedules, policies, obj, span, workers)
+	total := len(grids) * len(schedules)
+	prog := core.ProgressFrom(ctx)
+	if prog != nil {
+		prog.StartColumns(total)
+	}
+
+	// One slot per (layer, schedule) column: workers write disjoint
+	// slots, and the atomic remaining-counter decrement publishes them
+	// to whichever worker performs the layer's reduction.
+	colCells := make([][][]core.CellResult, len(grids))
+	remaining := make([]atomic.Int32, len(grids))
+	for li := range grids {
+		colCells[li] = make([][]core.CellResult, len(schedules))
+		remaining[li].Store(int32(len(schedules)))
+	}
+	layers := make([]core.LayerResult, len(grids))
+
+	var skipped atomic.Bool
+	err = runPool(ctx, total, workers, func(col int) {
+		if !acquireGate(ctx, gate) {
+			skipped.Store(true)
+			return
+		}
+		defer releaseGate(gate)
+		li, si := col/len(schedules), col%len(schedules)
+		colCells[li][si] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
+		if prog != nil {
+			prog.ColumnsDone(1)
+		}
+		if remaining[li].Add(-1) == 0 {
+			cells := make([]core.CellResult, 0, len(schedules)*len(policies))
+			for _, cc := range colCells[li] {
+				cells = append(cells, cc...)
+			}
+			layers[li] = core.ReduceCells(grids[li], schedules, policies, cells, ev.Timing())
+			if prog != nil {
+				prog.LayerDone(li, len(grids), layers[li])
+			}
+		}
+	})
+	if err == nil && skipped.Load() {
+		err = ctx.Err()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: parallel DSE canceled: %w", err)
 	}
-	cells := make([][]core.CellResult, len(grids))
-	for i, col := range columns {
-		cells[i/len(schedules)] = append(cells[i/len(schedules)], col...)
-	}
+	return &core.DSEResult{Backend: ev.Backend(), Arch: ev.Arch(), Layers: layers}, nil
+}
 
-	result := &core.DSEResult{Backend: ev.Backend(), Arch: ev.Arch()}
-	for li, lg := range grids {
-		result.Layers = append(result.Layers, core.ReduceCells(lg, schedules, policies, cells[li], ev.Timing()))
+// acquireGate takes one gate token (immediately true for a nil gate);
+// false means ctx was done first and no token is held.
+func acquireGate(ctx context.Context, gate chan struct{}) bool {
+	if gate == nil {
+		return true
 	}
-	return result, nil
+	select {
+	case gate <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// releaseGate returns acquireGate's token.
+func releaseGate(gate chan struct{}) {
+	if gate != nil {
+		<-gate
+	}
 }
 
 // evaluateColumns fans one span of the (layer, schedule) column space
@@ -107,15 +168,11 @@ func evaluateColumns(ctx context.Context, gate chan struct{}, grids []core.Layer
 	columns := make([][]core.CellResult, span.Len())
 	var skipped atomic.Bool
 	err := runPool(ctx, span.Len(), workers, func(i int) {
-		if gate != nil {
-			select {
-			case gate <- struct{}{}:
-				defer func() { <-gate }()
-			case <-ctx.Done():
-				skipped.Store(true)
-				return
-			}
+		if !acquireGate(ctx, gate) {
+			skipped.Store(true)
+			return
 		}
+		defer releaseGate(gate)
 		col := span.Start + i
 		li, si := col/len(schedules), col%len(schedules)
 		columns[i] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)

@@ -10,7 +10,7 @@
 // The drmap-serve daemon (cmd/drmap-serve) exposes:
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
-//	GET  /metrics             - plain-text serving/cluster counters
+//	GET  /metrics             - plain-text serving/cluster/job counters
 //	GET  /api/v1/policies     - the Table I mapping policies
 //	GET  /api/v1/backends     - the registered DRAM backends (ID-sorted)
 //	POST /api/v1/characterize - Fig. 1 characterization {"archs":["ddr3",...]}
@@ -18,6 +18,19 @@
 //	POST /api/v1/batch        - many DSE jobs in one request {"jobs":[...]}
 //	POST /api/v1/simulate     - trace-driven layer validation
 //	POST /api/v1/sweep        - ablation sweeps {"kind":"subarrays"}
+//
+// plus the job-oriented v2 surface (async submit, progress, streaming,
+// cancel - see JobManager and API.md):
+//
+//	POST   /api/v2/jobs             - submit a dse/batch/characterize/sweep job
+//	GET    /api/v2/jobs             - list jobs (?kind=, ?state=, ?limit=)
+//	GET    /api/v2/jobs/{id}        - status, progress, result once terminal
+//	GET    /api/v2/jobs/{id}/events - NDJSON/SSE event stream (?from= resumes)
+//	DELETE /api/v2/jobs/{id}        - cancel
+//
+// The v1 POST endpoints are thin synchronous wrappers over the same
+// job manager (submit + wait), so both surfaces share one execution
+// path, one cache, and one cluster runner.
 //
 // Every "arch" field accepts any registered DRAM backend ID (package
 // dram's registry): the four paper architectures plus the generality
@@ -27,6 +40,7 @@
 //
 //	drmap-serve -addr :8080 &
 //	curl -s localhost:8080/api/v1/dse -d '{"arch":"ddr3","network":"alexnet"}'
+//	curl -s localhost:8080/api/v2/jobs -d '{"kind":"dse","dse":{"arch":"ddr3","network":"alexnet"}}'
 //
 // Identical requests are content-addressed (SHA-256 of the resolved
 // inputs) and served from a bounded LRU cache; concurrent identical
@@ -445,6 +459,12 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateR
 	return &resp, nil
 }
 
+// errUnknownSweepKind is shared between Sweep and the job-submit
+// validation so both paths reject a bad kind with identical text.
+func errUnknownSweepKind(kind string) error {
+	return fmt.Errorf("unknown sweep kind %q (want subarrays, buffers or batch)", kind)
+}
+
 // Sweep runs one ablation sweep (subarrays, buffers or batch). Sweeps
 // are the reproduction's ablation studies and always use the paper's
 // Table II accelerator (package sweep's contract), regardless of
@@ -492,7 +512,7 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, 
 		}
 		run = func() (*sweep.Table, error) { return sweep.Batches(values, backend, net) }
 	default:
-		return nil, fmt.Errorf("unknown sweep kind %q (want subarrays, buffers or batch)", req.Kind)
+		return nil, errUnknownSweepKind(req.Kind)
 	}
 	type sweepKey struct {
 		Kind    string
