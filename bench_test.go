@@ -266,6 +266,84 @@ func BenchmarkParallelDSE(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchMultiBackend measures the count/price split on the
+// headline multi-backend scenario: one network fanned over every
+// registered DRAM backend (the paper four plus the generality presets)
+// in a single batch request. Three paths:
+//
+//	recount - count-plan cache disabled: the pre-refactor baseline,
+//	          every backend expands and counts every grid column.
+//	cold    - plan cache enabled but empty: each column is counted
+//	          once per distinct count signature (the four paper
+//	          architectures share one 2Gb x8 die) and repriced for
+//	          the other backends.
+//	warm    - plan cache already populated by an earlier batch under
+//	          a different objective: the whole batch is reprice-only,
+//	          the steady state of a serving daemon.
+//
+// Every path characterizes its backends outside the timer, so the
+// ns/op ratio isolates counting versus pricing. Equivalence of the
+// three paths is pinned bit-for-bit by the service plan tests; each
+// sub-benchmark asserts only that every item completed. Intended
+// cadence: -benchtime=1x -count=3 (the CI bench job's BENCH_5.json);
+// at larger -benchtime the timed batch of cold/warm repeats against a
+// by-then-populated cache, understating the recount baseline's gap.
+func BenchmarkBatchMultiBackend(b *testing.B) {
+	backends := drmap.Backends()
+	batchReq := func(objective string) drmap.BatchRequest {
+		var req drmap.BatchRequest
+		for _, backend := range backends {
+			req.Jobs = append(req.Jobs, drmap.DSERequest{
+				Arch: backend.ID, Network: "alexnet", Objective: objective,
+			})
+		}
+		return req
+	}
+	ctx := context.Background()
+	runBatch := func(b *testing.B, svc *drmap.Service, objective string) {
+		b.Helper()
+		resp, err := svc.Batch(ctx, batchReq(objective))
+		if err != nil {
+			b.Fatalf("Batch: %v", err)
+		}
+		if resp.Failed != 0 {
+			b.Fatalf("%d batch items failed", resp.Failed)
+		}
+	}
+	variants := []struct {
+		name string
+		opts drmap.ServiceOptions
+		// prime readies the service outside the timer.
+		prime func(b *testing.B, svc *drmap.Service)
+	}{
+		{"recount", drmap.ServiceOptions{PlanCacheEntries: -1}, nil},
+		{"cold", drmap.ServiceOptions{}, nil},
+		{"warm", drmap.ServiceOptions{}, func(b *testing.B, svc *drmap.Service) {
+			// Populate the plan cache under a different objective:
+			// count plans are objective-independent, DSE results are
+			// not, so the timed batch misses the result cache but
+			// reprices every cached plan.
+			runBatch(b, svc, "energy")
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/8-backends", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc := drmap.NewService(v.opts)
+				if _, err := svc.Characterize(ctx, drmap.CharacterizeRequest{}); err != nil {
+					b.Fatalf("characterize: %v", err)
+				}
+				if v.prime != nil {
+					v.prime(b, svc)
+				}
+				b.StartTimer()
+				runBatch(b, svc, "")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationSubarraySweep sweeps subarrays-per-bank on SALP-MASA
 // and reports the subarray-parallel stream cost: the SALP headroom the
 // paper's architecture choice (8 subarrays) buys.

@@ -79,13 +79,15 @@ func main() {
 	ttl := flag.Duration("heartbeat-ttl", cluster.DefaultHeartbeatTTL, "worker liveness TTL (role=coordinator)")
 	workers := flag.Int("workers", 0, "DSE worker pool size (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", service.DefaultCacheEntries, "result cache capacity in entries (negative disables retention)")
+	planCacheEntries := flag.Int("plan-cache", service.DefaultPlanCacheEntries, "count-plan cache capacity in grid columns (negative disables; plans are backend-independent, so multi-backend batches reprice instead of recount)")
+	shardCacheEntries := flag.Int("shard-cache", cluster.DefaultShardCacheEntries, "coordinator shard result cache capacity in (job, span) entries (role=coordinator; negative disables)")
 	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request evaluation timeout (v1; v2 jobs are unbounded)")
 	grace := flag.Duration("grace", service.DefaultShutdownGrace, "graceful shutdown window")
 	maxJobs := flag.Int("max-jobs", service.DefaultMaxJobs, "v2 job store capacity")
 	jobTTL := flag.Duration("job-ttl", service.DefaultJobTTL, "how long finished v2 jobs (results + event logs) stay retrievable")
 	flag.Parse()
 
-	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries, PlanCacheEntries: *planCacheEntries})
 	jobs := service.NewJobManager(svc, service.JobManagerOptions{MaxJobs: *maxJobs, TTL: *jobTTL})
 
 	// GET /metrics always carries the job-store gauges; cluster roles
@@ -97,7 +99,7 @@ func main() {
 	switch *role {
 	case "standalone":
 	case "coordinator":
-		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{HeartbeatTTL: *ttl})
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{HeartbeatTTL: *ttl, ShardCacheEntries: *shardCacheEntries})
 		svc.SetRunner(coord)
 		extraMetrics = func() []service.Metric { return append(jobs.Metrics(), coord.Metrics()...) }
 		mount = coord.Mount

@@ -1,20 +1,24 @@
 // Command drmap-sweep regenerates the reproduction's ablation tables:
-// subarrays-per-bank, on-chip buffer capacity, batch size and the
-// soundness of the paper's Table I policy pruning. Results print as
+// subarrays-per-bank, on-chip buffer capacity, batch size, the
+// soundness of the paper's Table I policy pruning, and the registry
+// scan (DRMap DSE totals across every registered DRAM backend, sharing
+// count plans across backends with one die geometry). Results print as
 // aligned text and can also be exported as CSV.
 //
 // Usage:
 //
-//	drmap-sweep [-kind subarrays|buffers|batch|pruning|all] [-arch backend-id]
+//	drmap-sweep [-kind subarrays|buffers|batch|pruning|registry|all] [-arch backend-id]
 //	            [-network alexnet|vgg16|lenet5|resnet18] [-csv file] [-server URL]
 //
 // -arch accepts any registered DRAM backend ID and applies to the
 // buffers/batch/pruning sweeps (defaults: ddr3 for buffers/batch,
-// salp1 for pruning); the subarrays sweep is SALP-MASA by definition.
+// salp1 for pruning); the subarrays sweep is SALP-MASA by definition
+// and the registry sweep always scans the whole registry.
 //
 // -server http://host:8080 runs one sweep remotely on a drmap-serve
 // daemon as an asynchronous v2 job (kinds subarrays, buffers or batch;
-// the pruning sweep is local-only) and prints the table as JSON.
+// the pruning and registry sweeps are local-only) and prints the table
+// as JSON.
 package main
 
 import (
@@ -33,7 +37,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drmap-sweep: ")
-	kind := flag.String("kind", "all", "sweep: subarrays, buffers, batch, pruning, all")
+	kind := flag.String("kind", "all", "sweep: subarrays, buffers, batch, pruning, registry, all")
 	archFlag := flag.String("arch", "", "DRAM backend for buffers/batch/pruning: "+cli.BackendList()+" (empty = per-sweep default)")
 	networkFlag := flag.String("network", "alexnet", "workload: alexnet, vgg16, lenet5, resnet18")
 	csvPath := flag.String("csv", "", "also write the (last) sweep as CSV to this file")
@@ -97,6 +101,9 @@ func main() {
 	run("pruning", func() (*sweep.Table, error) {
 		return sweep.PolicyPruning(backendOr("salp1"), net.Layers[1], 1)
 	})
+	run("registry", func() (*sweep.Table, error) {
+		return sweep.Registry(drmap.Backends(), net, 1)
+	})
 
 	if last == nil {
 		log.Fatalf("unknown sweep kind %q", *kind)
@@ -119,7 +126,7 @@ func main() {
 func runRemote(server, kind, arch, network, csvPath string) {
 	switch kind {
 	case "subarrays", "buffers", "batch":
-	case "all", "pruning":
+	case "all", "pruning", "registry":
 		log.Fatalf("-server runs one sweep kind per invocation (subarrays, buffers or batch); %q is local-only", kind)
 	default:
 		log.Fatalf("unknown sweep kind %q", kind)

@@ -264,6 +264,26 @@ type (
 	LayerSpec = core.LayerSpec
 )
 
+// The count/price split: a design point's access-count structure is
+// independent of the DRAM device's characterization - only the
+// per-access costs change (DRMap Sec. V-B). Evaluator.CountScheduleColumn
+// computes a grid column's counts once; Evaluator.PriceCells and
+// Evaluator.MinOverColumn reprice them under any evaluator whose
+// CountKey matches (the paper's four architectures share one), with
+// results bit-for-bit identical to the direct scan. The service's
+// count-plan cache, Fig9Series and the registry sweep are built on it.
+type (
+	// CellCounts is the read/write access-count structure of one
+	// (tiling, policy) design point.
+	CellCounts = core.CellCounts
+	// CountColumn is the backend-independent count plan of one
+	// (layer, schedule) grid column.
+	CountColumn = core.CountColumn
+	// CountKey is the projection of an evaluator its counts depend on;
+	// equal keys mean interchangeable count plans.
+	CountKey = core.CountKey
+)
+
 // SimulateLayer prices a layer by running its tile streams through the
 // cycle-accurate controller and energy model instead of the analytical
 // category counts - the validation path of the paper's tool flow.

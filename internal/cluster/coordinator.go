@@ -33,6 +33,10 @@ const (
 	// Shards evaluate in milliseconds to seconds; two minutes is
 	// generous headroom, not a tuning knob.
 	DefaultShardTimeout = 2 * time.Minute
+	// DefaultShardCacheEntries bounds the coordinator-side shard result
+	// cache (one entry per (job, span)); a typical job cuts 4 shards
+	// per live worker.
+	DefaultShardCacheEntries = 512
 )
 
 // CoordinatorOptions tune a Coordinator.
@@ -50,6 +54,13 @@ type CoordinatorOptions struct {
 	// worker is retried elsewhere instead of hanging the job; <= 0
 	// means DefaultShardTimeout.
 	ShardTimeout time.Duration
+	// ShardCacheEntries bounds the coordinator-side shard result cache,
+	// keyed by (resolved-job content hash, span): retried and duplicate
+	// shards - a coordinator re-running an identical job, repeated batch
+	// items that missed the owning service's result cache - skip
+	// dispatch entirely. 0 selects DefaultShardCacheEntries, negative
+	// disables the cache.
+	ShardCacheEntries int
 	// Client performs shard dispatch; nil means a plain client (each
 	// call is already bounded by ShardTimeout).
 	Client *http.Client
@@ -69,6 +80,10 @@ type Coordinator struct {
 	shardsPerWorker int
 	maxAttempts     int
 	shardTimeout    time.Duration
+
+	// shardCache remembers completed shard results by (job content hash,
+	// span), so duplicate shards skip dispatch; nil when disabled.
+	shardCache *service.Cache
 
 	rr        atomic.Uint64 // round-robin dispatch cursor
 	inflight  atomic.Int64  // shards currently dispatched
@@ -101,12 +116,21 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	if shardTimeout <= 0 {
 		shardTimeout = DefaultShardTimeout
 	}
+	cacheEntries := opt.ShardCacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = DefaultShardCacheEntries
+	}
+	var shardCache *service.Cache
+	if cacheEntries > 0 {
+		shardCache = service.NewCache(cacheEntries)
+	}
 	return &Coordinator{
 		members:         NewMembership(opt.HeartbeatTTL, opt.Now),
 		client:          client,
 		shardsPerWorker: spw,
 		maxAttempts:     attempts,
 		shardTimeout:    shardTimeout,
+		shardCache:      shardCache,
 	}
 }
 
@@ -139,13 +163,29 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RegisterResponse{OK: true, TTLMillis: c.members.TTL().Milliseconds()})
 }
 
+// ShardCacheStats snapshots the shard result cache counters; all-zero
+// when the cache is disabled. A hit is a shard answered without any
+// worker dispatch.
+func (c *Coordinator) ShardCacheStats() service.CacheStats {
+	if c.shardCache == nil {
+		return service.CacheStats{}
+	}
+	return c.shardCache.Stats()
+}
+
 // Metrics returns the cluster gauges for GET /metrics.
 func (c *Coordinator) Metrics() []service.Metric {
+	ss := c.ShardCacheStats()
 	return []service.Metric{
 		{Name: "drmap_cluster_workers", Value: int64(len(c.members.Live()))},
 		{Name: "drmap_cluster_inflight_shards", Value: c.inflight.Load()},
 		{Name: "drmap_cluster_shards_completed_total", Value: c.completed.Load()},
 		{Name: "drmap_cluster_shard_retries_total", Value: c.retries.Load()},
+		{Name: "drmap_cluster_shard_cache_hits_total", Value: ss.Hits},
+		{Name: "drmap_cluster_shard_cache_misses_total", Value: ss.Misses},
+		{Name: "drmap_cluster_shard_cache_coalesced_total", Value: ss.Coalesced},
+		{Name: "drmap_cluster_shard_cache_evictions_total", Value: ss.Evictions},
+		{Name: "drmap_cluster_shard_cache_entries", Value: int64(ss.Entries)},
 	}
 }
 
@@ -177,7 +217,17 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 		prog.StartColumns(columns)
 	}
 	spans := core.ColumnShards(columns, len(live)*c.shardsPerWorker)
-	cells, done, err := c.dispatchAll(ctx, job, spans)
+	// One content hash per job run: the shard cache keys every span
+	// under it, so re-running an identical resolved job (a retried v2
+	// job, a batch item that missed the result cache) hits instead of
+	// re-dispatching. An unfingerprintable job just skips the cache.
+	jobFP := ""
+	if c.shardCache != nil {
+		if fp, err := service.Fingerprint(job); err == nil {
+			jobFP = fp
+		}
+	}
+	cells, done, err := c.dispatchAll(ctx, jobFP, job, spans)
 	if err != nil {
 		// Withdraw this attempt's announced and completed columns: when
 		// the owning service falls back to its local pool (ErrNoWorkers),
@@ -205,7 +255,7 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 // loop) and returns the union of their cells plus how many columns it
 // reported to the context's progress sink (so a failing caller can
 // withdraw them). The first failure cancels the remaining dispatches.
-func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans []core.ColumnSpan) ([]core.CellResult, int, error) {
+func (c *Coordinator) dispatchAll(ctx context.Context, jobFP string, job service.DSEJob, spans []core.ColumnSpan) ([]core.CellResult, int, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	prog := core.ProgressFrom(ctx)
@@ -218,7 +268,7 @@ func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans
 		wg.Add(1)
 		go func(i int, span core.ColumnSpan) {
 			defer wg.Done()
-			cells, err := c.dispatchShard(ctx, job, i, len(spans), span)
+			cells, err := c.dispatchShard(ctx, jobFP, job, i, len(spans), span)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -250,12 +300,60 @@ func (c *Coordinator) dispatchAll(ctx context.Context, job service.DSEJob, spans
 	return cells, int(done.Load()), nil
 }
 
-// dispatchShard sends one shard to a live worker, retrying on another
-// worker when a dispatch fails or times out (the failed worker is
-// marked dead until its next heartbeat). Running out of live workers
+// dispatchShard resolves one shard: from the shard result cache when an
+// identical (job, span) has completed before (or is completing right
+// now - identical in-flight shards coalesce), else by remote dispatch,
+// whose successful cells are retained for the next duplicate.
+func (c *Coordinator) dispatchShard(ctx context.Context, jobFP string, job service.DSEJob, shard, total int, span core.ColumnSpan) ([]core.CellResult, error) {
+	if c.shardCache == nil || jobFP == "" {
+		return c.dispatchShardRemote(ctx, job, shard, total, span)
+	}
+	key := fmt.Sprintf("%s:%d:%d", jobFP, span.Start, span.End)
+	// The wait is bounded by this caller's context (as service.doBounded
+	// does): a coalesced caller must not block behind a foreign flight's
+	// dispatch - potentially attempts x timeout long - after its own job
+	// was canceled.
+	type outcome struct {
+		cells  []core.CellResult
+		shared bool
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, shared, err := c.shardCache.Do(key, func() (any, error) {
+			return c.dispatchShardRemote(ctx, job, shard, total, span)
+		})
+		if err != nil {
+			ch <- outcome{shared: shared, err: err}
+			return
+		}
+		ch <- outcome{cells: v.([]core.CellResult), shared: shared}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			if o.shared && ctx.Err() == nil {
+				// The error belongs to a coalesced peer's flight (its
+				// context died, its job failed elsewhere) - not to this
+				// caller, whose context is still live. Dispatch for
+				// ourselves rather than failing an innocent job with a
+				// foreign cancellation.
+				return c.dispatchShardRemote(ctx, job, shard, total, span)
+			}
+			return nil, o.err
+		}
+		return o.cells, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("cluster: shard %d/%d canceled: %w", shard, total, ctx.Err())
+	}
+}
+
+// dispatchShardRemote sends one shard to a live worker, retrying on
+// another worker when a dispatch fails or times out (the failed worker
+// is marked dead until its next heartbeat). Running out of live workers
 // or attempts surfaces as service.ErrNoWorkers so the job as a whole
 // fails over to the owning service's local pool.
-func (c *Coordinator) dispatchShard(ctx context.Context, job service.DSEJob, shard, total int, span core.ColumnSpan) ([]core.CellResult, error) {
+func (c *Coordinator) dispatchShardRemote(ctx context.Context, job service.DSEJob, shard, total int, span core.ColumnSpan) ([]core.CellResult, error) {
 	c.inflight.Add(1)
 	defer c.inflight.Add(-1)
 	var lastErr error

@@ -218,19 +218,16 @@ func (ev *Evaluator) EvaluateLayer(l cnn.Layer, tl tiling.Tiling, s tiling.Sched
 }
 
 // MinOverTilings returns the minimum-EDP tiling for a (layer, schedule,
-// mapping) combination, searching the given candidate tilings.
+// mapping) combination, searching the given candidate tilings. It is
+// the count -> price pipeline over a single-policy column; callers
+// scanning many policies or DRAM systems over one tiling set should
+// count once with CountScheduleColumn and reprice with MinOverColumn.
 func (ev *Evaluator) MinOverTilings(l cnn.Layer, tilings []tiling.Tiling, s tiling.Schedule, pol mapping.Policy) (tiling.Tiling, LayerEDP) {
-	tm := ev.Timing()
-	best := LayerEDP{Cycles: math.Inf(1), Energy: math.Inf(1)}
-	bestEDP := math.Inf(1)
+	lg := LayerGrid{Layer: l, Tilings: tilings}
+	ti, best := ev.MinOverColumn(ev.CountScheduleColumn(lg, 0, s, []mapping.Policy{pol}), 0)
 	var bestTiling tiling.Tiling
-	for _, tl := range tilings {
-		e := ev.EvaluateLayer(l, tl, s, pol)
-		if edp := e.EDP(tm); edp < bestEDP {
-			bestEDP = edp
-			best = e
-			bestTiling = tl
-		}
+	if ti >= 0 {
+		bestTiling = tilings[ti]
 	}
 	return bestTiling, best
 }
@@ -338,6 +335,13 @@ const TotalLayerName = "Total"
 // network (plus the Total aggregate), every mapping policy and every
 // provided evaluator (one per architecture), the minimum EDP over all
 // feasible partitionings under the given scheduling scheme.
+//
+// The series runs the count -> price split per layer: each distinct
+// CountKey among the evaluators counts the (tiling x policy) plan once,
+// and every evaluator reprices its group's plan - so the four paper
+// architectures (which share one die geometry) expand and count every
+// layer's tile streams once instead of four times, with points
+// bit-for-bit identical to the per-evaluator scan.
 func Fig9Series(net cnn.Network, s tiling.Schedule, evs []*Evaluator, policies []mapping.Policy) ([]Fig9Point, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -357,9 +361,16 @@ func Fig9Series(net cnn.Network, s tiling.Schedule, evs []*Evaluator, policies [
 		if len(tilings) == 0 {
 			return nil, fmt.Errorf("core: layer %s: no partitioning fits the buffers", layer.Name)
 		}
-		for _, pol := range policies {
+		lg := LayerGrid{Layer: layer, Tilings: tilings}
+		plans := make(map[CountKey]*CountColumn, len(evs))
+		for _, ev := range evs {
+			if k := ev.CountKey(); plans[k] == nil {
+				plans[k] = ev.CountScheduleColumn(lg, 0, s, policies)
+			}
+		}
+		for pi, pol := range policies {
 			for _, ev := range evs {
-				_, cost := ev.MinOverTilings(layer, tilings, s, pol)
+				_, cost := ev.MinOverColumn(plans[ev.CountKey()], pi)
 				tm := ev.Timing()
 				p := Fig9Point{
 					Layer:   layer.Name,

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/tiling"
+)
+
+// registryEvaluators builds one evaluator per registered backend (the
+// paper four plus the generality presets), so the split is exercised
+// across every geometry the repo ships.
+func registryEvaluators(t *testing.T) []*Evaluator {
+	t.Helper()
+	var evs []*Evaluator
+	for _, b := range dram.Backends() {
+		p, err := profile.CharacterizeBackend(b)
+		if err != nil {
+			t.Fatalf("CharacterizeBackend(%s): %v", b.ID, err)
+		}
+		ev, err := NewEvaluator(p, accel.TableII(), 1)
+		if err != nil {
+			t.Fatalf("NewEvaluator(%s): %v", b.ID, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// directScheduleColumn replicates the pre-split evaluation loop exactly:
+// per tiling, per policy, price the combination directly through
+// EvaluateLayer (which still computes groups and counts inline) and keep
+// the first strict objective minimum. It is the recorded old code path
+// the count -> price pipeline must reproduce bit for bit.
+func directScheduleColumn(ev *Evaluator, lg LayerGrid, scheduleIdx int, s tiling.Schedule, policies []mapping.Policy, obj Objective) []CellResult {
+	tm := ev.Timing()
+	out := make([]CellResult, len(policies))
+	for pi := range out {
+		out[pi] = CellResult{
+			LayerIndex:    lg.Index,
+			ScheduleIndex: scheduleIdx,
+			PolicyIndex:   pi,
+			Value:         math.Inf(1),
+		}
+	}
+	for ti, tl := range lg.Tilings {
+		for pi, pol := range policies {
+			cost := ev.EvaluateLayer(lg.Layer, tl, s, pol)
+			if v := obj.Value(cost, tm); v < out[pi].Value {
+				out[pi].Value = v
+				out[pi].Cost = cost
+				out[pi].TilingIndex = ti
+			}
+		}
+	}
+	return out
+}
+
+// TestCountPriceSplitMatchesDirectScan: the split EvaluateScheduleColumn
+// equals the pre-refactor direct scan bit for bit, on every registered
+// backend, every schedule and every objective.
+func TestCountPriceSplitMatchesDirectScan(t *testing.T) {
+	net := cnn.LeNet5()
+	policies := mapping.TableI()
+	for _, ev := range registryEvaluators(t) {
+		grids, err := DSEGrid(net, ev, tiling.Schedules, policies)
+		if err != nil {
+			t.Fatalf("%s: DSEGrid: %v", ev.Label(), err)
+		}
+		for _, lg := range grids {
+			for si, s := range tiling.Schedules {
+				for _, obj := range Objectives {
+					got := ev.EvaluateScheduleColumn(lg, si, s, policies, obj)
+					want := directScheduleColumn(ev, lg, si, s, policies, obj)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s layer %s schedule %v obj %v: split diverged from direct scan\ngot  %+v\nwant %+v",
+							ev.Label(), lg.Layer.Name, s, obj, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountPriceSplitHonorsEvaluatorFlags: the refinement flags
+// (direction-aware write pricing, physical counts) flow through the
+// split identically to the direct path.
+func TestCountPriceSplitHonorsEvaluatorFlags(t *testing.T) {
+	base := evaluatorFor(t, dram.SALPMASA)
+	layer := cnn.LeNet5().Layers[1]
+	lg := LayerGrid{Layer: layer, Tilings: tiling.Enumerate(layer, base.Accel)}
+	policies := mapping.TableI()
+	for _, variant := range []struct {
+		name            string
+		write, physical bool
+	}{
+		{"write-costs", true, false},
+		{"physical-counts", false, true},
+		{"both", true, true},
+	} {
+		ev := *base
+		ev.UseWriteCosts = variant.write
+		ev.UsePhysicalCounts = variant.physical
+		got := ev.EvaluateScheduleColumn(lg, 0, tiling.AdaptiveReuse, policies, MinimizeEDP)
+		want := directScheduleColumn(&ev, lg, 0, tiling.AdaptiveReuse, policies, MinimizeEDP)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: split diverged from direct scan", variant.name)
+		}
+	}
+}
+
+// TestPlanRepricesAcrossBackends: a plan counted under one backend,
+// priced under another backend with an equal CountKey, equals the other
+// backend's own scan - the reuse the service's plan cache relies on.
+func TestPlanRepricesAcrossBackends(t *testing.T) {
+	evs := evaluators(t) // the paper four: one shared die geometry
+	layer := cnn.AlexNet().Layers[0]
+	lg := LayerGrid{Layer: layer, Tilings: tiling.Enumerate(layer, evs[0].Accel)}
+	policies := mapping.TableI()
+	plan := evs[0].CountScheduleColumn(lg, 2, tiling.Schedules[2], policies)
+	for _, ev := range evs[1:] {
+		if ev.CountKey() != evs[0].CountKey() {
+			t.Fatalf("%s: paper backends must share a CountKey", ev.Label())
+		}
+		for _, obj := range Objectives {
+			got := ev.PriceCells(plan, obj)
+			want := ev.EvaluateScheduleColumn(lg, 2, tiling.Schedules[2], policies, obj)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s obj %v: repriced foreign plan diverged from own scan", ev.Label(), obj)
+			}
+		}
+	}
+}
+
+// TestCountKeySeparatesGeometries: backends whose addressing geometry
+// differs must not share a plan key, and the count-relevant flags must
+// split the key too.
+func TestCountKeySeparatesGeometries(t *testing.T) {
+	evs := registryEvaluators(t)
+	byID := map[string]*Evaluator{}
+	for _, ev := range evs {
+		byID[ev.Backend().ID] = ev
+	}
+	ddr3 := byID["ddr3"]
+	for _, id := range []string{"salp1", "salp2", "masa"} {
+		if byID[id].CountKey() != ddr3.CountKey() {
+			t.Errorf("%s should share ddr3's CountKey (same 2Gb x8 die)", id)
+		}
+	}
+	for _, id := range []string{"ddr4", "lpddr3", "lpddr4", "hbm2"} {
+		if byID[id].CountKey() == ddr3.CountKey() {
+			t.Errorf("%s must not share ddr3's CountKey (different geometry)", id)
+		}
+	}
+	flagged := *ddr3
+	flagged.UsePhysicalCounts = true
+	if flagged.CountKey() == ddr3.CountKey() {
+		t.Error("UsePhysicalCounts must change the CountKey")
+	}
+	batched, err := NewEvaluator(ddr3.Profile, ddr3.Accel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.CountKey() == ddr3.CountKey() {
+		t.Error("batch size must change the CountKey")
+	}
+}
+
+// TestMinOverTilingsMatchesDirectScan: the rewritten MinOverTilings
+// equals the old per-tiling EvaluateLayer scan bit for bit.
+func TestMinOverTilingsMatchesDirectScan(t *testing.T) {
+	for _, ev := range registryEvaluators(t) {
+		layer := cnn.LeNet5().Layers[1]
+		tilings := tiling.Enumerate(layer, ev.Accel)
+		for _, s := range tiling.Schedules {
+			for _, pol := range mapping.TableI() {
+				gotTiling, gotCost := ev.MinOverTilings(layer, tilings, s, pol)
+				tm := ev.Timing()
+				wantCost := LayerEDP{Cycles: math.Inf(1), Energy: math.Inf(1)}
+				bestEDP := math.Inf(1)
+				var wantTiling tiling.Tiling
+				for _, tl := range tilings {
+					e := ev.EvaluateLayer(layer, tl, s, pol)
+					if edp := e.EDP(tm); edp < bestEDP {
+						bestEDP = edp
+						wantCost = e
+						wantTiling = tl
+					}
+				}
+				if gotTiling != wantTiling || gotCost != wantCost {
+					t.Fatalf("%s %v %s: MinOverTilings diverged: got (%v, %+v), want (%v, %+v)",
+						ev.Label(), s, pol.Name, gotTiling, gotCost, wantTiling, wantCost)
+				}
+			}
+		}
+	}
+}
+
+// TestMinOverTilingsEmpty keeps the no-winner sentinel: an empty tiling
+// set returns the zero tiling and an infinite cost.
+func TestMinOverTilingsEmpty(t *testing.T) {
+	ev := evaluatorFor(t, dram.DDR3)
+	tl, cost := ev.MinOverTilings(cnn.LeNet5().Layers[0], nil, tiling.OfmsReuse, mapping.DRMap())
+	if tl != (tiling.Tiling{}) {
+		t.Errorf("empty search returned tiling %+v", tl)
+	}
+	if !math.IsInf(cost.Cycles, 1) || !math.IsInf(cost.Energy, 1) {
+		t.Errorf("empty search returned finite cost %+v", cost)
+	}
+}
+
+// TestFig9SeriesMatchesPerEvaluatorScan: the plan-sharing Fig9Series
+// equals the pre-refactor series (one direct MinOverTilings-style scan
+// per layer x policy x evaluator) bit for bit, across the full registry
+// - several distinct geometries plus the shared paper die.
+func TestFig9SeriesMatchesPerEvaluatorScan(t *testing.T) {
+	evs := registryEvaluators(t)
+	net := cnn.LeNet5()
+	policies := mapping.TableI()
+	s := tiling.AdaptiveReuse
+	got, err := Fig9Series(net, s, evs, policies)
+	if err != nil {
+		t.Fatalf("Fig9Series: %v", err)
+	}
+
+	// The recorded old algorithm, including its totals bookkeeping.
+	var want []Fig9Point
+	type key struct {
+		pol     string
+		backend string
+		arch    dram.Arch
+	}
+	totals := make(map[key]*Fig9Point)
+	for _, layer := range net.Layers {
+		tilings := tiling.Enumerate(layer, evs[0].Accel)
+		for _, pol := range policies {
+			for _, ev := range evs {
+				tm := ev.Timing()
+				cost := LayerEDP{Cycles: math.Inf(1), Energy: math.Inf(1)}
+				bestEDP := math.Inf(1)
+				for _, tl := range tilings {
+					e := ev.EvaluateLayer(layer, tl, s, pol)
+					if edp := e.EDP(tm); edp < bestEDP {
+						bestEDP = edp
+						cost = e
+					}
+				}
+				p := Fig9Point{
+					Layer: layer.Name, Policy: pol, Backend: ev.Backend(), Arch: ev.Arch(),
+					Cost: cost, Seconds: cost.Seconds(tm), EDP: cost.EDP(tm),
+				}
+				want = append(want, p)
+				k := key{pol: pol.Name, backend: ev.Backend().ID, arch: ev.Arch()}
+				if agg, ok := totals[k]; ok {
+					agg.Cost.Add(cost)
+					agg.Seconds += p.Seconds
+					agg.EDP += p.EDP
+				} else {
+					totals[k] = &Fig9Point{Layer: TotalLayerName, Policy: pol, Backend: ev.Backend(),
+						Arch: ev.Arch(), Cost: cost, Seconds: p.Seconds, EDP: p.EDP}
+				}
+			}
+		}
+	}
+	for _, pol := range policies {
+		for _, ev := range evs {
+			if agg, ok := totals[key{pol: pol.Name, backend: ev.Backend().ID, arch: ev.Arch()}]; ok {
+				want = append(want, *agg)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fig9Series diverged from the per-evaluator scan (%d vs %d points)", len(got), len(want))
+	}
+}

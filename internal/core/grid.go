@@ -119,29 +119,14 @@ func ColumnShards(columns, shards int) []ColumnSpan {
 // and shared across all policies - the reuse the serial loop nest gets
 // for free. The evaluator is only read, so one evaluator may serve many
 // concurrent calls.
+//
+// The search is the count -> price pipeline of countplan.go run
+// back-to-back: callers that evaluate one column for many DRAM systems
+// (or objectives) should instead keep the CountScheduleColumn plan and
+// reprice it per system with PriceCells, which produces these exact
+// cells at a fraction of the cost.
 func (ev *Evaluator) EvaluateScheduleColumn(lg LayerGrid, scheduleIdx int, s tiling.Schedule, policies []mapping.Policy, obj Objective) []CellResult {
-	tm := ev.Timing()
-	out := make([]CellResult, len(policies))
-	for pi := range out {
-		out[pi] = CellResult{
-			LayerIndex:    lg.Index,
-			ScheduleIndex: scheduleIdx,
-			PolicyIndex:   pi,
-			Value:         math.Inf(1),
-		}
-	}
-	for ti, tl := range lg.Tilings {
-		groups := tiling.TileGroups(lg.Layer, tl, s, ev.Batch)
-		for pi, pol := range policies {
-			cost := ev.priceGroups(pol, groups)
-			if v := obj.Value(cost, tm); v < out[pi].Value {
-				out[pi].Value = v
-				out[pi].Cost = cost
-				out[pi].TilingIndex = ti
-			}
-		}
-	}
-	return out
+	return ev.PriceCells(ev.CountScheduleColumn(lg, scheduleIdx, s, policies), obj)
 }
 
 // EvaluateCell searches one grid cell (a single policy of a column);

@@ -11,11 +11,13 @@ type Metric struct {
 	Value int64
 }
 
-// Metrics snapshots the serving counters: evaluations, cache
-// effectiveness, pool size, then whatever the configured extra source
-// adds (cluster wiring contributes worker and in-flight-shard gauges).
+// Metrics snapshots the serving counters: evaluations, result-cache and
+// count-plan-cache effectiveness, pool size, then whatever the
+// configured extra source adds (cluster wiring contributes worker,
+// in-flight-shard and shard-cache gauges).
 func (s *Service) Metrics() []Metric {
 	cs := s.CacheStats()
+	ps := s.PlanCacheStats()
 	out := []Metric{
 		{Name: "drmap_evaluations_total", Value: s.Evaluations()},
 		{Name: "drmap_cache_hits_total", Value: cs.Hits},
@@ -23,6 +25,11 @@ func (s *Service) Metrics() []Metric {
 		{Name: "drmap_cache_coalesced_total", Value: cs.Coalesced},
 		{Name: "drmap_cache_evictions_total", Value: cs.Evictions},
 		{Name: "drmap_cache_entries", Value: int64(cs.Entries)},
+		{Name: "drmap_plan_cache_hits_total", Value: ps.Hits},
+		{Name: "drmap_plan_cache_misses_total", Value: ps.Misses},
+		{Name: "drmap_plan_cache_coalesced_total", Value: ps.Coalesced},
+		{Name: "drmap_plan_cache_evictions_total", Value: ps.Evictions},
+		{Name: "drmap_plan_cache_entries", Value: int64(ps.Entries)},
 		{Name: "drmap_pool_workers", Value: int64(s.workers)},
 	}
 	if s.extraMetrics != nil {

@@ -69,7 +69,7 @@ feed:
 // evaluator is shared (its methods only read it); cancellation of ctx
 // abandons unstarted columns and returns the context's error.
 func ParallelDSE(ctx context.Context, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int) (*core.DSEResult, error) {
-	return parallelDSE(ctx, nil, net, ev, schedules, policies, obj, workers)
+	return parallelDSE(ctx, nil, net, ev, schedules, policies, obj, workers, nil)
 }
 
 // parallelDSE is ParallelDSE with an optional service-wide gate: when
@@ -84,10 +84,20 @@ func ParallelDSE(ctx context.Context, net cnn.Network, ev *core.Evaluator, sched
 // API's streamed per-layer events. The reduction consumes the same
 // cell multiset in any execution order, so the final DSEResult stays
 // bit-for-bit identical to serial core.RunDSEObjective's.
-func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int) (*core.DSEResult, error) {
+//
+// colEval, when non-nil, replaces the direct per-column evaluation -
+// the service passes its plan-cache-backed columnEval so repeated and
+// multi-backend evaluations reprice cached count plans. It must return
+// the cells core.EvaluateScheduleColumn would.
+func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int, colEval columnEvalFn) (*core.DSEResult, error) {
 	grids, err := core.DSEGrid(net, ev, schedules, policies)
 	if err != nil {
 		return nil, err
+	}
+	if colEval == nil {
+		colEval = func(grids []core.LayerGrid, li, si int) []core.CellResult {
+			return ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
+		}
 	}
 	total := len(grids) * len(schedules)
 	prog := core.ProgressFrom(ctx)
@@ -114,7 +124,7 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 		}
 		defer releaseGate(gate)
 		li, si := col/len(schedules), col%len(schedules)
-		colCells[li][si] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
+		colCells[li][si] = colEval(grids, li, si)
 		if prog != nil {
 			prog.ColumnsDone(1)
 		}
@@ -160,11 +170,13 @@ func releaseGate(gate chan struct{}) {
 }
 
 // evaluateColumns fans one span of the (layer, schedule) column space
-// over a local worker pool: column i covers layer i/len(schedules),
-// schedule i%len(schedules). The returned slice holds one cell list per
-// column, indexed relative to span.Start. The optional gate bounds
-// CPU-bound parallelism across concurrent requests (see parallelDSE).
-func evaluateColumns(ctx context.Context, gate chan struct{}, grids []core.LayerGrid, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, span core.ColumnSpan, workers int) ([][]core.CellResult, error) {
+// over a local worker pool: column i covers layer i/nSchedules,
+// schedule i%nSchedules. The returned slice holds one cell list per
+// column, indexed relative to span.Start. The gate bounds CPU-bound
+// parallelism across concurrent requests (see parallelDSE); colEval
+// (required) evaluates each column - the service passes its
+// plan-cache-backed columnEval.
+func evaluateColumns(ctx context.Context, gate chan struct{}, grids []core.LayerGrid, nSchedules int, span core.ColumnSpan, workers int, colEval columnEvalFn) ([][]core.CellResult, error) {
 	columns := make([][]core.CellResult, span.Len())
 	var skipped atomic.Bool
 	err := runPool(ctx, span.Len(), workers, func(i int) {
@@ -174,8 +186,8 @@ func evaluateColumns(ctx context.Context, gate chan struct{}, grids []core.Layer
 		}
 		defer releaseGate(gate)
 		col := span.Start + i
-		li, si := col/len(schedules), col%len(schedules)
-		columns[i] = ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
+		li, si := col/nSchedules, col%nSchedules
+		columns[i] = colEval(grids, li, si)
 	})
 	if err == nil && skipped.Load() {
 		err = ctx.Err()

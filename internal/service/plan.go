@@ -1,0 +1,89 @@
+// The service-side half of the count/price split (core/countplan.go):
+// a content-addressed cache of backend-independent count plans, one per
+// evaluated (layer, schedule) grid column. Every execution path that
+// evaluates grid columns - the local parallel executor behind
+// /api/v1/dse and the v2 jobs, the batch fan-out, and the cluster
+// workers' shard endpoint - routes through columnEval, so a batch that
+// fans one network over many DRAM backends counts each column once and
+// reprices it per backend, and a shard re-dispatched (or duplicated)
+// to the same worker reprices instead of recounting.
+package service
+
+import (
+	"fmt"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/mapping"
+)
+
+// columnEvalFn evaluates one (layer, schedule) column of a job's grid
+// into its cells; parallelDSE and evaluateColumns fan it out.
+type columnEvalFn func(grids []core.LayerGrid, li, si int) []core.CellResult
+
+// planKey content-addresses a job's count plan: the DSE cache key with
+// everything priced per backend - cost sets, timing, controller
+// capability, objective - stripped away, keeping only the count
+// signature (core.CountKey) of the DRAM system. Jobs that differ only
+// in backend (among backends sharing a die geometry) or in objective
+// therefore share one plan. Policies are keyed by their full identity
+// (ID, name and loop order), not the Table I ID alone: ID 0 marks
+// *any* policy outside Table I, and shard requests carry arbitrary
+// policy structs, so two distinct ID-0 policies must never alias.
+type planKey struct {
+	Accel     accel.Config
+	Network   cnn.Network
+	Schedules []string
+	Policies  []mapping.Policy
+	Count     core.CountKey
+}
+
+// planPrefix fingerprints the backend-independent part of a job; the
+// per-column cache key is this prefix plus the column index.
+func (s *Service) planPrefix(job DSEJob, ev *core.Evaluator) (string, error) {
+	schedNames := make([]string, len(job.Schedules))
+	for i, sc := range job.Schedules {
+		schedNames[i] = sc.String()
+	}
+	return Fingerprint(cacheKey{Kind: "plan", Value: planKey{
+		Accel:     job.Accel,
+		Network:   job.Network,
+		Schedules: schedNames,
+		Policies:  job.Policies,
+		Count:     ev.CountKey(),
+	}})
+}
+
+// columnEval returns the column evaluator a job's execution uses. With
+// the plan cache enabled, each column's count plan is computed at most
+// once per count signature (content-addressed, single-flight: the same
+// column counted concurrently for two backends coalesces) and repriced
+// under the job's backend and objective; without it, the column is
+// evaluated directly - the exact pre-split path. Both produce
+// bit-for-bit identical cells (core's count -> price contract).
+func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
+	direct := func(grids []core.LayerGrid, li, si int) []core.CellResult {
+		return ev.EvaluateScheduleColumn(grids[li], si, job.Schedules[si], job.Policies, job.Objective)
+	}
+	if s.planCache == nil {
+		return direct
+	}
+	prefix, err := s.planPrefix(job, ev)
+	if err != nil {
+		// An unfingerprintable job (cannot happen for resolved jobs, which
+		// JSON-encode by construction) still evaluates correctly, just
+		// without sharing.
+		return direct
+	}
+	return func(grids []core.LayerGrid, li, si int) []core.CellResult {
+		key := fmt.Sprintf("%s:%d:%d", prefix, li, si)
+		v, _, err := s.planCache.Do(key, func() (any, error) {
+			return ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies), nil
+		})
+		if err != nil {
+			return direct(grids, li, si)
+		}
+		return ev.PriceCells(v.(*core.CountColumn), job.Objective)
+	}
+}

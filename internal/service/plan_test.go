@@ -1,0 +1,226 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/tiling"
+)
+
+// planDisabled builds a service with the count-plan cache off - the
+// pre-split evaluation path - as the recorded baseline the cached path
+// must match bit for bit.
+func planDisabled() *Service {
+	return New(Options{Workers: 2, CacheEntries: 64, PlanCacheEntries: -1})
+}
+
+// TestBatchMultiBackendSharesCountPlans: a batch fanning one network
+// over every registered backend counts each grid column once per
+// distinct count signature and reprices it for the rest, and every
+// item's result is bit-for-bit the result of the plan-free path.
+func TestBatchMultiBackendSharesCountPlans(t *testing.T) {
+	backends := dram.Backends()
+	svc := New(Options{Workers: 2, CacheEntries: 64})
+	jobs := make([]DSERequest, len(backends))
+	for i, b := range backends {
+		jobs[i] = DSERequest{Arch: b.ID, Network: "lenet5"}
+	}
+	resp, err := svc.Batch(context.Background(), BatchRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if resp.Failed != 0 {
+		t.Fatalf("%d batch items failed: %+v", resp.Failed, resp.Results)
+	}
+
+	// Count-signature arithmetic: the paper four share one die, the
+	// generality presets have four distinct geometries.
+	keys := map[core.CountKey]bool{}
+	for _, b := range backends {
+		ev, err := svc.evaluatorFor(b, 1)
+		if err != nil {
+			t.Fatalf("evaluator %s: %v", b.ID, err)
+		}
+		keys[ev.CountKey()] = true
+	}
+	columns := len(cnn.LeNet5().Layers) * len(tiling.Schedules)
+	ps := svc.PlanCacheStats()
+	if want := int64(len(keys) * columns); ps.Misses != want {
+		t.Errorf("plan cache misses = %d, want %d (%d signatures x %d columns)", ps.Misses, want, len(keys), columns)
+	}
+	if want := int64((len(backends) - len(keys)) * columns); ps.Hits+ps.Coalesced != want {
+		t.Errorf("plan cache hits+coalesced = %d, want %d", ps.Hits+ps.Coalesced, want)
+	}
+
+	// Bit-for-bit identity against the plan-free path, item by item.
+	base := planDisabled()
+	if got := base.PlanCacheStats(); got != (CacheStats{}) {
+		t.Errorf("disabled plan cache reports stats %+v", got)
+	}
+	for i, item := range resp.Results {
+		want, err := base.DSE(context.Background(), jobs[i])
+		if err != nil {
+			t.Fatalf("baseline DSE %s: %v", jobs[i].Arch, err)
+		}
+		if item.Result == nil {
+			t.Fatalf("item %d has no result", i)
+		}
+		if !reflect.DeepEqual(item.Result.Result, want.Result) {
+			t.Errorf("%s: plan-cached result diverged from plan-free path", jobs[i].Arch)
+		}
+	}
+}
+
+// TestPlanRepriceAcrossObjectives: a DSE repeated under a different
+// objective misses the result cache but reprices the cached count
+// plans, and still matches the plan-free path bit for bit.
+func TestPlanRepriceAcrossObjectives(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 64})
+	req := DSERequest{Arch: "masa", Network: "lenet5"}
+	if _, err := svc.DSE(context.Background(), req); err != nil {
+		t.Fatalf("DSE: %v", err)
+	}
+	before := svc.PlanCacheStats()
+	if before.Misses == 0 {
+		t.Fatal("first DSE did not populate the plan cache")
+	}
+
+	req.Objective = "energy"
+	got, err := svc.DSE(context.Background(), req)
+	if err != nil {
+		t.Fatalf("DSE (energy): %v", err)
+	}
+	if got.Cached {
+		t.Error("objective change should miss the result cache")
+	}
+	after := svc.PlanCacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("objective change recounted plans: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("objective change did not reprice cached plans: hits %d -> %d", before.Hits, after.Hits)
+	}
+
+	want, err := planDisabled().DSE(context.Background(), req)
+	if err != nil {
+		t.Fatalf("baseline DSE: %v", err)
+	}
+	if !reflect.DeepEqual(got.Result, want.Result) {
+		t.Error("repriced result diverged from plan-free path")
+	}
+}
+
+// TestEvaluateShardUsesPlanCache: shard evaluation routes through the
+// plan cache - a duplicated shard reprices instead of recounting - and
+// returns cells identical to the plan-free path's.
+func TestEvaluateShardUsesPlanCache(t *testing.T) {
+	net := cnn.LeNet5()
+	b, ok := dram.Lookup("salp1")
+	if !ok {
+		t.Fatal("salp1 not registered")
+	}
+	job := DSEJob{
+		Backend: b, Accel: accel.TableII(), Network: net,
+		Schedules: tiling.Schedules, Policies: mapping.TableI(),
+		Objective: core.MinimizeEDP, Batch: 1,
+	}
+	span := core.ColumnSpan{Start: 0, End: 3}
+
+	svc := New(Options{Workers: 2, CacheEntries: 64})
+	first, err := svc.EvaluateShard(context.Background(), job, span)
+	if err != nil {
+		t.Fatalf("EvaluateShard: %v", err)
+	}
+	missesAfterFirst := svc.PlanCacheStats().Misses
+	second, err := svc.EvaluateShard(context.Background(), job, span)
+	if err != nil {
+		t.Fatalf("EvaluateShard (repeat): %v", err)
+	}
+	ps := svc.PlanCacheStats()
+	if ps.Misses != missesAfterFirst {
+		t.Errorf("duplicate shard recounted: misses %d -> %d", missesAfterFirst, ps.Misses)
+	}
+	if ps.Hits == 0 {
+		t.Error("duplicate shard did not hit the plan cache")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("duplicate shard cells diverged")
+	}
+
+	want, err := planDisabled().EvaluateShard(context.Background(), job, span)
+	if err != nil {
+		t.Fatalf("baseline EvaluateShard: %v", err)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Error("plan-cached shard cells diverged from plan-free path")
+	}
+}
+
+// TestPlanKeySeparatesCustomPolicies: ID 0 marks any policy outside
+// Table I, so two jobs differing only in a custom ID-0 policy's loop
+// order must not alias to one count plan - each must match its own
+// plan-free evaluation.
+func TestPlanKeySeparatesCustomPolicies(t *testing.T) {
+	b, ok := dram.Lookup("ddr3")
+	if !ok {
+		t.Fatal("ddr3 not registered")
+	}
+	jobWith := func(pol mapping.Policy) DSEJob {
+		return DSEJob{
+			Backend: b, Accel: accel.TableII(), Network: cnn.LeNet5(),
+			Schedules: tiling.Schedules, Policies: []mapping.Policy{pol},
+			Objective: core.MinimizeEDP, Batch: 1,
+		}
+	}
+	custom := mapping.Policy{ID: 0, Name: "row-major", Order: [4]mapping.Level{
+		mapping.LevelRow, mapping.LevelColumn, mapping.LevelBank, mapping.LevelSubarray}}
+	span := core.ColumnSpan{Start: 0, End: 2}
+
+	svc := New(Options{Workers: 2, CacheEntries: 64})
+	if _, err := svc.EvaluateShard(context.Background(), jobWith(mapping.Default()), span); err != nil {
+		t.Fatalf("EvaluateShard (default policy): %v", err)
+	}
+	got, err := svc.EvaluateShard(context.Background(), jobWith(custom), span)
+	if err != nil {
+		t.Fatalf("EvaluateShard (custom policy): %v", err)
+	}
+	want, err := planDisabled().EvaluateShard(context.Background(), jobWith(custom), span)
+	if err != nil {
+		t.Fatalf("baseline EvaluateShard: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("custom ID-0 policy repriced the Default policy's cached plan")
+	}
+}
+
+// TestMetricsIncludePlanCacheGauges: the count-plan cache counters are
+// exposed on GET /metrics alongside the result-cache counters.
+func TestMetricsIncludePlanCacheGauges(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 8})
+	if _, err := svc.DSE(context.Background(), DSERequest{Arch: "ddr3", Network: "lenet5"}); err != nil {
+		t.Fatalf("DSE: %v", err)
+	}
+	text := svc.MetricsText()
+	for _, want := range []string{
+		"drmap_plan_cache_hits_total",
+		"drmap_plan_cache_misses_total",
+		"drmap_plan_cache_coalesced_total",
+		"drmap_plan_cache_evictions_total",
+		"drmap_plan_cache_entries",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	ps := svc.PlanCacheStats()
+	if ps.Misses == 0 || ps.Entries == 0 {
+		t.Errorf("plan cache unused after a DSE: %+v", ps)
+	}
+}

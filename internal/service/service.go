@@ -70,6 +70,12 @@ type Options struct {
 	// DefaultCacheEntries, negative disables retention (single-flight
 	// deduplication still applies).
 	CacheEntries int
+	// PlanCacheEntries bounds the count-plan cache, which holds one
+	// backend-independent count plan per evaluated (layer, schedule)
+	// grid column: 0 selects DefaultPlanCacheEntries, negative disables
+	// the cache entirely (every evaluation recounts, the pre-split
+	// behavior - mainly useful for baselines and benchmarks).
+	PlanCacheEntries int
 	// Accel is the accelerator configuration; the zero value selects
 	// the paper's Table II accelerator.
 	Accel accel.Config
@@ -86,6 +92,11 @@ type Options struct {
 // DefaultCacheEntries is the drmap-serve default result-cache bound.
 const DefaultCacheEntries = 256
 
+// DefaultPlanCacheEntries is the drmap-serve default count-plan-cache
+// bound, in grid columns (an AlexNet DSE is 20 columns per distinct
+// count signature).
+const DefaultPlanCacheEntries = 512
+
 // Service is the concurrent DSE/characterization engine behind
 // drmap-serve. It is safe for concurrent use.
 type Service struct {
@@ -97,8 +108,11 @@ type Service struct {
 	// concurrently running requests to `workers` tokens, so N distinct
 	// in-flight requests queue for CPU instead of oversubscribing it
 	// N*workers-fold.
-	gate         chan struct{}
-	runner       DSERunner
+	gate   chan struct{}
+	runner DSERunner
+	// planCache holds backend-independent count plans, one per (job
+	// minus costs/timing, grid column); nil when disabled. See plan.go.
+	planCache    *Cache
 	extraMetrics func() []Metric
 }
 
@@ -110,6 +124,13 @@ func New(opt Options) *Service {
 	if opt.CacheEntries == 0 {
 		opt.CacheEntries = DefaultCacheEntries
 	}
+	if opt.PlanCacheEntries == 0 {
+		opt.PlanCacheEntries = DefaultPlanCacheEntries
+	}
+	var planCache *Cache
+	if opt.PlanCacheEntries > 0 {
+		planCache = NewCache(opt.PlanCacheEntries)
+	}
 	workers := defaultWorkers(opt.Workers)
 	return &Service{
 		workers:      workers,
@@ -117,6 +138,7 @@ func New(opt Options) *Service {
 		cache:        NewCache(opt.CacheEntries),
 		gate:         make(chan struct{}, workers),
 		runner:       opt.Runner,
+		planCache:    planCache,
 		extraMetrics: opt.ExtraMetrics,
 	}
 }
@@ -143,6 +165,17 @@ func (s *Service) Workers() int { return s.workers }
 
 // CacheStats snapshots the result cache counters.
 func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
+
+// PlanCacheStats snapshots the count-plan cache counters; all-zero when
+// the plan cache is disabled. A hit means a grid column was repriced
+// from a cached count plan instead of recounted - the multi-backend /
+// multi-objective sharing the count -> price split buys.
+func (s *Service) PlanCacheStats() CacheStats {
+	if s.planCache == nil {
+		return CacheStats{}
+	}
+	return s.planCache.Stats()
+}
 
 // Evaluations returns how many fresh computations the service has run;
 // cached and coalesced requests do not increment it.

@@ -170,6 +170,10 @@ func Batches(batches []int, backend dram.Backend, net cnn.Network) (*Table, erro
 // prices all 24 loop-order permutations and reports the best EDP among
 // the pruned-away 18 versus the Table I six. The pruning is sound if
 // no pruned permutation beats the six.
+//
+// The scan runs through the count -> price split: the layer's tile
+// groups expand once into a 24-policy count plan instead of once per
+// permutation, with EDPs identical to the per-permutation scan.
 func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, error) {
 	prof, err := profile.CharacterizeBackend(backend)
 	if err != nil {
@@ -179,7 +183,9 @@ func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, er
 	if err != nil {
 		return nil, err
 	}
-	tilings := tiling.Enumerate(layer, ev.Accel)
+	lg := core.LayerGrid{Layer: layer, Tilings: tiling.Enumerate(layer, ev.Accel)}
+	perms := mapping.AllPermutations()
+	plan := ev.CountScheduleColumn(lg, 0, tiling.AdaptiveReuse, perms)
 	tm := ev.Timing()
 	tableI := map[[4]mapping.Level]bool{}
 	for _, p := range mapping.TableI() {
@@ -190,8 +196,8 @@ func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, er
 		Header: []string{"policy-set", "best-EDP[uJs]"},
 	}
 	bestKept, bestPruned := -1.0, -1.0
-	for _, p := range mapping.AllPermutations() {
-		_, cost := ev.MinOverTilings(layer, tilings, tiling.AdaptiveReuse, p)
+	for pi, p := range perms {
+		_, cost := ev.MinOverColumn(plan, pi)
 		edp := cost.EDP(tm)
 		if tableI[p.Order] {
 			if bestKept < 0 || edp < bestKept {
@@ -206,6 +212,69 @@ func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, er
 	}
 	if err := t.AddRow("pruned-eighteen", bestPruned*1e6); err != nil {
 		return nil, err
+	}
+	return t, nil
+}
+
+// Registry sweeps the whole DRAM backend registry: the DRMap-policy DSE
+// total EDP (and its delay and energy factors) of one network on every
+// given backend - the multi-backend scan the count/price split was
+// built for. Each (layer, schedule) column's count plan is computed
+// once per distinct count signature (core.CountKey) and repriced for
+// every backend sharing it, so the paper's four architectures expand
+// and count their tile streams once instead of four times; every row
+// is bit-for-bit the backend's serial core.RunDSE total.
+func Registry(backends []dram.Backend, net cnn.Network, batch int) (*Table, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("sweep: registry sweep needs at least one backend")
+	}
+	t := &Table{
+		Name:   fmt.Sprintf("Registry scan: DRMap DSE (%s, batch %d)", net.Name, batch),
+		Header: []string{"backend", "DRMap-total-EDP[uJs]", "delay[ms]", "energy[mJ]"},
+	}
+	acfg := accel.TableII()
+	policies := []mapping.Policy{mapping.DRMap()}
+	grids, err := core.DSEGridFor(net, acfg, tiling.Schedules, policies)
+	if err != nil {
+		return nil, err
+	}
+	// One count plan per (count signature, layer, schedule), shared
+	// across every backend with that signature.
+	type colKey struct {
+		count core.CountKey
+		layer int
+		sched int
+	}
+	plans := map[colKey]*core.CountColumn{}
+	for _, b := range backends {
+		prof, err := profile.CharacterizeBackend(b)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.NewEvaluator(prof, acfg, batch)
+		if err != nil {
+			return nil, err
+		}
+		ck := ev.CountKey()
+		tm := ev.Timing()
+		var totalEDP, totalSeconds, totalEnergy float64
+		for _, lg := range grids {
+			cells := make([]core.CellResult, 0, len(tiling.Schedules)*len(policies))
+			for si, s := range tiling.Schedules {
+				k := colKey{count: ck, layer: lg.Index, sched: si}
+				if plans[k] == nil {
+					plans[k] = ev.CountScheduleColumn(lg, si, s, policies)
+				}
+				cells = append(cells, ev.PriceCells(plans[k], core.MinimizeEDP)...)
+			}
+			lr := core.ReduceCells(lg, tiling.Schedules, policies, cells, tm)
+			totalEDP += lr.MinEDP
+			totalSeconds += lr.Cost.Seconds(tm)
+			totalEnergy += lr.Cost.Energy
+		}
+		if err := t.AddRow(b.ID, totalEDP*1e6, totalSeconds*1e3, totalEnergy*1e3); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }

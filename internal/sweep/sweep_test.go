@@ -2,11 +2,17 @@ package sweep
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
+	"drmap/internal/accel"
 	"drmap/internal/cnn"
+	"drmap/internal/core"
 	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/profile"
+	"drmap/internal/tiling"
 )
 
 func TestTableAddRowValidatesWidth(t *testing.T) {
@@ -96,6 +102,125 @@ func TestPolicyPruningSound(t *testing.T) {
 	kept, pruned := tb.Rows[0][0], tb.Rows[1][0]
 	if pruned < kept*(1-1e-9) {
 		t.Errorf("a pruned permutation (%.6g) beats Table I's best (%.6g): pruning unsound", pruned, kept)
+	}
+}
+
+// TestRegistrySweepMatchesSerialDSE: every row of the plan-reuse
+// registry sweep equals the backend's own pre-refactor scan - a fresh
+// characterization and a serial core.RunDSE with no plan sharing -
+// exactly, across every registered geometry. This pins the count/price
+// split's cross-backend reuse to the old per-backend code path bit for
+// bit.
+func TestRegistrySweepMatchesSerialDSE(t *testing.T) {
+	net := cnn.LeNet5()
+	backends := dram.Backends()
+	tb, err := Registry(backends, net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(backends) {
+		t.Fatalf("%d rows for %d backends", len(tb.Rows), len(backends))
+	}
+	for i, b := range backends {
+		if tb.Labels[i] != b.ID {
+			t.Errorf("row %d labeled %q, want %q", i, tb.Labels[i], b.ID)
+		}
+		want, err := drmapTotalEDP(b.Config, accel.TableII(), net, 1)
+		if err != nil {
+			t.Fatalf("%s: serial DSE: %v", b.ID, err)
+		}
+		if got := tb.Rows[i][0]; got != want*1e6 {
+			t.Errorf("%s: registry sweep EDP %.17g != serial DSE %.17g", b.ID, got, want*1e6)
+		}
+	}
+}
+
+// TestPolicyPruningMatchesDirectScan: the plan-based pruning table
+// equals the pre-refactor per-permutation scan (tile groups expanded
+// and priced directly per permutation through EvaluateLayer) exactly.
+func TestPolicyPruningMatchesDirectScan(t *testing.T) {
+	backend := mustBackend("salp2")
+	layer := cnn.LeNet5().Layers[1]
+	tb, err := PolicyPruning(backend, layer, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof, err := profile.CharacterizeBackend(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(prof, accel.TableII(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tilings := tiling.Enumerate(layer, ev.Accel)
+	tm := ev.Timing()
+	tableI := map[[4]mapping.Level]bool{}
+	for _, p := range mapping.TableI() {
+		tableI[p.Order] = true
+	}
+	bestKept, bestPruned := -1.0, -1.0
+	for _, p := range mapping.AllPermutations() {
+		best := math.Inf(1)
+		for _, tl := range tilings {
+			if edp := ev.EvaluateLayer(layer, tl, tiling.AdaptiveReuse, p).EDP(tm); edp < best {
+				best = edp
+			}
+		}
+		if tableI[p.Order] {
+			if bestKept < 0 || best < bestKept {
+				bestKept = best
+			}
+		} else if bestPruned < 0 || best < bestPruned {
+			bestPruned = best
+		}
+	}
+	if got := tb.Rows[0][0]; got != bestKept*1e6 {
+		t.Errorf("tableI-six %.17g != direct scan %.17g", got, bestKept*1e6)
+	}
+	if got := tb.Rows[1][0]; got != bestPruned*1e6 {
+		t.Errorf("pruned-eighteen %.17g != direct scan %.17g", got, bestPruned*1e6)
+	}
+}
+
+// TestBatchSweepMatchesSerialDSE: the batch-size ablation (which runs
+// one RunDSE per swept value through the refactored kernel) equals the
+// direct EvaluateLayer scan per value - the recorded pre-refactor
+// output.
+func TestBatchSweepMatchesSerialDSE(t *testing.T) {
+	backend := mustBackend("ddr3")
+	net := cnn.LeNet5()
+	values := []int{1, 2}
+	tb, err := Batches(values, backend, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.CharacterizeBackend(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, batch := range values {
+		ev, err := core.NewEvaluator(prof, accel.TableII(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := ev.Timing()
+		var total float64
+		for _, layer := range net.Layers {
+			best := math.Inf(1)
+			for _, tl := range tiling.Enumerate(layer, ev.Accel) {
+				for _, s := range tiling.Schedules {
+					if edp := ev.EvaluateLayer(layer, tl, s, mapping.DRMap()).EDP(tm); edp < best {
+						best = edp
+					}
+				}
+			}
+			total += best
+		}
+		if got := tb.Rows[i][0]; got != total*1e6 {
+			t.Errorf("batch %d: sweep EDP %.17g != direct scan %.17g", batch, got, total*1e6)
+		}
 	}
 }
 
