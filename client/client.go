@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"drmap/internal/obs"
 	"drmap/internal/service"
 )
 
@@ -55,7 +56,9 @@ type (
 	JobRequest           = service.JobRequest
 	Job                  = service.JobView
 	JobProgress          = service.JobProgress
+	JobTimings           = service.JobTimings
 	Event                = service.JobEvent
+	VersionResponse      = service.VersionResponse
 )
 
 // Job states and event types, mirrored for switch statements.
@@ -72,7 +75,23 @@ const (
 	EventItem     = service.EventItem
 	EventResult   = service.EventResult
 	EventError    = service.EventError
+	EventTimings  = service.EventTimings
 )
+
+// TraceHeader is the HTTP header carrying the trace ID end to end.
+const TraceHeader = obs.TraceHeader
+
+// WithTraceID returns a context whose SDK calls carry the given trace
+// ID in the X-Drmap-Trace-Id header, so a caller-chosen ID threads one
+// logical operation through the server's logs, job views, and metrics.
+// IDs must be 8-32 lowercase hex characters; the server replaces
+// anything else with a fresh one.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return obs.WithTrace(ctx, id)
+}
+
+// NewTraceID mints a fresh valid trace ID for WithTraceID.
+func NewTraceID() string { return obs.NewTraceID() }
 
 // APIError is a non-2xx response, carrying the HTTP status and the
 // server's error message.
@@ -187,6 +206,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ide
 		}
 		if encoded != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if trace := obs.TraceFrom(ctx); trace != "" {
+			req.Header.Set(obs.TraceHeader, trace)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -304,6 +326,15 @@ func (c *Client) Policies(ctx context.Context) (*PoliciesResponse, error) {
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var out HealthResponse
 	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Version reads the server's build information (GET /api/v1/version).
+func (c *Client) Version(ctx context.Context) (*VersionResponse, error) {
+	var out VersionResponse
+	if err := c.do(ctx, http.MethodGet, "/api/v1/version", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil

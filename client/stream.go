@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"drmap/internal/obs"
 	"drmap/internal/service"
 )
 
@@ -35,6 +36,9 @@ func (c *Client) Events(ctx context.Context, id string, from int) (*EventStream,
 		return nil, err
 	}
 	req.Header.Set("Accept", "application/x-ndjson")
+	if trace := obs.TraceFrom(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

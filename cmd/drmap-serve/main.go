@@ -8,11 +8,15 @@
 //
 //	drmap-serve [-addr :8080] [-role standalone|coordinator|worker]
 //	            [-workers N] [-cache N] [-timeout 60s]
+//	            [-log-level info] [-log-format text|json] [-pprof]
+//	            [-version]
 //
 // Endpoints:
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
-//	GET  /metrics             - plain-text serving + cluster + job counters
+//	GET  /metrics             - Prometheus exposition: serving, cluster,
+//	                            job, phase-timing and trace metrics
+//	GET  /api/v1/version      - build information (also: -version flag)
 //	GET  /api/v1/policies     - the Table I mapping policies
 //	GET  /api/v1/backends     - the registered DRAM backends (ID-sorted)
 //	POST /api/v1/characterize - Fig. 1 characterization
@@ -51,26 +55,34 @@
 //	curl -s localhost:8080/api/v1/batch -d '{"jobs":[
 //	  {"arch":"ddr3","network":"alexnet"},{"arch":"masa","network":"alexnet"}]}'
 //
+// # Observability
+//
+// Every request is traced (X-Drmap-Trace-Id in and out), timed into
+// labeled Prometheus histograms on GET /metrics, and logged as one
+// structured line (-log-format json for machine-readable logs). -pprof
+// mounts /debug/pprof. See the Observability section of API.md.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
 // evaluations finish within the grace period.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"drmap/internal/cluster"
+	"drmap/internal/obs"
 	"drmap/internal/service"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("drmap-serve: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	role := flag.String("role", "standalone", "standalone, coordinator or worker")
 	coordinator := flag.String("coordinator", "", "coordinator base URL (role=worker)")
@@ -85,9 +97,26 @@ func main() {
 	grace := flag.Duration("grace", service.DefaultShutdownGrace, "graceful shutdown window")
 	maxJobs := flag.Int("max-jobs", service.DefaultMaxJobs, "v2 job store capacity")
 	jobTTL := flag.Duration("job-ttl", service.DefaultJobTTL, "how long finished v2 jobs (results + event logs) stay retrievable")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	pprof := flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
+	version := flag.Bool("version", false, "print build information as JSON and exit")
 	flag.Parse()
 
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(service.Version())
+		return
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drmap-serve:", err)
+		os.Exit(1)
+	}
+
 	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries, PlanCacheEntries: *planCacheEntries})
+	obs.RegisterBuildInfo(svc.Registry())
 	jobs := service.NewJobManager(svc, service.JobManagerOptions{MaxJobs: *maxJobs, TTL: *jobTTL})
 
 	// GET /metrics always carries the job-store gauges; cluster roles
@@ -99,32 +128,40 @@ func main() {
 	switch *role {
 	case "standalone":
 	case "coordinator":
-		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{HeartbeatTTL: *ttl, ShardCacheEntries: *shardCacheEntries})
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+			HeartbeatTTL: *ttl, ShardCacheEntries: *shardCacheEntries,
+			Registry: svc.Registry(), Logger: logger,
+		})
 		svc.SetRunner(coord)
 		extraMetrics = func() []service.Metric { return append(jobs.Metrics(), coord.Metrics()...) }
 		mount = coord.Mount
 	case "worker":
 		if *coordinator == "" {
-			log.Fatal("role=worker needs -coordinator URL (start one with: drmap-serve -role coordinator)")
+			fmt.Fprintln(os.Stderr, "drmap-serve: role=worker needs -coordinator URL (start one with: drmap-serve -role coordinator)")
+			os.Exit(1)
 		}
 		adv := *advertise
 		if adv == "" {
 			adv = cluster.AdvertiseFor(*addr)
 		}
 		w := cluster.NewWorker(svc, cluster.WorkerOptions{
-			ID: *workerID, AdvertiseURL: adv, CoordinatorURL: *coordinator,
+			ID: *workerID, AdvertiseURL: adv, CoordinatorURL: *coordinator, Logger: logger,
 		})
 		extraMetrics = func() []service.Metric { return append(jobs.Metrics(), w.Metrics()...) }
 		mount = w.Mount
 		onServing = func(ctx context.Context) {
-			go w.Run(ctx, func(err error) { log.Print(err) })
+			go w.Run(ctx, func(err error) { logger.Warn("heartbeat failed", "err", err) })
 		}
 	default:
-		log.Fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
+		fmt.Fprintf(os.Stderr, "drmap-serve: unknown -role %q (want standalone, coordinator or worker)\n", *role)
+		os.Exit(1)
 	}
 	svc.SetExtraMetrics(extraMetrics)
 
-	srv := service.NewServer(svc, service.ServerOptions{Addr: *addr, RequestTimeout: *timeout, Jobs: jobs, Mount: mount})
+	srv := service.NewServer(svc, service.ServerOptions{
+		Addr: *addr, RequestTimeout: *timeout, Jobs: jobs, Mount: mount,
+		Logger: logger, Pprof: *pprof,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -132,11 +169,13 @@ func main() {
 		onServing(ctx)
 	}
 
-	log.Printf("listening on %s as %s (%d workers, %d cache entries, %s timeout)",
-		*addr, *role, svc.Workers(), *cacheEntries, *timeout)
+	logger.Info("listening", "addr", *addr, "role", *role,
+		"workers", svc.Workers(), "cache_entries", *cacheEntries,
+		"timeout", timeout.String(), "pprof", *pprof)
 	start := time.Now()
 	if err := service.Run(ctx, srv, *grace); err != nil {
-		log.Fatal(err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("shut down cleanly after %s", time.Since(start).Round(time.Second))
+	logger.Info("shut down cleanly", "uptime", time.Since(start).Round(time.Second).String())
 }

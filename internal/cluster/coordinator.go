@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"drmap/internal/core"
+	"drmap/internal/obs"
 	"drmap/internal/service"
 )
 
@@ -67,6 +69,13 @@ type CoordinatorOptions struct {
 	// Now is the membership clock; nil means time.Now. Injectable so
 	// stale-heartbeat handling is testable without sleeping.
 	Now func() time.Time
+	// Registry receives the coordinator's shard dispatch and merge
+	// histograms; nil builds a private one. Pass the owning Service's
+	// Registry() so the timings show on its GET /metrics page.
+	Registry *obs.Registry
+	// Logger receives shard retry and job completion lines, trace ID
+	// attached; nil discards them.
+	Logger *slog.Logger
 }
 
 // Coordinator partitions DSE jobs into shards, dispatches them to
@@ -89,6 +98,10 @@ type Coordinator struct {
 	inflight  atomic.Int64  // shards currently dispatched
 	completed atomic.Int64  // shards merged successfully
 	retries   atomic.Int64  // shard dispatches that failed and were retried
+
+	logger          *slog.Logger
+	dispatchSeconds *obs.Histogram // one observation per successful shard round trip
+	mergeSeconds    *obs.Histogram // one observation per merged job
 
 	// slotMu guards the memoized weighted dispatch table (see
 	// pickWorker): rebuilt only when the live membership's IDs or
@@ -124,6 +137,14 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	if cacheEntries > 0 {
 		shardCache = service.NewCache(cacheEntries)
 	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := opt.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	return &Coordinator{
 		members:         NewMembership(opt.HeartbeatTTL, opt.Now),
 		client:          client,
@@ -131,6 +152,11 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 		maxAttempts:     attempts,
 		shardTimeout:    shardTimeout,
 		shardCache:      shardCache,
+		logger:          logger,
+		dispatchSeconds: reg.Histogram("drmap_cluster_shard_dispatch_seconds",
+			"Time to dispatch one shard to a worker and receive its cells.", nil).With(),
+		mergeSeconds: reg.Histogram("drmap_cluster_merge_seconds",
+			"Time to merge all shard cells into one DSE result.", nil).With(),
 	}
 }
 
@@ -227,6 +253,7 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 			jobFP = fp
 		}
 	}
+	start := time.Now()
 	cells, done, err := c.dispatchAll(ctx, jobFP, job, spans)
 	if err != nil {
 		// Withdraw this attempt's announced and completed columns: when
@@ -237,9 +264,17 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 			prog.ColumnsDone(-done)
 			prog.StartColumns(-columns)
 		}
+		c.logger.Warn("cluster dispatch failed",
+			"trace_id", obs.TraceFrom(ctx), "shards", len(spans), "err", err)
 		return nil, err
 	}
+	mergeStart := time.Now()
 	res, err := Merge(job, grids, cells)
+	mergeDur := time.Since(mergeStart)
+	c.mergeSeconds.Observe(mergeDur.Seconds())
+	if rec := core.PhasesFrom(ctx); rec != nil {
+		rec.RecordPhase(core.PhaseShardMerge, mergeDur)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -248,6 +283,9 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 			prog.LayerDone(li, len(res.Layers), lr)
 		}
 	}
+	c.logger.Info("cluster job merged",
+		"trace_id", obs.TraceFrom(ctx), "columns", columns, "shards", len(spans),
+		"workers", len(live), "duration_ms", time.Since(start).Milliseconds())
 	return res, nil
 }
 
@@ -368,8 +406,14 @@ func (c *Coordinator) dispatchShardRemote(ctx context.Context, job service.DSEJo
 			}
 			return nil, fmt.Errorf("cluster: shard %d/%d: %w", shard, total, service.ErrNoWorkers)
 		}
+		start := time.Now()
 		cells, err := c.callShard(ctx, w, ShardRequest{Job: job, Span: span, Shard: shard, Total: total})
 		if err == nil {
+			dur := time.Since(start)
+			c.dispatchSeconds.Observe(dur.Seconds())
+			if rec := core.PhasesFrom(ctx); rec != nil {
+				rec.RecordPhase(core.PhaseShardDispatch, dur)
+			}
 			c.completed.Add(1)
 			return cells, nil
 		}
@@ -380,6 +424,9 @@ func (c *Coordinator) dispatchShardRemote(ctx context.Context, job service.DSEJo
 		lastErr = fmt.Errorf("worker %s: %w", w.ID, err)
 		c.members.MarkDead(w.ID)
 		c.retries.Add(1)
+		c.logger.Warn("shard dispatch retrying",
+			"trace_id", obs.TraceFrom(ctx), "shard", shard, "of", total,
+			"worker", w.ID, "attempt", attempt+1, "err", err)
 	}
 	return nil, fmt.Errorf("cluster: shard %d/%d failed after %d attempts (last: %v): %w", shard, total, c.maxAttempts, lastErr, service.ErrNoWorkers)
 }
@@ -478,6 +525,11 @@ func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequ
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if trace := obs.TraceFrom(ctx); trace != "" {
+		// The shard inherits the job's trace ID, so one batch run is one
+		// trace across coordinator and worker logs and metrics.
+		httpReq.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.client.Do(httpReq)
 	if err != nil {
 		return nil, err

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"drmap/internal/obs"
 	"drmap/internal/service"
 )
 
@@ -48,6 +50,9 @@ type WorkerOptions struct {
 	// Client performs registration calls; nil means a 10s-timeout
 	// client (heartbeats must fail fast, not hang past the TTL).
 	Client *http.Client
+	// Logger receives one line per shard served, carrying the trace ID
+	// the coordinator stamped on the dispatch; nil discards them.
+	Logger *slog.Logger
 }
 
 // Worker executes shards on a local Service - through its worker pool,
@@ -61,9 +66,15 @@ type Worker struct {
 	client   *http.Client
 	shards   atomic.Int64 // shards served
 	rejected atomic.Int64 // shard requests rejected as malformed
+
+	logger       *slog.Logger
+	shardSeconds *obs.Histogram  // one observation per shard evaluated
+	traceShards  *obs.CounterVec // shards served per trace ID, capped
 }
 
-// NewWorker builds a worker around a Service.
+// NewWorker builds a worker around a Service. Its shard timing and
+// per-trace counters register on the Service's metrics registry, so
+// the worker's GET /metrics page carries them.
 func NewWorker(svc *service.Service, opt WorkerOptions) *Worker {
 	id := opt.ID
 	if id == "" {
@@ -80,7 +91,18 @@ func NewWorker(svc *service.Service, opt WorkerOptions) *Worker {
 	if opt.HeartbeatInterval <= 0 {
 		opt.HeartbeatInterval = DefaultHeartbeatInterval
 	}
-	return &Worker{svc: svc, id: id, opt: opt, client: client}
+	logger := opt.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	reg := svc.Registry()
+	return &Worker{svc: svc, id: id, opt: opt, client: client,
+		logger: logger,
+		shardSeconds: reg.Histogram("drmap_worker_shard_seconds",
+			"Time to evaluate one shard on this worker.", nil).With(),
+		traceShards: reg.CappedCounter("drmap_trace_shards_total",
+			"Shards served per trace ID (most recent trace IDs only).", 0, "trace_id"),
+	}
 }
 
 // ID returns the worker's identity.
@@ -105,19 +127,30 @@ func (w *Worker) Mount(mux *http.ServeMux) {
 }
 
 func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	ctx, trace := obs.EnsureTrace(r.Context(), r.Header.Get(obs.TraceHeader))
+	rw.Header().Set(obs.TraceHeader, trace)
 	var req ShardRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&req); err != nil {
 		w.rejected.Add(1)
+		w.logger.Warn("shard rejected", "trace_id", trace, "err", err)
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad shard body: " + err.Error()})
 		return
 	}
-	cells, err := w.svc.EvaluateShard(r.Context(), req.Job, req.Span)
+	start := time.Now()
+	cells, err := w.svc.EvaluateShard(ctx, req.Job, req.Span)
 	if err != nil {
 		w.rejected.Add(1)
+		w.logger.Warn("shard rejected", "trace_id", trace, "shard", req.Shard, "of", req.Total, "err", err)
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	dur := time.Since(start)
 	w.shards.Add(1)
+	w.shardSeconds.Observe(dur.Seconds())
+	w.traceShards.With(trace).Inc()
+	w.logger.Info("shard served",
+		"trace_id", trace, "shard", req.Shard, "of", req.Total,
+		"columns", req.Span.Len(), "cells", len(cells), "duration_ms", dur.Milliseconds())
 	writeJSON(rw, http.StatusOK, ShardResponse{WorkerID: w.id, Cells: cells})
 }
 

@@ -1,0 +1,46 @@
+// Evaluation phase timing. The count -> price split (countplan.go)
+// makes "where did the time go" a first-class question: counting a
+// column is the expensive backend-independent work, pricing it is the
+// cheap per-backend work, and the ROADMAP's warm-repricing target is
+// precisely "price without count". The hook mirrors progress.go: it
+// rides the context so no executor signature has to change, and
+// context.WithoutCancel (which the service uses to detach evaluations
+// from caller deadlines) preserves it.
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Phase names recorded by executors. The count/price pair is emitted
+// per grid column by the service's column evaluator; the shard pair by
+// the cluster coordinator around dispatch and merge.
+const (
+	PhaseCount         = "count"
+	PhasePrice         = "price"
+	PhaseShardDispatch = "shard_dispatch"
+	PhaseShardMerge    = "shard_merge"
+)
+
+// PhaseRecorder accumulates time spent per evaluation phase.
+// Implementations must be safe for concurrent use and must not block:
+// they are called from worker goroutines on the evaluation's critical
+// path, once per column per phase.
+type PhaseRecorder interface {
+	RecordPhase(phase string, d time.Duration)
+}
+
+type phaseKey struct{}
+
+// WithPhases attaches a phase recorder to ctx.
+func WithPhases(ctx context.Context, r PhaseRecorder) context.Context {
+	return context.WithValue(ctx, phaseKey{}, r)
+}
+
+// PhasesFrom returns the context's phase recorder, or nil when none is
+// attached. Callers must nil-check.
+func PhasesFrom(ctx context.Context) PhaseRecorder {
+	r, _ := ctx.Value(phaseKey{}).(PhaseRecorder)
+	return r
+}

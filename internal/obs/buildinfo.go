@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies a running drmap binary: enough to tie a trace
+// or a metrics scrape back to the exact source revision that produced
+// it.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when the binary was built inside
+	// a checkout; empty otherwise.
+	Revision string `json:"revision,omitempty"`
+	// BuildTime is the VCS commit timestamp (RFC 3339), when known.
+	BuildTime string `json:"build_time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Build reads the binary's embedded build information.
+func Build() BuildInfo {
+	out := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if info.Main.Version != "" {
+		out.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.BuildTime = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// shortRevision trims a revision hash for label values.
+func shortRevision(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// RegisterBuildInfo exposes the binary's identity as the conventional
+// constant-1 drmap_build_info gauge, labeled with version, go version
+// and (short) revision.
+func RegisterBuildInfo(r *Registry) {
+	b := Build()
+	rev := shortRevision(b.Revision)
+	if rev == "" {
+		rev = "unknown"
+	}
+	r.Gauge("drmap_build_info",
+		"Build identity of this binary; value is always 1.",
+		"version", "go_version", "revision").
+		With(b.Version, b.GoVersion, rev).Set(1)
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the process logger from the -log-level/-log-format
+// flag values: level is debug, info, warn or error; format is text or
+// json. Unknown values error so flag typos fail startup loudly instead
+// of silently logging at the wrong level.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything - the default
+// when a component is constructed without one, so library code can log
+// unconditionally.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// LogWith returns logger with the context's trace ID attached as a
+// trace_id attribute (or logger unchanged when none is set), so every
+// request/shard/job line is correlatable across processes.
+func LogWith(ctx context.Context, logger *slog.Logger) *slog.Logger {
+	if logger == nil {
+		return NopLogger()
+	}
+	if id := TraceFrom(ctx); id != "" {
+		return logger.With("trace_id", id)
+	}
+	return logger
+}

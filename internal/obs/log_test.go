@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithTrace(context.Background(), "cafecafecafecafe")
+	LogWith(ctx, logger).Info("request done", "route", "/api/v1/dse", "status", 200)
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	for k, want := range map[string]any{
+		"msg":      "request done",
+		"level":    "INFO",
+		"trace_id": "cafecafecafecafe",
+		"route":    "/api/v1/dse",
+		"status":   float64(200),
+	} {
+		if line[k] != want {
+			t.Fatalf("field %s = %v, want %v (line %s)", k, line[k], want, buf.String())
+		}
+	}
+	if _, ok := line["time"]; !ok {
+		t.Fatalf("missing time field: %s", buf.String())
+	}
+}
+
+func TestNewLoggerLevelsAndText(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hidden")
+	logger.Warn("shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filtering wrong:\n%s", out)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestLogWithNil(t *testing.T) {
+	// Must not panic, and must not write anywhere.
+	LogWith(context.Background(), nil).Info("dropped")
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof wires the runtime profiling handlers under /debug/pprof
+// on a custom mux - net/http/pprof only self-registers on
+// http.DefaultServeMux, which the daemons deliberately do not serve.
+// Callers gate this behind the -pprof flag: the endpoints expose heap
+// contents and must be opted into.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

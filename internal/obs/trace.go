@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"regexp"
+)
+
+// TraceHeader carries a request's trace ID between processes: client →
+// serve, serve → coordinator dispatch → worker. Handlers echo it on
+// responses so callers learn server-generated IDs.
+const TraceHeader = "X-Drmap-Trace-Id"
+
+// traceIDRe bounds what we accept from the wire: inbound IDs that are
+// not short hex tokens are replaced rather than propagated, since trace
+// IDs end up in logs, metrics labels, and exposition output.
+var traceIDRe = regexp.MustCompile(`^[a-f0-9]{8,32}$`)
+
+// NewTraceID returns a fresh 16-byte random trace ID in lowercase hex.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// math-free fallback: rand.Read on supported platforms never
+		// fails; if it somehow does, a fixed ID beats a panic mid-request.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether id is safe to propagate as-is.
+func ValidTraceID(id string) bool {
+	return traceIDRe.MatchString(id)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace ID to ctx.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom returns the context's trace ID, or "" when none is set.
+func TraceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// EnsureTrace returns ctx carrying a trace ID and that ID: an existing
+// context ID is kept, a valid candidate (e.g. an inbound header) is
+// adopted, and otherwise a fresh ID is generated.
+func EnsureTrace(ctx context.Context, candidate string) (context.Context, string) {
+	if id := TraceFrom(ctx); id != "" {
+		return ctx, id
+	}
+	if ValidTraceID(candidate) {
+		return WithTrace(ctx, candidate), candidate
+	}
+	id := NewTraceID()
+	return WithTrace(ctx, id), id
+}

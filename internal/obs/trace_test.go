@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatal("two trace IDs collided")
+	}
+	if !ValidTraceID(a) {
+		t.Fatalf("generated ID %q not valid", a)
+	}
+}
+
+func TestEnsureTrace(t *testing.T) {
+	ctx := context.Background()
+
+	// Fresh context, no candidate: generates.
+	ctx2, id := EnsureTrace(ctx, "")
+	if id == "" || TraceFrom(ctx2) != id {
+		t.Fatalf("generated id %q not attached", id)
+	}
+
+	// Existing context ID wins over any candidate.
+	ctx3, id3 := EnsureTrace(ctx2, "aaaabbbbccccdddd")
+	if id3 != id || TraceFrom(ctx3) != id {
+		t.Fatalf("existing id %q replaced by %q", id, id3)
+	}
+
+	// Valid inbound candidate is adopted.
+	_, id4 := EnsureTrace(ctx, "aaaabbbbccccdddd")
+	if id4 != "aaaabbbbccccdddd" {
+		t.Fatalf("valid candidate rejected: got %q", id4)
+	}
+
+	// Hostile candidate (would corrupt logs/labels) is replaced.
+	_, id5 := EnsureTrace(ctx, "evil\"}\ninjected")
+	if !ValidTraceID(id5) {
+		t.Fatalf("hostile candidate propagated: %q", id5)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"drmap/internal/obs"
 )
 
 // TestBatchSharesCaches: one batch over four (backend, network) jobs -
@@ -118,8 +120,8 @@ func TestHTTPBatch(t *testing.T) {
 	}
 }
 
-// TestMetrics: the counters render in Prometheus text style, reflect
-// serving activity, and include the configured extra source.
+// TestMetrics: the counters render in Prometheus exposition format,
+// reflect serving activity, and include the configured extra source.
 func TestMetrics(t *testing.T) {
 	svc := New(Options{Workers: 2, CacheEntries: 8,
 		ExtraMetrics: func() []Metric { return []Metric{{Name: "drmap_test_gauge", Value: 7}} }})
@@ -128,7 +130,8 @@ func TestMetrics(t *testing.T) {
 	}
 	text := svc.MetricsText()
 	// The DSE ran two fresh computations: the ddr3 profile and the
-	// search itself.
+	// search itself. Legacy unlabeled counters still render as plain
+	// "name value" sample lines.
 	for _, want := range []string{
 		"drmap_evaluations_total 2",
 		"drmap_cache_misses_total",
@@ -139,9 +142,19 @@ func TestMetrics(t *testing.T) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
 	}
-	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
-		if parts := strings.Fields(line); len(parts) != 2 {
-			t.Errorf("metrics line %q is not 'name value'", line)
+	// The page as a whole must be strictly parseable exposition, with
+	// the extra source's undescribed gauge still carrying metadata.
+	exp, err := obs.ParseExposition(text)
+	if err != nil {
+		t.Fatalf("metrics page unparseable: %v\n%s", err, text)
+	}
+	if v, ok := exp.Value("drmap_test_gauge", nil); !ok || v != 7 {
+		t.Errorf("drmap_test_gauge = %v, %v; want 7", v, ok)
+	}
+	// The DSE split its evaluation into count and price phases.
+	for _, phase := range []string{"count", "price"} {
+		if v, ok := exp.Value("drmap_eval_phase_seconds_count", map[string]string{"phase": phase}); !ok || v == 0 {
+			t.Errorf("drmap_eval_phase_seconds{phase=%q} count = %v, %v; want > 0", phase, v, ok)
 		}
 	}
 

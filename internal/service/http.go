@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
+
+	"drmap/internal/obs"
 )
 
 // ServerOptions tune the HTTP daemon.
@@ -26,6 +29,12 @@ type ServerOptions struct {
 	// Mount, when set, registers extra endpoints on the daemon's mux -
 	// the cluster roles hang their /cluster/v1/* routes here.
 	Mount func(mux *http.ServeMux)
+	// Logger, when set, receives the structured access log (one line
+	// per request, trace ID attached); nil discards it.
+	Logger *slog.Logger
+	// Pprof mounts the /debug/pprof profiling handlers (the -pprof
+	// flag). Off by default: the endpoints expose heap contents.
+	Pprof bool
 }
 
 // Serving defaults.
@@ -112,6 +121,7 @@ func handle[Req, Resp any](timeout time.Duration, call func(context.Context, Req
 //
 //	GET  /healthz
 //	GET  /metrics
+//	GET  /api/v1/version
 //	GET  /api/v1/policies
 //	GET  /api/v1/backends
 //	POST /api/v1/characterize
@@ -150,6 +160,9 @@ func NewHandlerWithJobs(s *Service, jm *JobManager, requestTimeout time.Duration
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = w.Write([]byte(s.MetricsText()))
 	})
+	mux.HandleFunc("GET /api/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Version())
+	})
 	mux.HandleFunc("GET /api/v1/policies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Policies())
 	})
@@ -184,7 +197,9 @@ func NewHandlerWithJobs(s *Service, jm *JobManager, requestTimeout time.Duration
 // timeouts. WriteTimeout leaves headroom over the request timeout so
 // handler deadlines, not connection teardown, bound evaluations; the
 // v2 event-stream handler lifts its own write deadline, since a job's
-// stream legitimately outlives any request timeout.
+// stream legitimately outlives any request timeout. Every route is
+// wrapped in the Observe middleware: trace IDs in and out, the
+// request-duration histogram, and the structured access log.
 func NewServer(s *Service, opt ServerOptions) *http.Server {
 	reqTimeout := opt.RequestTimeout
 	if reqTimeout <= 0 {
@@ -194,9 +209,12 @@ func NewServer(s *Service, opt ServerOptions) *http.Server {
 	if opt.Mount != nil {
 		opt.Mount(mux)
 	}
+	if opt.Pprof {
+		obs.MountPprof(mux)
+	}
 	return &http.Server{
 		Addr:              opt.Addr,
-		Handler:           mux,
+		Handler:           Observe(mux, s.Registry(), opt.Logger),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      reqTimeout + 15*time.Second,

@@ -55,7 +55,7 @@ func mountV2(mux *http.ServeMux, jm *JobManager) {
 			writeError(w, err)
 			return
 		}
-		view, err := jm.Submit(req)
+		view, err := jm.Submit(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return

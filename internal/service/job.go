@@ -10,6 +10,7 @@ import (
 
 	"drmap/internal/core"
 	"drmap/internal/dram"
+	"drmap/internal/obs"
 	"drmap/internal/report"
 )
 
@@ -67,6 +68,21 @@ type JobProgress struct {
 	ItemsTotal   int `json:"items_total,omitempty"`
 }
 
+// JobTimings breaks a job's wall-clock down: where the time between
+// submit and finish actually went. Queue wait and run duration cover
+// every job; the phase fields accumulate the executor's recorded
+// phases - count vs price for the evaluation itself (core/phase.go),
+// shard dispatch/merge when a cluster coordinator ran the job. Cached
+// results report near-zero phase time: nothing was evaluated.
+type JobTimings struct {
+	QueueSeconds         float64 `json:"queue_seconds"`
+	RunSeconds           float64 `json:"run_seconds,omitempty"`
+	CountSeconds         float64 `json:"count_seconds,omitempty"`
+	PriceSeconds         float64 `json:"price_seconds,omitempty"`
+	ShardDispatchSeconds float64 `json:"shard_dispatch_seconds,omitempty"`
+	ShardMergeSeconds    float64 `json:"shard_merge_seconds,omitempty"`
+}
+
 // JobView is a job as the API reports it. Result is set only on
 // GET /api/v2/jobs/{id} once the job holds one (a succeeded job always
 // does; a canceled batch keeps the items that finished before the
@@ -79,6 +95,12 @@ type JobView struct {
 	StartedAt  time.Time   `json:"started_at,omitzero"`
 	FinishedAt time.Time   `json:"finished_at,omitzero"`
 	Progress   JobProgress `json:"progress"`
+	// TraceID correlates the job with the submitting request, the
+	// coordinator's shard dispatches and the workers' logs/metrics.
+	TraceID string `json:"trace_id"`
+	// Timings is the job's timing breakdown, present once it started
+	// (run/phase fields fill in as the job progresses and finishes).
+	Timings *JobTimings `json:"timings,omitempty"`
 	// Events is how many event sequence numbers the job has issued;
 	// pass it as ?from= to GET /jobs/{id}/events to receive only events
 	// newer than this view (from=0 replays the whole log).
@@ -89,8 +111,9 @@ type JobView struct {
 
 // Job event types, in the order a consumer can expect them: a state
 // event per transition, progress/layer/item events while running, then
-// result and/or error, and finally the terminal state event that ends
-// the stream.
+// result and/or error, a timings event with the finished job's timing
+// breakdown and trace ID, and finally the terminal state event that
+// ends the stream.
 const (
 	EventState    = "state"
 	EventProgress = "progress"
@@ -98,6 +121,7 @@ const (
 	EventItem     = "item"
 	EventResult   = "result"
 	EventError    = "error"
+	EventTimings  = "timings"
 )
 
 // JobEvent is one entry of a job's event log, streamed by
@@ -127,6 +151,11 @@ type JobEvent struct {
 
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+
+	// Timing breakdown and trace ID (type "timings", the event before
+	// the terminal state event).
+	TraceID string      `json:"trace_id,omitempty"`
+	Timings *JobTimings `json:"timings,omitempty"`
 }
 
 // Job store errors the HTTP layer maps onto statuses.
@@ -181,6 +210,12 @@ type JobManager struct {
 	maxEvents int
 	now       func() time.Time
 
+	// Job lifecycle instruments on the service registry: jobs by state,
+	// and queue-wait / run-duration histograms labeled by kind.
+	states       *obs.GaugeVec
+	queueSeconds *obs.HistogramVec
+	runSeconds   *obs.HistogramVec
+
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string // insertion order, for eviction
@@ -209,14 +244,29 @@ func NewJobManager(s *Service, opt JobManagerOptions) *JobManager {
 	if opt.Now == nil {
 		opt.Now = time.Now
 	}
-	return &JobManager{
+	r := s.Registry()
+	m := &JobManager{
 		svc:       s,
 		maxJobs:   opt.MaxJobs,
 		ttl:       opt.TTL,
 		maxEvents: opt.MaxEvents,
 		now:       opt.Now,
 		jobs:      make(map[string]*job),
+		states: r.Gauge("drmap_jobs_state",
+			"Jobs resident in the store by lifecycle state.", "state"),
+		queueSeconds: r.Histogram("drmap_job_queue_seconds",
+			"Wall-clock between a job's submission and its executor starting, by kind.",
+			nil, "kind"),
+		runSeconds: r.Histogram("drmap_job_run_seconds",
+			"Wall-clock between a job's executor starting and finishing, by kind.",
+			nil, "kind"),
 	}
+	// Pre-touch every state's child so all five series always render
+	// (a scrape before the first submit still shows the full vocabulary).
+	for _, st := range []JobState{JobPending, JobRunning, JobSucceeded, JobFailed, JobCanceled} {
+		m.states.With(string(st))
+	}
+	return m
 }
 
 // job is the store-side state of one submitted job.
@@ -226,6 +276,7 @@ type job struct {
 	req     JobRequest
 	created time.Time
 	timing  dram.Timing // the DSE backend's clock, for layer events
+	trace   string      // trace ID: the submitting request's, or fresh
 	cancel  context.CancelFunc
 	done    chan struct{}
 	// ephemeral marks a v1 synchronous wrapper's job: visible while
@@ -244,10 +295,28 @@ type job struct {
 	rawResult       json.RawMessage
 	err             error
 	progress        JobProgress
+	phases          map[string]time.Duration // accumulated executor phase time
 	events          []JobEvent
 	nextSeq         int
 	maxEvents       int
 	changed         chan struct{} // closed and replaced on every append
+}
+
+// timingsLocked assembles the job's timing breakdown; callers hold
+// j.mu. Nil until the job has started (there is nothing to break down).
+func (j *job) timingsLocked() *JobTimings {
+	if j.started.IsZero() {
+		return nil
+	}
+	t := &JobTimings{QueueSeconds: j.started.Sub(j.created).Seconds()}
+	if !j.finished.IsZero() {
+		t.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	t.CountSeconds = j.phases[core.PhaseCount].Seconds()
+	t.PriceSeconds = j.phases[core.PhasePrice].Seconds()
+	t.ShardDispatchSeconds = j.phases[core.PhaseShardDispatch].Seconds()
+	t.ShardMergeSeconds = j.phases[core.PhaseShardMerge].Seconds()
+	return t
 }
 
 // notifyLocked wakes event-stream readers; callers hold j.mu.
@@ -264,7 +333,7 @@ func (j *job) appendLocked(e JobEvent) {
 	j.nextSeq++
 	if n := len(j.events); n > 0 && e.Type == EventProgress && j.events[n-1].Type == EventProgress {
 		j.events[n-1] = e
-	} else if len(j.events) >= j.maxEvents && e.Type != EventResult && e.Type != EventError && e.Type != EventState {
+	} else if len(j.events) >= j.maxEvents && e.Type != EventResult && e.Type != EventError && e.Type != EventState && e.Type != EventTimings {
 		// Shed load without losing the terminal events a reconnecting
 		// client needs.
 	} else {
@@ -311,6 +380,8 @@ func (j *job) view(withResult bool) JobView {
 		StartedAt:  j.started,
 		FinishedAt: j.finished,
 		Progress:   j.progress,
+		TraceID:    j.trace,
+		Timings:    j.timingsLocked(),
 		Events:     j.nextSeq,
 	}
 	if j.err != nil {
@@ -398,6 +469,22 @@ func (s *jobSink) ItemDone(item BatchItem) {
 	j.appendLocked(JobEvent{Type: EventItem, Index: item.Index, Item: &it})
 }
 
+// RecordPhase accumulates executor phase time (count/price per column,
+// shard dispatch/merge per cluster run) into the job's breakdown -
+// jobSink implements core.PhaseRecorder alongside core.Progress.
+func (s *jobSink) RecordPhase(phase string, d time.Duration) {
+	j := s.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	if j.phases == nil {
+		j.phases = make(map[string]time.Duration)
+	}
+	j.phases[phase] += d
+}
+
 // progressLocked logs a coalescing progress snapshot; callers hold j.mu.
 func (s *jobSink) progressLocked() {
 	p := s.j.progress
@@ -409,11 +496,13 @@ func (s *jobSink) progressLocked() {
 }
 
 // Submit validates and admits one asynchronous job, returning its view
-// immediately. The job runs detached from any request context: only
+// immediately. The job runs detached from the request context - only
 // Cancel (DELETE /api/v2/jobs/{id}) stops it, so a submitting client
-// may disconnect and collect the result later.
-func (m *JobManager) Submit(req JobRequest) (JobView, error) {
-	j, err := m.submit(context.Background(), req, false)
+// may disconnect and collect the result later - but inherits ctx's
+// trace ID (generating one when absent), so the job's shards, logs and
+// events stay correlatable with the request that submitted it.
+func (m *JobManager) Submit(ctx context.Context, req JobRequest) (JobView, error) {
+	j, err := m.submit(context.Background(), obs.TraceFrom(ctx), req, false)
 	if err != nil {
 		return JobView{}, err
 	}
@@ -424,9 +513,10 @@ func (m *JobManager) Submit(req JobRequest) (JobView, error) {
 // goroutine under a context derived from parent (context.Background
 // for detached v2 jobs; the request context for v1 sync wrappers, so a
 // v1 client's deadline or disconnect cancels its job exactly as it
-// canceled the pre-job handlers). ephemeral marks a sync wrapper's
-// job (see the job field).
-func (m *JobManager) submit(parent context.Context, req JobRequest, ephemeral bool) (*job, error) {
+// canceled the pre-job handlers). trace is the submitting request's
+// trace ID; empty or invalid generates a fresh one. ephemeral marks a
+// sync wrapper's job (see the job field).
+func (m *JobManager) submit(parent context.Context, trace string, req JobRequest, ephemeral bool) (*job, error) {
 	kind, timing, err := validateJobRequest(req)
 	if err != nil {
 		return nil, err
@@ -448,9 +538,13 @@ func (m *JobManager) submit(parent context.Context, req JobRequest, ephemeral bo
 	m.nextID++
 	m.submitted++
 	id := fmt.Sprintf("job-%d", m.nextID)
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
 	ctx, cancel := context.WithCancel(parent)
 	j := &job{
 		id: id, kind: kind, req: req, created: now, timing: timing,
+		trace:  trace,
 		cancel: cancel, done: make(chan struct{}), ephemeral: ephemeral,
 		state: JobPending, maxEvents: m.maxEvents,
 		changed: make(chan struct{}),
@@ -461,22 +555,30 @@ func (m *JobManager) submit(parent context.Context, req JobRequest, ephemeral bo
 		m.persistent++
 	}
 	m.mu.Unlock()
+	m.states.With(string(JobPending)).Add(1)
 
 	go m.run(ctx, j)
 	return j, nil
 }
 
 // run executes one job through the Service's synchronous entry points
-// with the job's progress sink attached to the context.
+// with the job's progress sink, phase recorder and trace ID attached
+// to the context.
 func (m *JobManager) run(ctx context.Context, j *job) {
 	defer j.cancel() // release the context's resources whatever happens
 	j.mu.Lock()
 	j.started = m.now()
+	queued := j.started.Sub(j.created)
 	j.mu.Unlock()
 	j.setState(JobRunning)
+	m.states.With(string(JobPending)).Add(-1)
+	m.states.With(string(JobRunning)).Add(1)
+	m.queueSeconds.With(string(j.kind)).Observe(queued.Seconds())
 
 	sink := &jobSink{j: j, layers: j.kind == JobDSE}
 	ctx = core.WithProgress(ctx, sink)
+	ctx = core.WithPhases(ctx, sink)
+	ctx = obs.WithTrace(ctx, j.trace)
 
 	var result any
 	var err error
@@ -495,8 +597,9 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	m.finish(j, result, err)
 }
 
-// finish commits a job's outcome: the result and/or error events, then
-// the terminal state event that ends every event stream.
+// finish commits a job's outcome: the result and/or error events, the
+// timings event carrying the trace ID and timing breakdown, then the
+// terminal state event that ends every event stream.
 func (m *JobManager) finish(j *job, result any, err error) {
 	var raw json.RawMessage
 	// An ephemeral (v1 sync) job's result goes straight to its waiting
@@ -533,9 +636,16 @@ func (m *JobManager) finish(j *job, result any, err error) {
 	if err != nil {
 		j.appendLocked(JobEvent{Type: EventError, Error: err.Error()})
 	}
+	if t := j.timingsLocked(); t != nil {
+		j.appendLocked(JobEvent{Type: EventTimings, TraceID: j.trace, Timings: t})
+	}
 	j.state = state
 	j.appendLocked(JobEvent{Type: EventState, State: state})
+	ran := j.finished.Sub(j.started)
 	j.mu.Unlock()
+	m.states.With(string(JobRunning)).Add(-1)
+	m.states.With(string(state)).Add(1)
+	m.runSeconds.With(string(j.kind)).Observe(ran.Seconds())
 	close(j.done)
 }
 
@@ -589,13 +699,18 @@ func (m *JobManager) evictLocked(now time.Time, makeRoom bool) {
 }
 
 // deleteLocked removes one store entry and keeps the persistent count
-// in step; callers hold m.mu and fix m.order themselves.
+// and per-state gauges in step; callers hold m.mu and fix m.order
+// themselves.
 func (m *JobManager) deleteLocked(id string, j *job) {
 	delete(m.jobs, id)
 	m.evicted++
 	if !j.ephemeral {
 		m.persistent--
 	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	m.states.With(string(state)).Add(-1)
 }
 
 // lookup returns the stored job.
@@ -697,7 +812,7 @@ func (m *JobManager) Wait(ctx context.Context, id string) (JobView, error) {
 // return promptly), which also preserves v1 Batch's
 // partial-results-on-deadline contract.
 func (m *JobManager) runSync(ctx context.Context, req JobRequest) (any, error) {
-	j, err := m.submit(ctx, req, true)
+	j, err := m.submit(ctx, obs.TraceFrom(ctx), req, true)
 	if err != nil {
 		return nil, err
 	}
@@ -723,6 +838,10 @@ func (m *JobManager) drop(id string) {
 	if !j.ephemeral {
 		m.persistent--
 	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	m.states.With(string(state)).Add(-1)
 	for i, other := range m.order {
 		if other == id {
 			m.order = append(m.order[:i], m.order[i+1:]...)

@@ -45,7 +45,7 @@ func waitTerminal(t *testing.T, jm *JobManager, id string) JobView {
 func TestJobLifecycleDSE(t *testing.T) {
 	svc := New(Options{Workers: 2, CacheEntries: 8})
 	jm := NewJobManager(svc, JobManagerOptions{})
-	view, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
+	view, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestJobCancel(t *testing.T) {
 	svc := New(Options{Workers: 1, CacheEntries: 8, Runner: runner})
 	jm := NewJobManager(svc, JobManagerOptions{})
 
-	view, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
+	view, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -205,20 +205,20 @@ func TestJobStoreTTLAndBound(t *testing.T) {
 	// A fast terminal job: invalid batch items still make the batch
 	// itself succeed per-item... use a characterize of a known backend
 	// via the local path (the runner only blocks DSE).
-	done, err := jm.Submit(JobRequest{Kind: "characterize", Characterize: &CharacterizeRequest{Archs: []string{"ddr3"}}})
+	done, err := jm.Submit(context.Background(), JobRequest{Kind: "characterize", Characterize: &CharacterizeRequest{Archs: []string{"ddr3"}}})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	waitTerminal(t, jm, done.ID)
 
 	// Fill the store with an active job.
-	active, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
+	active, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
 	if err != nil {
 		t.Fatalf("submit active: %v", err)
 	}
 	// Store full (terminal + active): the terminal one is evicted to
 	// admit the next.
-	active2, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "salp1", Network: "lenet5"}})
+	active2, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "salp1", Network: "lenet5"}})
 	if err != nil {
 		t.Fatalf("submit at capacity: %v", err)
 	}
@@ -226,7 +226,7 @@ func TestJobStoreTTLAndBound(t *testing.T) {
 		t.Error("terminal job survived bound eviction")
 	}
 	// Now both stored jobs are active: a further submit is rejected.
-	if _, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "masa", Network: "lenet5"}}); !errors.Is(err, ErrJobStoreFull) {
+	if _, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "masa", Network: "lenet5"}}); !errors.Is(err, ErrJobStoreFull) {
 		t.Errorf("submit into full active store: %v, want ErrJobStoreFull", err)
 	}
 	// ...but v1 sync traffic must not starve: ephemeral jobs bypass the
@@ -242,7 +242,7 @@ func TestJobStoreTTLAndBound(t *testing.T) {
 	}
 	waitTerminal(t, jm, active.ID)
 	nowNanos.Add(int64(2 * time.Minute))
-	if _, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "salp2", Network: "lenet5"}}); err != nil {
+	if _, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "salp2", Network: "lenet5"}}); err != nil {
 		t.Fatalf("submit after TTL: %v", err)
 	}
 	if _, ok := jm.Get(active.ID); ok {
@@ -271,7 +271,7 @@ func TestJobValidation(t *testing.T) {
 		{"empty batch", JobRequest{Kind: "batch", Batch: &BatchRequest{}}, "no jobs"},
 	}
 	for _, c := range cases {
-		_, err := jm.Submit(c.req)
+		_, err := jm.Submit(context.Background(), c.req)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: err %v, want substring %q", c.name, err, c.want)
 		}
@@ -286,11 +286,11 @@ func TestJobValidation(t *testing.T) {
 func TestJobListFilters(t *testing.T) {
 	svc := New(Options{Workers: 2, CacheEntries: 8})
 	jm := NewJobManager(svc, JobManagerOptions{})
-	a, err := jm.Submit(JobRequest{Kind: "characterize", Characterize: &CharacterizeRequest{Archs: []string{"ddr3"}}})
+	a, err := jm.Submit(context.Background(), JobRequest{Kind: "characterize", Characterize: &CharacterizeRequest{Archs: []string{"ddr3"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := jm.Submit(JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
+	b, err := jm.Submit(context.Background(), JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestJobBatchPartialOnCancel(t *testing.T) {
 	if _, err := svc.DSE(context.Background(), DSERequest{Arch: "ddr3", Network: "lenet5"}); err != nil {
 		t.Fatal(err)
 	}
-	view, err := jm.Submit(JobRequest{Kind: "batch", Batch: &BatchRequest{Jobs: []DSERequest{
+	view, err := jm.Submit(context.Background(), JobRequest{Kind: "batch", Batch: &BatchRequest{Jobs: []DSERequest{
 		{Arch: "ddr3", Network: "lenet5"},   // cached: finishes instantly
 		{Arch: "salp2", Network: "alexnet"}, // fresh: long enough to cancel under
 	}}})

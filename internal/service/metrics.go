@@ -1,11 +1,14 @@
 package service
 
 import (
-	"fmt"
-	"strings"
+	"drmap/internal/obs"
 )
 
-// Metric is one counter on the plain-text GET /metrics endpoint.
+// Metric is one unlabeled counter of the legacy metrics snapshot. The
+// snapshot predates the obs registry and remains the integration seam
+// for components that contribute flat gauges (the job store, cluster
+// roles, embedders via Options.ExtraMetrics); a registry gatherer
+// bridges every snapshot entry into GET /metrics, names unchanged.
 type Metric struct {
 	Name  string
 	Value int64
@@ -38,13 +41,100 @@ func (s *Service) Metrics() []Metric {
 	return out
 }
 
-// MetricsText renders the counters in the Prometheus text exposition
-// style (one "name value" line per counter), the format GET /metrics
-// serves.
+// MetricsText renders GET /metrics: the full Prometheus text
+// exposition of the service registry - instrumented histograms and
+// labeled counters plus every legacy snapshot counter, with # HELP and
+// # TYPE metadata. Unlabeled counters still render as plain
+// "name value" lines, so pre-exposition consumers keep working.
 func (s *Service) MetricsText() string {
-	var b strings.Builder
-	for _, m := range s.Metrics() {
-		fmt.Fprintf(&b, "%s %d\n", m.Name, m.Value)
+	return s.registry.Expose()
+}
+
+// Registry returns the service's metrics registry, the one GET
+// /metrics renders. Components wired around the service (job manager,
+// cluster roles, commands) register their instruments here so one
+// scrape covers the whole process.
+func (s *Service) Registry() *obs.Registry {
+	return s.registry
+}
+
+// metricHelp is the exposition metadata for every metric name the
+// legacy snapshot (Metrics) can emit, including the contributions of
+// the job store and cluster roles; names a snapshot emits beyond this
+// catalog (embedder extras) fall back to the registry's heuristic
+// metadata, so the page always parses.
+var metricHelp = map[string]struct{ kind, help string }{
+	"drmap_evaluations_total":          {obs.KindCounter, "Fresh (non-cached, non-coalesced) computations run."},
+	"drmap_cache_hits_total":           {obs.KindCounter, "Result-cache lookups served from a completed entry."},
+	"drmap_cache_misses_total":         {obs.KindCounter, "Result-cache lookups that required a fresh computation."},
+	"drmap_cache_coalesced_total":      {obs.KindCounter, "Result-cache lookups that joined an identical in-flight computation."},
+	"drmap_cache_evictions_total":      {obs.KindCounter, "Result-cache LRU evictions."},
+	"drmap_cache_entries":              {obs.KindGauge, "Resident result-cache entries."},
+	"drmap_plan_cache_hits_total":      {obs.KindCounter, "Count-plan-cache hits (columns repriced instead of recounted)."},
+	"drmap_plan_cache_misses_total":    {obs.KindCounter, "Count-plan-cache misses (columns counted fresh)."},
+	"drmap_plan_cache_coalesced_total": {obs.KindCounter, "Count-plan computations joined while in flight."},
+	"drmap_plan_cache_evictions_total": {obs.KindCounter, "Count-plan-cache LRU evictions."},
+	"drmap_plan_cache_entries":         {obs.KindGauge, "Resident count-plan-cache entries."},
+	"drmap_pool_workers":               {obs.KindGauge, "Size of the DSE/characterization worker pool."},
+
+	"drmap_jobs_submitted_total": {obs.KindCounter, "Jobs admitted by the job store (v2 submits and v1 sync wrappers)."},
+	"drmap_jobs_evicted_total":   {obs.KindCounter, "Jobs evicted from the job store (TTL or capacity)."},
+	"drmap_jobs_active":          {obs.KindGauge, "Stored jobs not yet terminal."},
+	"drmap_jobs_stored":          {obs.KindGauge, "Jobs resident in the store (active plus retained terminal)."},
+
+	"drmap_cluster_workers":                  {obs.KindGauge, "Cluster members currently alive (heartbeat within TTL)."},
+	"drmap_cluster_workers_dead":             {obs.KindGauge, "Cluster members marked dead."},
+	"drmap_cluster_capacity":                 {obs.KindGauge, "Summed worker capacity of alive members."},
+	"drmap_cluster_shards_inflight":          {obs.KindGauge, "Shards currently dispatched and unresolved."},
+	"drmap_cluster_shards_completed_total":   {obs.KindCounter, "Shards completed across all distributed runs."},
+	"drmap_cluster_shard_retries_total":      {obs.KindCounter, "Shard dispatch attempts beyond each shard's first."},
+	"drmap_cluster_shard_cache_hits_total":   {obs.KindCounter, "Shard-cache lookups served from a completed entry."},
+	"drmap_cluster_shard_cache_misses_total": {obs.KindCounter, "Shard-cache lookups that dispatched fresh work."},
+	"drmap_cluster_shard_cache_entries":      {obs.KindGauge, "Resident shard-cache entries."},
+
+	"drmap_worker_shards_served_total":   {obs.KindCounter, "Shard requests this worker evaluated."},
+	"drmap_worker_shards_rejected_total": {obs.KindCounter, "Shard requests this worker rejected."},
+}
+
+// cacheOutcomeSamples flattens one cache's stats into the labeled
+// drmap_cache_requests_total series.
+func cacheOutcomeSamples(cache string, st CacheStats) []obs.Sample {
+	label := func(outcome string, v int64) obs.Sample {
+		return obs.Sample{
+			Name:   "drmap_cache_requests_total",
+			Labels: []obs.Label{{Key: "cache", Value: cache}, {Key: "outcome", Value: outcome}},
+			Value:  float64(v),
+		}
 	}
-	return b.String()
+	return []obs.Sample{
+		label("hit", st.Hits),
+		label("miss", st.Misses),
+		label("coalesced", st.Coalesced),
+	}
+}
+
+// registerMetrics wires the service's families into its registry:
+// metadata for every cataloged legacy name, the snapshot gatherer, the
+// labeled cache-outcome view of the result and plan caches, and the
+// count/price phase histogram the column evaluator observes.
+func (s *Service) registerMetrics() {
+	r := s.registry
+	for name, d := range metricHelp {
+		r.Describe(name, d.kind, d.help)
+	}
+	r.Describe("drmap_cache_requests_total", obs.KindCounter,
+		"Cache lookups by cache (result, plan, shard) and outcome (hit, miss, coalesced).")
+	s.phaseSeconds = r.Histogram("drmap_eval_phase_seconds",
+		"Evaluation wall-clock per phase: count (backend-independent tile-group counting) vs price (per-backend costing).",
+		nil, "phase")
+	r.AddGatherer(func() []obs.Sample {
+		metrics := s.Metrics()
+		out := make([]obs.Sample, 0, len(metrics)+6)
+		for _, m := range metrics {
+			out = append(out, obs.Sample{Name: m.Name, Value: float64(m.Value)})
+		}
+		out = append(out, cacheOutcomeSamples("result", s.CacheStats())...)
+		out = append(out, cacheOutcomeSamples("plan", s.PlanCacheStats())...)
+		return out
+	})
 }

@@ -1,0 +1,110 @@
+// HTTP observability middleware: one wrapper around the daemon mux
+// that gives every request a trace ID (generated, or adopted from the
+// client's X-Drmap-Trace-Id header), echoes it on the response, times
+// the request into a route/status-labeled histogram, and emits one
+// structured access-log line carrying the trace ID.
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"drmap/internal/obs"
+)
+
+// statusWriter captures the response status for the request histogram
+// and access log. Unwrap exposes the underlying writer so
+// http.ResponseController (the event-stream handler's write-deadline
+// lift and flushes) still reaches the real connection.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel normalizes a request path to a bounded label set: known
+// routes by name, path-parameterized v2 routes collapsed to their
+// pattern, everything else "other" - so a scanner probing random URLs
+// cannot grow the histogram's cardinality.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics",
+		"/api/v1/version", "/api/v1/policies", "/api/v1/backends",
+		"/api/v1/characterize", "/api/v1/dse", "/api/v1/batch",
+		"/api/v1/simulate", "/api/v1/sweep",
+		"/api/v2/jobs",
+		"/cluster/v1/register", "/cluster/v1/shard", "/cluster/v1/workers":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/v2/jobs/"); ok {
+		if strings.HasSuffix(rest, "/events") {
+			return "/api/v2/jobs/{id}/events"
+		}
+		if !strings.Contains(rest, "/") {
+			return "/api/v2/jobs/{id}"
+		}
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") || path == "/debug/pprof" {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// Observe wraps a handler with the daemon's request telemetry: trace
+// ID propagation (header in, context through, header out), the
+// drmap_http_request_duration_seconds{route,status} histogram, a
+// bounded drmap_trace_requests_total{trace_id} counter (most recent
+// trace IDs only), and a per-request access-log line on logger. A nil
+// logger discards the log lines; the metrics and tracing still apply.
+func Observe(next http.Handler, reg *obs.Registry, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	durations := reg.Histogram("drmap_http_request_duration_seconds",
+		"HTTP request wall-clock by normalized route and response status.",
+		nil, "route", "status")
+	traces := reg.CappedCounter("drmap_trace_requests_total",
+		"Requests per trace ID (most recent trace IDs only).",
+		0, "trace_id")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, traceID := obs.EnsureTrace(r.Context(), r.Header.Get(obs.TraceHeader))
+		w.Header().Set(obs.TraceHeader, traceID)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			// Handler wrote nothing; net/http will send 200 on return.
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		durations.With(route, strconv.Itoa(sw.status)).Observe(elapsed.Seconds())
+		traces.With(traceID).Inc()
+		logger.Info("http request",
+			"trace_id", traceID,
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000.0,
+		)
+	})
+}

@@ -95,7 +95,7 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 		return nil, err
 	}
 	if colEval == nil {
-		colEval = func(grids []core.LayerGrid, li, si int) []core.CellResult {
+		colEval = func(_ context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 			return ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
 		}
 	}
@@ -124,7 +124,7 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 		}
 		defer releaseGate(gate)
 		li, si := col/len(schedules), col%len(schedules)
-		colCells[li][si] = colEval(grids, li, si)
+		colCells[li][si] = colEval(ctx, grids, li, si)
 		if prog != nil {
 			prog.ColumnsDone(1)
 		}
@@ -187,7 +187,7 @@ func evaluateColumns(ctx context.Context, gate chan struct{}, grids []core.Layer
 		defer releaseGate(gate)
 		col := span.Start + i
 		li, si := col/nSchedules, col%nSchedules
-		columns[i] = colEval(grids, li, si)
+		columns[i] = colEval(ctx, grids, li, si)
 	})
 	if err == nil && skipped.Load() {
 		err = ctx.Err()

@@ -10,7 +10,9 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"drmap/internal/accel"
 	"drmap/internal/cnn"
@@ -19,8 +21,22 @@ import (
 )
 
 // columnEvalFn evaluates one (layer, schedule) column of a job's grid
-// into its cells; parallelDSE and evaluateColumns fan it out.
-type columnEvalFn func(grids []core.LayerGrid, li, si int) []core.CellResult
+// into its cells; parallelDSE and evaluateColumns fan it out. ctx
+// carries the evaluation's telemetry hooks (trace ID, phase recorder),
+// never cancellation - the pool feeding loop owns that.
+type columnEvalFn func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult
+
+// recordPhase observes one finished evaluation phase everywhere it is
+// watched: the service-wide drmap_eval_phase_seconds histogram, and
+// the per-job recorder riding ctx (core.WithPhases), when one is
+// attached.
+func (s *Service) recordPhase(ctx context.Context, phase string, start time.Time) {
+	d := time.Since(start)
+	s.phaseSeconds.With(phase).Observe(d.Seconds())
+	if r := core.PhasesFrom(ctx); r != nil {
+		r.RecordPhase(phase, d)
+	}
+}
 
 // planKey content-addresses a job's count plan: the DSE cache key with
 // everything priced per backend - cost sets, timing, controller
@@ -59,12 +75,23 @@ func (s *Service) planPrefix(job DSEJob, ev *core.Evaluator) (string, error) {
 // the plan cache enabled, each column's count plan is computed at most
 // once per count signature (content-addressed, single-flight: the same
 // column counted concurrently for two backends coalesces) and repriced
-// under the job's backend and objective; without it, the column is
-// evaluated directly - the exact pre-split path. Both produce
-// bit-for-bit identical cells (core's count -> price contract).
+// under the job's backend and objective; without it, the column runs
+// the explicit count -> price composition, which core documents as
+// bit-for-bit identical to the pre-split EvaluateScheduleColumn. Both
+// paths therefore produce identical cells, and both split their time
+// into the count and price phases (recordPhase) - the measurement the
+// warm-repricing work reads. On the cached path only a fresh count
+// (cache miss) records count time: a hit or coalesced wait spends
+// pricing time alone, which is exactly what the split should show.
 func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
-	direct := func(grids []core.LayerGrid, li, si int) []core.CellResult {
-		return ev.EvaluateScheduleColumn(grids[li], si, job.Schedules[si], job.Policies, job.Objective)
+	direct := func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
+		start := time.Now()
+		counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
+		s.recordPhase(ctx, core.PhaseCount, start)
+		start = time.Now()
+		cells := ev.PriceCells(counts, job.Objective)
+		s.recordPhase(ctx, core.PhasePrice, start)
+		return cells
 	}
 	if s.planCache == nil {
 		return direct
@@ -76,14 +103,20 @@ func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
 		// without sharing.
 		return direct
 	}
-	return func(grids []core.LayerGrid, li, si int) []core.CellResult {
+	return func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 		key := fmt.Sprintf("%s:%d:%d", prefix, li, si)
 		v, _, err := s.planCache.Do(key, func() (any, error) {
-			return ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies), nil
+			start := time.Now()
+			counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
+			s.recordPhase(ctx, core.PhaseCount, start)
+			return counts, nil
 		})
 		if err != nil {
-			return direct(grids, li, si)
+			return direct(ctx, grids, li, si)
 		}
-		return ev.PriceCells(v.(*core.CountColumn), job.Objective)
+		start := time.Now()
+		cells := ev.PriceCells(v.(*core.CountColumn), job.Objective)
+		s.recordPhase(ctx, core.PhasePrice, start)
+		return cells
 	}
 }

@@ -10,7 +10,8 @@
 // The drmap-serve daemon (cmd/drmap-serve) exposes:
 //
 //	GET  /healthz             - liveness plus cache/evaluation counters
-//	GET  /metrics             - plain-text serving/cluster/job counters
+//	GET  /metrics             - Prometheus exposition of serving/cluster/job telemetry
+//	GET  /api/v1/version      - build identity (version, go version, VCS revision)
 //	GET  /api/v1/policies     - the Table I mapping policies
 //	GET  /api/v1/backends     - the registered DRAM backends (ID-sorted)
 //	POST /api/v1/characterize - Fig. 1 characterization {"archs":["ddr3",...]}
@@ -55,6 +56,7 @@ import (
 	"drmap/internal/accel"
 	"drmap/internal/core"
 	"drmap/internal/dram"
+	"drmap/internal/obs"
 	"drmap/internal/profile"
 	"drmap/internal/report"
 	"drmap/internal/sweep"
@@ -87,6 +89,12 @@ type Options struct {
 	// ExtraMetrics, when set, supplies additional counters appended to
 	// GET /metrics (e.g. cluster worker/shard gauges).
 	ExtraMetrics func() []Metric
+	// Registry, when set, is the metrics registry GET /metrics renders
+	// and every instrument registers on; nil builds a fresh one.
+	// Processes hosting several telemetry sources (job manager, cluster
+	// roles) share the service's registry, so one scrape covers them
+	// all.
+	Registry *obs.Registry
 }
 
 // DefaultCacheEntries is the drmap-serve default result-cache bound.
@@ -114,6 +122,10 @@ type Service struct {
 	// minus costs/timing, grid column); nil when disabled. See plan.go.
 	planCache    *Cache
 	extraMetrics func() []Metric
+	registry     *obs.Registry
+	// phaseSeconds is the drmap_eval_phase_seconds histogram; the column
+	// evaluator observes count and price time into it (see plan.go).
+	phaseSeconds *obs.HistogramVec
 }
 
 // New builds a Service.
@@ -131,8 +143,11 @@ func New(opt Options) *Service {
 	if opt.PlanCacheEntries > 0 {
 		planCache = NewCache(opt.PlanCacheEntries)
 	}
+	if opt.Registry == nil {
+		opt.Registry = obs.NewRegistry()
+	}
 	workers := defaultWorkers(opt.Workers)
-	return &Service{
+	s := &Service{
 		workers:      workers,
 		accel:        opt.Accel,
 		cache:        NewCache(opt.CacheEntries),
@@ -140,7 +155,10 @@ func New(opt Options) *Service {
 		runner:       opt.Runner,
 		planCache:    planCache,
 		extraMetrics: opt.ExtraMetrics,
+		registry:     opt.Registry,
 	}
+	s.registerMetrics()
+	return s
 }
 
 // SetRunner installs (or clears) the distributed DSE runner after

@@ -8,6 +8,7 @@ import (
 	"drmap/internal/core"
 	"drmap/internal/dram"
 	"drmap/internal/mapping"
+	"drmap/internal/obs"
 	"drmap/internal/report"
 	"drmap/internal/tiling"
 )
@@ -152,6 +153,19 @@ type SweepResponse struct {
 // BackendsResponse lists the registered DRAM backends.
 type BackendsResponse struct {
 	Backends []report.BackendJSON `json:"backends"`
+}
+
+// VersionResponse identifies the serving binary: GET /api/v1/version
+// and drmap-serve -version, so a deployment observed in traces, logs
+// or metrics can be tied to an exact build.
+type VersionResponse struct {
+	Service string `json:"service"`
+	obs.BuildInfo
+}
+
+// Version reports the running binary's build identity.
+func Version() VersionResponse {
+	return VersionResponse{Service: "drmap", BuildInfo: obs.Build()}
 }
 
 // HealthResponse reports daemon liveness and serving counters.
