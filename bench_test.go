@@ -21,6 +21,8 @@ import (
 	"testing"
 
 	"drmap"
+	"drmap/internal/core"
+	"drmap/internal/sweep"
 )
 
 func benchEvaluators(b *testing.B) []*drmap.Evaluator {
@@ -570,4 +572,128 @@ func BenchmarkCountsClosedForm(b *testing.B) {
 		sink = pol.Counts(int64(i%65536)+1, g)
 	}
 	_ = sink
+}
+
+// BenchmarkRepriceFlat isolates the repricing inner loop the serving
+// daemon's warm path runs per (column, backend): one AlexNet column
+// (the layer with the most candidate tilings, adaptive-reuse, all six
+// Table I policies) is counted once outside the timer, then repriced
+// per iteration through the struct path (PriceCellsInto over the
+// CountColumn) and the vectorized path (PriceFlatInto over the packed
+// FlatColumn planes), both into reused scratch. -benchmem pins the
+// steady-state contract: 0 allocs/op on either path; the ns/op ratio is
+// the win of the branch-light linear scan. Equivalence is asserted
+// outside the timer and pinned bit-for-bit by core's flat-plan tests.
+func BenchmarkRepriceFlat(b *testing.B) {
+	evs := benchEvaluators(b)
+	ev := evs[0]
+	schedules, policies := drmap.Schedules(), drmap.TableIPolicies()
+	grids, err := core.DSEGrid(drmap.AlexNet(), ev, schedules, policies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lg := grids[0]
+	for _, g := range grids {
+		if len(g.Tilings) > len(lg.Tilings) {
+			lg = g
+		}
+	}
+	si := len(schedules) - 1 // adaptive-reuse
+	counts := ev.CountScheduleColumn(lg, si, schedules[si], policies)
+	flat := counts.Flatten()
+	if !reflect.DeepEqual(ev.PriceCells(counts, drmap.MinimizeEDP), ev.PriceFlat(flat, drmap.MinimizeEDP)) {
+		b.Fatal("flat repricing diverged from the struct path")
+	}
+	b.Run("struct", func(b *testing.B) {
+		out := ev.PriceCellsInto(counts, drmap.MinimizeEDP, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = ev.PriceCellsInto(counts, drmap.MinimizeEDP, out)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		out := ev.PriceFlatInto(flat, drmap.MinimizeEDP, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = ev.PriceFlatInto(flat, drmap.MinimizeEDP, out)
+		}
+	})
+}
+
+// BenchmarkRegistrySweep measures the delta-repricing trajectory of the
+// whole-registry scan (internal/sweep's plan cache): the DRMap-policy
+// AlexNet DSE across every registered backend. Three paths, all with
+// characterization outside the timer:
+//
+//	recount - the pre-split baseline: one serial RunDSE per backend,
+//	          every backend expands and counts every grid column.
+//	cold    - a fresh plan cache: one count pass per distinct die
+//	          geometry (the paper four share one), every other backend
+//	          repriced from carried-over vectorized plans.
+//	delta   - the cache primed by an earlier pass: the whole registry
+//	          is reprice-only, the cost of re-running a sweep point.
+//
+// Intended cadence: -benchtime=1x -count=3 (the CI bench job).
+func BenchmarkRegistrySweep(b *testing.B) {
+	net := drmap.AlexNet()
+	acfg := drmap.TableII()
+	backends := drmap.Backends()
+	profs := make([]*drmap.Profile, len(backends))
+	for i, backend := range backends {
+		p, err := drmap.CharacterizeBackend(backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profs[i] = p
+	}
+	scan := func(b *testing.B, pl *sweep.Planner) {
+		b.Helper()
+		for _, p := range profs {
+			if _, err := pl.TotalEDP(p, acfg, net, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("recount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range profs {
+				ev, err := drmap.NewEvaluator(p, acfg, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := drmap.RunDSE(net, ev, drmap.Schedules(),
+					[]drmap.MappingPolicy{drmap.DRMapPolicy()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		var st sweep.PlanStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pl := sweep.NewPlanner()
+			b.StartTimer()
+			scan(b, pl)
+			st = pl.Stats()
+		}
+		b.ReportMetric(float64(st.Misses), "count-passes")
+		b.ReportMetric(float64(st.Hits), "repriced")
+	})
+	b.Run("delta", func(b *testing.B) {
+		pl := sweep.NewPlanner()
+		scan(b, pl) // prime outside the timer
+		before := pl.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scan(b, pl)
+		}
+		b.StopTimer()
+		if st := pl.Stats(); st.Misses != before.Misses {
+			b.Fatalf("primed registry scan recounted: misses %d -> %d", before.Misses, st.Misses)
+		}
+	})
 }

@@ -1,0 +1,170 @@
+// Command drmap-benchguard gates benchmark regressions in CI. It reads
+// two `go test -json -bench` output files - a committed baseline and
+// the current run - extracts the best (minimum) ns/op per benchmark
+// across repetitions, and fails when a selected benchmark's current
+// best exceeds the baseline's by more than the allowed ratio.
+//
+// Usage:
+//
+//	drmap-benchguard -baseline BENCH_7.json -current bench_new.json \
+//	    -bench 'BenchmarkBatchMultiBackend/warm' [-max-ratio 2.0]
+//
+// The minimum across -count repetitions is used on both sides, so a
+// single noisy repetition on a loaded CI box cannot fail (or pass) the
+// gate by itself. A benchmark missing from the baseline passes with a
+// notice - a freshly added benchmark has nothing to regress against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event stream the
+// guard reads: benchmark results arrive as Output lines.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a go benchmark result line, e.g.
+// "BenchmarkRepriceFlat/flat-8   1000   25321 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts the minimum ns/op per benchmark name from a
+// `go test -json` stream (plain `go test -bench` text also parses:
+// non-JSON lines are scanned directly). A single benchmark result is
+// often split across two output events - the runner flushes the name
+// when the benchmark starts and the numbers when it finishes - so
+// output fragments are reassembled into lines before matching.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := map[string]float64{}
+	record := func(line string) error {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			return nil
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var pending string
+	for sc.Scan() {
+		raw := sc.Text()
+		if !strings.HasPrefix(raw, "{") {
+			if err := record(raw); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			return nil, fmt.Errorf("bad test2json line %q: %w", raw, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		pending += ev.Output
+		for {
+			i := strings.IndexByte(pending, '\n')
+			if i < 0 {
+				break
+			}
+			if err := record(pending[:i]); err != nil {
+				return nil, err
+			}
+			pending = pending[i+1:]
+		}
+	}
+	if err := record(pending); err != nil {
+		return nil, err
+	}
+	return best, sc.Err()
+}
+
+// parseBenchFile is parseBench over a file path.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// guard compares current against baseline for every benchmark matching
+// pattern and returns the failures (and a human report).
+func guard(baseline, current map[string]float64, pattern *regexp.Regexp, maxRatio float64, report io.Writer) (failures int) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		if pattern.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(report, "benchguard: no current benchmark matches %q\n", pattern)
+		return 1
+	}
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(report, "benchguard: %s: no baseline (new benchmark), skipping\n", name)
+			continue
+		}
+		ratio := cur / base
+		verdict := "ok"
+		if ratio > maxRatio {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(report, "benchguard: %s: baseline %.0f ns/op, current %.0f ns/op, ratio %.2f (max %.2f) %s\n",
+			name, base, cur, ratio, maxRatio, verdict)
+	}
+	return failures
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed go test -json bench output to compare against")
+	currentPath := flag.String("current", "", "fresh go test -json bench output")
+	benchPat := flag.String("bench", ".", "regexp selecting which benchmarks to gate")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current/baseline min ns/op exceeds this")
+	flag.Parse()
+
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+	pattern, err := regexp.Compile(*benchPat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: bad -bench:", err)
+		os.Exit(2)
+	}
+	baseline, err := parseBenchFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: baseline:", err)
+		os.Exit(2)
+	}
+	current, err := parseBenchFile(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: current:", err)
+		os.Exit(2)
+	}
+	if failures := guard(baseline, current, pattern, *maxRatio, os.Stdout); failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"BenchmarkBatchMultiBackend/warm-8   \t     100\t  25000000 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkBatchMultiBackend/warm-8   \t     100\t  21000000 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkBatchMultiBackend/recount-8\t      10\t 188000000 ns/op\n"}
+{"Action":"run","Test":"BenchmarkRepriceFlat"}
+{"Action":"output","Output":"BenchmarkRepriceFlat/flat-8\t   50000\t     25321.5 ns/op\n"}
+`
+
+func TestParseBenchJSONStream(t *testing.T) {
+	got, err := parseBench(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum across repetitions, full sub-benchmark names, fractional
+	// ns/op accepted.
+	want := map[string]float64{
+		"BenchmarkBatchMultiBackend/warm-8":    21000000,
+		"BenchmarkBatchMultiBackend/recount-8": 188000000,
+		"BenchmarkRepriceFlat/flat-8":          25321.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchSplitEvents(t *testing.T) {
+	// The runner flushes the benchmark name when the benchmark starts
+	// and the numbers when it finishes, so test2json delivers one
+	// result as two output events; the parser must reassemble them.
+	split := `{"Action":"output","Output":"BenchmarkRegistrySweep/delta-8         \t"}
+{"Action":"output","Output":"       1\t  26901691 ns/op\t 9297712 B/op\t   21306 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkRegistrySweep/delta-8         \t"}
+{"Action":"run","Test":"noise"}
+{"Action":"output","Output":"       1\t  27483031 ns/op\n"}
+`
+	got, err := parseBench(strings.NewReader(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkRegistrySweep/delta-8"] != 26901691 {
+		t.Errorf("split-event parse: %v", got)
+	}
+}
+
+func TestParseBenchPlainText(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		"BenchmarkX-4   1000   500 ns/op\nok  \tdrmap\t1.0s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX-4"] != 500 {
+		t.Errorf("plain text parse: %v", got)
+	}
+}
+
+func TestGuardVerdicts(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 100}
+	pat := regexp.MustCompile("BenchmarkA")
+
+	var rep strings.Builder
+	if f := guard(baseline, map[string]float64{"BenchmarkA-8": 150}, pat, 2.0, &rep); f != 0 {
+		t.Errorf("1.5x under a 2.0 cap failed: %s", rep.String())
+	}
+	rep.Reset()
+	if f := guard(baseline, map[string]float64{"BenchmarkA-8": 250}, pat, 2.0, &rep); f != 1 {
+		t.Errorf("2.5x under a 2.0 cap passed: %s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "REGRESSION") {
+		t.Errorf("report does not name the regression: %s", rep.String())
+	}
+	// A benchmark with no baseline passes (nothing to regress against)...
+	rep.Reset()
+	if f := guard(map[string]float64{}, map[string]float64{"BenchmarkA-8": 250}, pat, 2.0, &rep); f != 0 {
+		t.Errorf("missing baseline failed the gate: %s", rep.String())
+	}
+	// ...but a pattern matching nothing current fails loudly (the gate
+	// must not silently pass when the benchmark was renamed away).
+	rep.Reset()
+	if f := guard(baseline, map[string]float64{"BenchmarkB-8": 10}, pat, 2.0, &rep); f == 0 {
+		t.Error("pattern matching no current benchmark passed")
+	}
+}

@@ -282,6 +282,11 @@ type (
 	// CountKey is the projection of an evaluator its counts depend on;
 	// equal keys mean interchangeable count plans.
 	CountKey = core.CountKey
+	// FlatColumn is a CountColumn vectorized into packed per-category
+	// planes (CountColumn.Flatten); Evaluator.PriceFlat/PriceFlatInto
+	// reprice it as a branch-light linear scan, bit-for-bit equal to
+	// PriceCells. The service's plan cache stores columns in this form.
+	FlatColumn = core.FlatColumn
 )
 
 // SimulateLayer prices a layer by running its tile streams through the

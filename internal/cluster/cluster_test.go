@@ -552,3 +552,53 @@ func TestAttemptExhaustionFailsOver(t *testing.T) {
 		t.Errorf("local fallback TotalEDP %g, want %g", resp.Result.TotalEDPJs, serial.TotalEDP())
 	}
 }
+
+// TestRepeatedDistributedDSERepricesOnWorkers: the second distributed
+// run of a job reprices the workers' cached vectorized count plans
+// (plan-cache hits, no new misses) and both runs stay bit-for-bit
+// identical to serial RunDSE - the warm path through the full
+// coordinator -> shard -> merge stack. The CI cluster job runs this
+// under the race detector.
+func TestRepeatedDistributedDSERepricesOnWorkers(t *testing.T) {
+	// The coordinator's shard cache would answer the repeat without
+	// touching the worker; disable it so the second run re-dispatches and
+	// the worker-side plan reuse is what's measured.
+	coord := NewCoordinator(CoordinatorOptions{ShardCacheEntries: -1})
+	// Build the worker by hand to keep its Service (and plan-cache
+	// counters) in reach.
+	svc := service.New(service.Options{Workers: 2, CacheEntries: 32})
+	w := NewWorker(svc, WorkerOptions{ID: "w"})
+	mux := http.NewServeMux()
+	w.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	coord.Membership().Heartbeat(WorkerInfo{ID: "w", URL: srv.URL, Capacity: 2})
+
+	net := cnn.LeNet5()
+	serial := serialDSE(t, "salp2", net)
+	first, err := coord.RunDSE(context.Background(), jobFor(t, "salp2", net))
+	if err != nil {
+		t.Fatalf("first distributed RunDSE: %v", err)
+	}
+	cold := svc.PlanCacheStats()
+	if cold.Misses == 0 {
+		t.Fatal("first run did not populate the worker's plan cache")
+	}
+
+	second, err := coord.RunDSE(context.Background(), jobFor(t, "salp2", net))
+	if err != nil {
+		t.Fatalf("second distributed RunDSE: %v", err)
+	}
+	warm := svc.PlanCacheStats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("second run recounted on the worker: misses %d -> %d", cold.Misses, warm.Misses)
+	}
+	if warm.Hits <= cold.Hits {
+		t.Errorf("second run did not reprice the worker's plans: hits %d -> %d", cold.Hits, warm.Hits)
+	}
+	for name, got := range map[string]*core.DSEResult{"cold": first, "warm": second} {
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("%s distributed DSE diverged from serial", name)
+		}
+	}
+}

@@ -135,8 +135,16 @@ func (ev *Evaluator) priceCell(c CellCounts) LayerEDP {
 // returned cells are bit-for-bit identical to EvaluateScheduleColumn's
 // for any evaluator whose CountKey matches the plan's producer.
 func (ev *Evaluator) PriceCells(cc *CountColumn, obj Objective) []CellResult {
+	return ev.PriceCellsInto(cc, obj, nil)
+}
+
+// PriceCellsInto is PriceCells writing into out (grown only when its
+// capacity is short), so a caller repricing many columns - the warm
+// loop of the plan cache and the delta sweeps - reuses one scratch
+// buffer instead of allocating per column.
+func (ev *Evaluator) PriceCellsInto(cc *CountColumn, obj Objective, out []CellResult) []CellResult {
 	tm := ev.Timing()
-	out := make([]CellResult, cc.Policies)
+	out = resizeCells(out, cc.Policies)
 	for pi := range out {
 		out[pi] = CellResult{
 			LayerIndex:    cc.LayerIndex,

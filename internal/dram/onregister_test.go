@@ -1,0 +1,54 @@
+package dram
+
+import "testing"
+
+// TestOnRegisterHook pins the subscription contract: the hook fires
+// once per successful registration, after the backend is visible to
+// Lookup, never for rejected registrations, and not after cancel.
+func TestOnRegisterHook(t *testing.T) {
+	var fired []string
+	visible := map[string]bool{}
+	cancel := OnRegister(func(b Backend) {
+		fired = append(fired, b.ID)
+		// The hook runs outside the registry lock, so it may read the
+		// registry - and must see the backend it was told about.
+		_, visible[b.ID] = Lookup(b.ID)
+	})
+
+	const id = "ddr3-hook-test"
+	if _, registered := Lookup(id); registered {
+		cancel()
+		// The registry is process-global; under -count=N later runs find
+		// the backend pre-registered.
+		t.Skip("backend already registered in this process")
+	}
+	cfg := DDR3Config()
+	cfg.Geometry.Channels = 2
+	if err := Register(Backend{ID: id, Config: cfg}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != id {
+		t.Fatalf("hook fired for %v, want [%s]", fired, id)
+	}
+	if !visible[id] {
+		t.Error("hook ran before the backend was visible to Lookup")
+	}
+
+	// Rejected registrations (duplicate ID) must not fire.
+	if err := Register(Backend{ID: id, Config: cfg}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if len(fired) != 1 {
+		t.Errorf("hook fired on a rejected registration: %v", fired)
+	}
+
+	cancel()
+	cfg2 := DDR3Config()
+	cfg2.Geometry.Channels = 4
+	if err := Register(Backend{ID: id + "-2", Config: cfg2}); err != nil {
+		t.Fatalf("Register after cancel: %v", err)
+	}
+	if len(fired) != 1 {
+		t.Errorf("hook fired after cancel: %v", fired)
+	}
+}

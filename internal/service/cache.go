@@ -28,6 +28,9 @@ type CacheStats struct {
 	Coalesced int64 `json:"coalesced"` // joined an identical in-flight computation
 	Evictions int64 `json:"evictions"` // LRU entries dropped at capacity
 	Entries   int   `json:"entries"`   // resident entries
+	// Bytes is the summed size of resident values; always 0 for caches
+	// built without a sizer (NewCache).
+	Bytes int64 `json:"bytes"`
 }
 
 // flight is one in-progress computation that later identical requests
@@ -39,8 +42,9 @@ type flight struct {
 }
 
 type cacheEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	size int64
 }
 
 // Cache is a bounded, content-addressed result cache with LRU eviction
@@ -49,6 +53,9 @@ type cacheEntry struct {
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64
+	sizeOf   func(any) int64
+	bytes    int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	inflight map[string]*flight
@@ -59,8 +66,20 @@ type Cache struct {
 // capacity <= 0 disables retention: single-flight deduplication still
 // coalesces concurrent identical requests, but nothing is remembered.
 func NewCache(capacity int) *Cache {
+	return NewCacheSized(capacity, 0, nil)
+}
+
+// NewCacheSized is NewCache with byte accounting on top of the entry
+// cap: sizeOf sizes each retained value (nil sizes everything as 0),
+// and maxBytes > 0 additionally evicts LRU entries once the resident
+// sum exceeds the budget. The most recent entry is never evicted by the
+// byte budget, so one oversized value parks instead of thrashing the
+// cache empty.
+func NewCacheSized(capacity int, maxBytes int64, sizeOf func(any) int64) *Cache {
 	return &Cache{
 		capacity: capacity,
+		maxBytes: maxBytes,
+		sizeOf:   sizeOf,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
@@ -117,11 +136,19 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, bool, error) {
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if completed && f.err == nil && c.capacity > 0 {
-			c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
-			for c.ll.Len() > c.capacity {
+			var size int64
+			if c.sizeOf != nil {
+				size = c.sizeOf(f.val)
+			}
+			c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val, size: size})
+			c.bytes += size
+			for c.ll.Len() > c.capacity ||
+				(c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
 				old := c.ll.Back()
 				c.ll.Remove(old)
-				delete(c.items, old.Value.(*cacheEntry).key)
+				e := old.Value.(*cacheEntry)
+				delete(c.items, e.key)
+				c.bytes -= e.size
 				c.stats.Evictions++
 			}
 		}
@@ -139,5 +166,6 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.ll.Len()
+	s.Bytes = c.bytes
 	return s
 }

@@ -184,3 +184,60 @@ func TestCacheDistinctKeysDoNotBlock(t *testing.T) {
 		t.Errorf("expected 8 misses, got %+v", st)
 	}
 }
+
+// TestCacheByteBudget: a sized cache evicts LRU entries once the summed
+// entry sizes exceed the byte budget - whatever the entry count - while
+// the newest entry always stays resident, and the byte gauge tracks
+// inserts and evictions exactly.
+func TestCacheByteBudget(t *testing.T) {
+	sizeOf := func(v any) int64 { return v.(int64) }
+	c := NewCacheSized(100, 100, sizeOf)
+	put := func(key string, size int64) {
+		if _, _, err := c.Do(key, func() (any, error) { return size, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 40)
+	put("b", 40)
+	if st := c.Stats(); st.Bytes != 80 || st.Evictions != 0 {
+		t.Fatalf("under budget: %+v", st)
+	}
+	// 40+40+40 > 100: "a" (LRU) goes.
+	put("c", 40)
+	st := c.Stats()
+	if st.Bytes != 80 || st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("over budget: %+v", st)
+	}
+	put("a", 40) // recompute proves "a" was evicted, "b" goes now
+	if st := c.Stats(); st.Misses != 4 {
+		t.Errorf("a survived the byte eviction: %+v", st)
+	}
+	// An entry bigger than the whole budget still caches (the newest
+	// entry is never evicted by the byte cap) but evicts everything else.
+	put("huge", 1000)
+	st = c.Stats()
+	if st.Entries != 1 || st.Bytes != 1000 {
+		t.Errorf("oversized entry handling: %+v", st)
+	}
+	if _, _, err := c.Do("huge", func() (any, error) {
+		t.Error("huge was not retained")
+		return int64(0), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheUnsizedHasNoByteCap: the plain constructor never
+// byte-evicts and reports zero bytes.
+func TestCacheUnsizedHasNoByteCap(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Evictions != 0 || st.Entries != 3 {
+		t.Errorf("unsized cache: %+v", st)
+	}
+}

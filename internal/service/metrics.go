@@ -33,7 +33,21 @@ func (s *Service) Metrics() []Metric {
 		{Name: "drmap_plan_cache_coalesced_total", Value: ps.Coalesced},
 		{Name: "drmap_plan_cache_evictions_total", Value: ps.Evictions},
 		{Name: "drmap_plan_cache_entries", Value: int64(ps.Entries)},
+		{Name: "drmap_plan_cache_bytes", Value: ps.Bytes},
 		{Name: "drmap_pool_workers", Value: int64(s.workers)},
+	}
+	if w := s.warm; w != nil {
+		st := w.status()
+		ready := int64(0)
+		if st.State == "ready" {
+			ready = 1
+		}
+		out = append(out,
+			Metric{Name: "drmap_plan_warm_columns_total", Value: st.Columns},
+			Metric{Name: "drmap_plan_warm_errors_total", Value: st.Errors},
+			Metric{Name: "drmap_plan_warm_backends_total", Value: st.Backends},
+			Metric{Name: "drmap_plan_warm_ready", Value: ready},
+		)
 	}
 	if s.extraMetrics != nil {
 		out = append(out, s.extraMetrics()...)
@@ -75,7 +89,13 @@ var metricHelp = map[string]struct{ kind, help string }{
 	"drmap_plan_cache_coalesced_total": {obs.KindCounter, "Count-plan computations joined while in flight."},
 	"drmap_plan_cache_evictions_total": {obs.KindCounter, "Count-plan-cache LRU evictions."},
 	"drmap_plan_cache_entries":         {obs.KindGauge, "Resident count-plan-cache entries."},
+	"drmap_plan_cache_bytes":           {obs.KindGauge, "Resident bytes of vectorized count plans in the plan cache."},
 	"drmap_pool_workers":               {obs.KindGauge, "Size of the DSE/characterization worker pool."},
+
+	"drmap_plan_warm_columns_total":  {obs.KindCounter, "Grid columns the plan warmer has ensured resident."},
+	"drmap_plan_warm_errors_total":   {obs.KindCounter, "Plan-warm attempts that failed (e.g. invalid backend configs)."},
+	"drmap_plan_warm_backends_total": {obs.KindCounter, "Backends fully warmed (boot pass plus registration-time)."},
+	"drmap_plan_warm_ready":          {obs.KindGauge, "1 once the boot warm pass over the backend registry has finished."},
 
 	"drmap_jobs_submitted_total": {obs.KindCounter, "Jobs admitted by the job store (v2 submits and v1 sync wrappers)."},
 	"drmap_jobs_evicted_total":   {obs.KindCounter, "Jobs evicted from the job store (TTL or capacity)."},

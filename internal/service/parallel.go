@@ -69,7 +69,11 @@ feed:
 // evaluator is shared (its methods only read it); cancellation of ctx
 // abandons unstarted columns and returns the context's error.
 func ParallelDSE(ctx context.Context, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int) (*core.DSEResult, error) {
-	return parallelDSE(ctx, nil, net, ev, schedules, policies, obj, workers, nil)
+	grids, err := core.DSEGrid(net, ev, schedules, policies)
+	if err != nil {
+		return nil, err
+	}
+	return parallelDSE(ctx, nil, grids, ev, schedules, policies, obj, workers, nil)
 }
 
 // parallelDSE is ParallelDSE with an optional service-wide gate: when
@@ -89,11 +93,14 @@ func ParallelDSE(ctx context.Context, net cnn.Network, ev *core.Evaluator, sched
 // the service passes its plan-cache-backed columnEval so repeated and
 // multi-backend evaluations reprice cached count plans. It must return
 // the cells core.EvaluateScheduleColumn would.
-func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int, colEval columnEvalFn) (*core.DSEResult, error) {
-	grids, err := core.DSEGrid(net, ev, schedules, policies)
-	if err != nil {
-		return nil, err
-	}
+//
+// The grid arrives pre-enumerated: it depends only on the workload and
+// the accelerator buffers, so the service shares one enumeration across
+// every backend, objective and batch of the same network (gridFor) -
+// on the warm path re-enumerating tilings per job cost more than the
+// repricing itself. Callers must treat grids as immutable.
+func parallelDSE(ctx context.Context, gate chan struct{}, grids []core.LayerGrid, ev *core.Evaluator, schedules []tiling.Schedule, policies []mapping.Policy, obj core.Objective, workers int, colEval columnEvalFn) (*core.DSEResult, error) {
+	var err error
 	if colEval == nil {
 		colEval = func(_ context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 			return ev.EvaluateScheduleColumn(grids[li], si, schedules[si], policies, obj)
@@ -134,6 +141,12 @@ func parallelDSE(ctx context.Context, gate chan struct{}, net cnn.Network, ev *c
 				cells = append(cells, cc...)
 			}
 			layers[li] = core.ReduceCells(grids[li], schedules, policies, cells, ev.Timing())
+			// The reduction copied everything it keeps; the layer's column
+			// buffers go back to the pool for the next reprice.
+			for si := range colCells[li] {
+				putCellBuf(colCells[li][si])
+				colCells[li][si] = nil
+			}
 			if prog != nil {
 				prog.LayerDone(li, len(grids), layers[li])
 			}

@@ -12,6 +12,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"drmap/internal/accel"
@@ -19,6 +20,35 @@ import (
 	"drmap/internal/core"
 	"drmap/internal/mapping"
 )
+
+// cellBufs pools the per-column []core.CellResult buffers of the warm
+// reprice loop. parallelDSE returns a layer's column buffers here right
+// after reducing the layer (the reduction copies the cells it keeps),
+// so a steady-state batch reprices into recycled buffers instead of
+// allocating one slice per (column, backend). Shard evaluations never
+// recycle - their cells are serialized to the coordinator - which is
+// safe: the pool simply doesn't see those buffers again.
+var cellBufs = sync.Pool{New: func() any { return new([]core.CellResult) }}
+
+func getCellBuf() []core.CellResult {
+	return *cellBufs.Get().(*[]core.CellResult)
+}
+
+func putCellBuf(buf []core.CellResult) {
+	if buf == nil {
+		return
+	}
+	cellBufs.Put(&buf)
+}
+
+// planSizeBytes sizes a cached count plan for the plan cache's byte
+// budget (Options.PlanCacheBytes).
+func planSizeBytes(v any) int64 {
+	if fc, ok := v.(*core.FlatColumn); ok {
+		return fc.SizeBytes()
+	}
+	return 0
+}
 
 // columnEvalFn evaluates one (layer, schedule) column of a job's grid
 // into its cells; parallelDSE and evaluateColumns fan it out. ctx
@@ -71,25 +101,43 @@ func (s *Service) planPrefix(job DSEJob, ev *core.Evaluator) (string, error) {
 	}})
 }
 
+// countPlan returns the plan-cache compute closure for one column:
+// count the column, flatten it, and book the time as the count phase.
+// columnEval's cached branch and the boot-time plan warmer share it, so
+// a warmed plan is byte-for-byte the plan a live request would build.
+func (s *Service) countPlan(ctx context.Context, job DSEJob, ev *core.Evaluator, grids []core.LayerGrid, li, si int) func() (any, error) {
+	return func() (any, error) {
+		start := time.Now()
+		counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
+		flat := counts.Flatten()
+		s.recordPhase(ctx, core.PhaseCount, start)
+		return flat, nil
+	}
+}
+
 // columnEval returns the column evaluator a job's execution uses. With
 // the plan cache enabled, each column's count plan is computed at most
 // once per count signature (content-addressed, single-flight: the same
-// column counted concurrently for two backends coalesces) and repriced
-// under the job's backend and objective; without it, the column runs
-// the explicit count -> price composition, which core documents as
-// bit-for-bit identical to the pre-split EvaluateScheduleColumn. Both
-// paths therefore produce identical cells, and both split their time
-// into the count and price phases (recordPhase) - the measurement the
-// warm-repricing work reads. On the cached path only a fresh count
-// (cache miss) records count time: a hit or coalesced wait spends
-// pricing time alone, which is exactly what the split should show.
+// column counted concurrently for two backends coalesces), stored
+// vectorized (core.FlatColumn) and repriced under the job's backend and
+// objective as a flat linear scan into a pooled cell buffer; without
+// it, the column runs the explicit count -> price composition, which
+// core documents as bit-for-bit identical to the pre-split
+// EvaluateScheduleColumn - and core pins the flat scan to that same
+// struct path, so both branches still produce identical cells. Both
+// split their time into the count and price phases (recordPhase) - the
+// measurement the warm-repricing work reads. On the cached path only a
+// fresh count (cache miss) records count time - flattening is part of
+// plan construction, so it counts there - while a hit or coalesced wait
+// spends pricing time alone, which is exactly what the split should
+// show.
 func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
 	direct := func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 		start := time.Now()
 		counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
 		s.recordPhase(ctx, core.PhaseCount, start)
 		start = time.Now()
-		cells := ev.PriceCells(counts, job.Objective)
+		cells := ev.PriceCellsInto(counts, job.Objective, getCellBuf())
 		s.recordPhase(ctx, core.PhasePrice, start)
 		return cells
 	}
@@ -105,17 +153,12 @@ func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
 	}
 	return func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 		key := fmt.Sprintf("%s:%d:%d", prefix, li, si)
-		v, _, err := s.planCache.Do(key, func() (any, error) {
-			start := time.Now()
-			counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
-			s.recordPhase(ctx, core.PhaseCount, start)
-			return counts, nil
-		})
+		v, _, err := s.planCache.Do(key, s.countPlan(ctx, job, ev, grids, li, si))
 		if err != nil {
 			return direct(ctx, grids, li, si)
 		}
 		start := time.Now()
-		cells := ev.PriceCells(v.(*core.CountColumn), job.Objective)
+		cells := ev.PriceFlatInto(v.(*core.FlatColumn), job.Objective, getCellBuf())
 		s.recordPhase(ctx, core.PhasePrice, start)
 		return cells
 	}

@@ -78,6 +78,11 @@ type Options struct {
 	// the cache entirely (every evaluation recounts, the pre-split
 	// behavior - mainly useful for baselines and benchmarks).
 	PlanCacheEntries int
+	// PlanCacheBytes, when > 0, additionally caps the plan cache's
+	// resident bytes: plans are stored vectorized (core.FlatColumn) and
+	// sized exactly, and LRU plans are evicted once the sum exceeds the
+	// budget, whatever the entry count. 0 leaves only the entry cap.
+	PlanCacheBytes int64
 	// Accel is the accelerator configuration; the zero value selects
 	// the paper's Table II accelerator.
 	Accel accel.Config
@@ -126,6 +131,8 @@ type Service struct {
 	// phaseSeconds is the drmap_eval_phase_seconds histogram; the column
 	// evaluator observes count and price time into it (see plan.go).
 	phaseSeconds *obs.HistogramVec
+	// warm tracks the plan warmer once EnableWarm has run; nil otherwise.
+	warm *warmer
 }
 
 // New builds a Service.
@@ -141,7 +148,7 @@ func New(opt Options) *Service {
 	}
 	var planCache *Cache
 	if opt.PlanCacheEntries > 0 {
-		planCache = NewCache(opt.PlanCacheEntries)
+		planCache = NewCacheSized(opt.PlanCacheEntries, opt.PlanCacheBytes, planSizeBytes)
 	}
 	if opt.Registry == nil {
 		opt.Registry = obs.NewRegistry()
@@ -199,14 +206,21 @@ func (s *Service) PlanCacheStats() CacheStats {
 // cached and coalesced requests do not increment it.
 func (s *Service) Evaluations() int64 { return s.evals.Load() }
 
-// Health reports liveness and serving counters.
+// Health reports liveness and serving counters; with warming enabled it
+// carries the warmer's progress so orchestrators can gate readiness on
+// warm.state == "ready".
 func (s *Service) Health() HealthResponse {
-	return HealthResponse{
+	resp := HealthResponse{
 		Status:      "ok",
 		Workers:     s.workers,
 		Evaluations: s.Evaluations(),
 		Cache:       s.CacheStats(),
 	}
+	if s.warm != nil {
+		st := s.warm.status()
+		resp.Warm = &st
+	}
+	return resp
 }
 
 // Policies lists the Table I mapping policies.
@@ -257,6 +271,32 @@ func (s *Service) profileFor(b dram.Backend) (p *profile.Profile, fresh bool, er
 		return nil, false, err
 	}
 	return v.(*profile.Profile), !shared, nil
+}
+
+// gridKey content-addresses a DSE grid: candidate tilings depend only
+// on the workload and the accelerator buffers, so every backend,
+// objective and batch size of the same (network, accel) pair shares
+// one enumeration.
+type gridKey struct {
+	Network any
+	Accel   accel.Config
+}
+
+// gridFor enumerates the job's DSE grid through the content-addressed
+// cache, single-flight. On the warm path re-enumerating tilings per
+// job costs more than repricing the cached plans, and a multi-backend
+// batch enumerates the identical grid once instead of per backend.
+// Every consumer treats the returned grids as immutable.
+func (s *Service) gridFor(job DSEJob) ([]core.LayerGrid, error) {
+	key, err := Fingerprint(cacheKey{Kind: "grid", Value: gridKey{Network: job.Network, Accel: job.Accel}})
+	if err != nil {
+		return nil, &internalError{err: err}
+	}
+	v, _, err := s.cache.Do(key, func() (any, error) { return job.Grid() })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]core.LayerGrid), nil
 }
 
 // evaluatorFor builds an evaluator on the cached characterization.

@@ -90,7 +90,11 @@ func (s *Service) runJob(ctx context.Context, job DSEJob) (*core.DSEResult, erro
 	if err != nil {
 		return nil, err
 	}
-	return parallelDSE(ctx, s.gate, job.Network, ev, job.Schedules, job.Policies, job.Objective, s.workers, s.columnEval(job, ev))
+	grids, err := s.gridFor(job)
+	if err != nil {
+		return nil, err
+	}
+	return parallelDSE(ctx, s.gate, grids, ev, job.Schedules, job.Policies, job.Objective, s.workers, s.columnEval(job, ev))
 }
 
 // EvaluateShard executes one shard - a span of the job's (layer,
@@ -107,7 +111,7 @@ func (s *Service) runJob(ctx context.Context, job DSEJob) (*core.DSEResult, erro
 // a coordinator can merge shards in any order, with any duplication,
 // and still reduce to the serial scan's pick.
 func (s *Service) EvaluateShard(ctx context.Context, job DSEJob, span core.ColumnSpan) ([]core.CellResult, error) {
-	grids, err := job.Grid()
+	grids, err := s.gridFor(job)
 	if err != nil {
 		return nil, err
 	}

@@ -168,12 +168,16 @@ func Version() VersionResponse {
 	return VersionResponse{Service: "drmap", BuildInfo: obs.Build()}
 }
 
-// HealthResponse reports daemon liveness and serving counters.
+// HealthResponse reports daemon liveness and serving counters. Warm is
+// present only when plan warming is enabled (drmap-serve -warm); its
+// State moves from "warming" to "ready" once the boot pass over the
+// backend registry has finished.
 type HealthResponse struct {
-	Status      string     `json:"status"`
-	Workers     int        `json:"workers"`
-	Evaluations int64      `json:"evaluations"`
-	Cache       CacheStats `json:"cache"`
+	Status      string      `json:"status"`
+	Workers     int         `json:"workers"`
+	Evaluations int64       `json:"evaluations"`
+	Cache       CacheStats  `json:"cache"`
+	Warm        *WarmStatus `json:"warm,omitempty"`
 }
 
 // parseSchedules resolves a request's schedule names ("all" expands).

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"drmap/internal/cnn"
+	"drmap/internal/core"
+	"drmap/internal/dram"
+	"drmap/internal/tiling"
+)
+
+// waitWarmReady polls Health until the warmer reports ready.
+func waitWarmReady(t *testing.T, svc *Service) WarmStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		h := svc.Health()
+		if h.Warm == nil {
+			t.Fatal("Health has no warm block after EnableWarm")
+		}
+		if h.Warm.State == "ready" {
+			return *h.Warm
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warmer never became ready: %+v", *h.Warm)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWarmBootPass: after EnableWarm's boot pass over the registry, a
+// batch fanning the warm network over every backend runs entirely on
+// the reprice path - zero new count passes - and the warm counters
+// account for the registry exactly.
+func TestWarmBootPass(t *testing.T) {
+	backends := dram.Backends()
+	svc := New(Options{Workers: 2, CacheEntries: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.EnableWarm(ctx, "lenet5"); err != nil {
+		t.Fatalf("EnableWarm: %v", err)
+	}
+	if err := svc.EnableWarm(ctx, "lenet5"); err == nil {
+		t.Error("EnableWarm accepted a second call")
+	}
+	st := waitWarmReady(t, svc)
+
+	columns := len(cnn.LeNet5().Layers) * len(tiling.Schedules)
+	if st.Errors != 0 {
+		t.Errorf("warm errors: %+v", st)
+	}
+	if want := int64(len(backends)); st.Backends < want {
+		t.Errorf("warmed %d backends, want >= %d", st.Backends, want)
+	}
+	if want := int64(len(backends) * columns); st.Columns < want {
+		t.Errorf("warmed %d columns, want >= %d (%d backends x %d columns)", st.Columns, want, len(backends), columns)
+	}
+
+	// Count-signature arithmetic: one count pass per distinct die
+	// geometry, everything else repriced or coalesced.
+	keys := map[core.CountKey]bool{}
+	for _, b := range backends {
+		ev, err := svc.evaluatorFor(b, 1)
+		if err != nil {
+			t.Fatalf("evaluator %s: %v", b.ID, err)
+		}
+		keys[ev.CountKey()] = true
+	}
+	before := svc.PlanCacheStats()
+	if want := int64(len(keys) * columns); before.Misses != want {
+		t.Errorf("warm pass misses = %d, want %d (%d signatures x %d columns)", before.Misses, want, len(keys), columns)
+	}
+
+	jobs := make([]DSERequest, len(backends))
+	for i, b := range backends {
+		jobs[i] = DSERequest{Arch: b.ID, Network: "lenet5"}
+	}
+	resp, err := svc.Batch(context.Background(), BatchRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if resp.Failed != 0 {
+		t.Fatalf("%d batch items failed", resp.Failed)
+	}
+	after := svc.PlanCacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("warmed batch still counted: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("warmed batch did not reprice cached plans: hits %d -> %d", before.Hits, after.Hits)
+	}
+
+	text := svc.MetricsText()
+	for _, want := range []string{
+		"drmap_plan_warm_columns_total",
+		"drmap_plan_warm_errors_total",
+		"drmap_plan_warm_backends_total",
+		"drmap_plan_warm_ready 1",
+		"drmap_plan_warm_seconds",
+		"drmap_plan_cache_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestWarmOnRegister: a backend registered while the daemon is serving
+// is warmed by the dram.OnRegister subscription, so its first DSE
+// reprices instead of counting.
+func TestWarmOnRegister(t *testing.T) {
+	const id = "ddr3-warmhook-test"
+	if _, registered := dram.Lookup(id); registered {
+		// The registry is process-global; under -count=N later runs find
+		// the backend pre-registered and the hook path cannot fire.
+		t.Skip("backend already registered in this process")
+	}
+	svc := New(Options{Workers: 2, CacheEntries: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.EnableWarm(ctx, "lenet5"); err != nil {
+		t.Fatalf("EnableWarm: %v", err)
+	}
+	ready := waitWarmReady(t, svc)
+
+	// A distinct die geometry forces genuinely fresh count passes, so
+	// the register-time warm is observable in the miss counter.
+	cfg := dram.DDR3Config()
+	cfg.Geometry.Channels = 3
+	if err := dram.Register(dram.Backend{ID: id, Config: cfg}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for svc.Health().Warm.Backends <= ready.Backends {
+		if time.Now().After(deadline) {
+			t.Fatalf("registered backend never warmed: %+v", *svc.Health().Warm)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	before := svc.PlanCacheStats()
+	if _, err := svc.DSE(context.Background(), DSERequest{Arch: id, Network: "lenet5"}); err != nil {
+		t.Fatalf("DSE: %v", err)
+	}
+	after := svc.PlanCacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("first DSE on a register-warmed backend counted: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("first DSE did not reprice the warmed plans: hits %d -> %d", before.Hits, after.Hits)
+	}
+}
+
+// TestEnableWarmValidation: warming requires the plan cache and known
+// network names.
+func TestEnableWarmValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := planDisabled().EnableWarm(ctx); err == nil {
+		t.Error("EnableWarm ran without a plan cache")
+	}
+	svc := New(Options{Workers: 1, CacheEntries: 8})
+	if err := svc.EnableWarm(ctx, "no-such-network"); err == nil {
+		t.Error("EnableWarm accepted an unknown network")
+	}
+	if svc.Health().Warm != nil {
+		t.Error("failed EnableWarm left a warm block in Health")
+	}
+}

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"testing"
+
+	"drmap/internal/accel"
+	"drmap/internal/cnn"
+	"drmap/internal/profile"
+)
+
+// TestPlannerMatchesSerialDSE: every point evaluated through the plan
+// cache - cold, warm (same point again) and carried over (a different
+// backend sharing the count signature) - equals the pre-split serial
+// core.RunDSE total bit for bit.
+func TestPlannerMatchesSerialDSE(t *testing.T) {
+	net := cnn.LeNet5()
+	pl := NewPlanner()
+	for _, id := range []string{"ddr3", "salp2", "hbm2"} {
+		b := mustBackend(id)
+		prof, err := profile.CharacterizeBackend(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serialDRMapEDP(t, b.Config, net, 1)
+		for pass := 0; pass < 2; pass++ {
+			got, err := pl.TotalEDP(prof, accel.TableII(), net, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s pass %d: planner EDP %.17g != serial %.17g", id, pass, got, want)
+			}
+		}
+	}
+}
+
+// TestPlannerCarryover pins the delta-repricing arithmetic: a repeated
+// point is all hits, and a backend sharing the first's die geometry
+// (salp1 shares ddr3's) carries every column over.
+func TestPlannerCarryover(t *testing.T) {
+	net := cnn.LeNet5()
+	acfg := accel.TableII()
+	pl := NewPlanner()
+	point := func(id string) {
+		t.Helper()
+		prof, err := profile.CharacterizeBackend(mustBackend(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pl.TotalEDP(prof, acfg, net, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	point("ddr3")
+	first := pl.Stats()
+	if first.Misses == 0 || first.Hits != 0 {
+		t.Fatalf("cold point: %+v", first)
+	}
+	point("ddr3")
+	again := pl.Stats()
+	if again.Misses != first.Misses || again.Hits != first.Misses {
+		t.Errorf("repeated point should be all hits: %+v", again)
+	}
+	point("salp1") // same 2Gb x8 die geometry as ddr3
+	shared := pl.Stats()
+	if shared.Misses != first.Misses || shared.Hits != 2*first.Misses {
+		t.Errorf("geometry-sharing backend should carry every column over: %+v", shared)
+	}
+	if pl.Plans() != int(first.Misses) {
+		t.Errorf("%d plans cached for %d misses", pl.Plans(), first.Misses)
+	}
+}
+
+// TestBufferSweepCarryover: a buffer sweep leaves the count signature
+// untouched, so layers whose tiling candidates coincide between budgets
+// reprice carried-over plans - the delta win the sweep plan cache is
+// for. (LeNet5's small layers admit identical tiling sets at 64KB and
+// 256KB.)
+func TestBufferSweepCarryover(t *testing.T) {
+	net := cnn.LeNet5()
+	cfg := mustBackend("ddr3").Config
+	pl := NewPlanner()
+	for _, kb := range []int{64, 256} {
+		acfg := accel.TableII()
+		acfg.IfmBufBytes, acfg.WgtBufBytes, acfg.OfmBufBytes = kb*1024, kb*1024, kb*1024
+		if _, err := drmapTotalEDP(pl, cfg, acfg, net, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pl.Stats(); st.Hits == 0 {
+		t.Errorf("no columns carried over across buffer budgets: %+v", st)
+	}
+}

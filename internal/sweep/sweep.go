@@ -79,21 +79,15 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // drmapTotalEDP characterizes the config and returns the DRMap-only DSE
-// total EDP of the network.
-func drmapTotalEDP(cfg dram.Config, acfg accel.Config, net cnn.Network, batch int) (float64, error) {
+// total EDP of the network, repricing through the sweep's plan cache:
+// consecutive sweep points whose count identity carries over (same die
+// geometry, batch and tiling candidates) skip the counting pass.
+func drmapTotalEDP(pl *Planner, cfg dram.Config, acfg accel.Config, net cnn.Network, batch int) (float64, error) {
 	prof, err := profile.Characterize(cfg)
 	if err != nil {
 		return 0, err
 	}
-	ev, err := core.NewEvaluator(prof, acfg, batch)
-	if err != nil {
-		return 0, err
-	}
-	res, err := core.RunDSE(net, ev, tiling.Schedules, []mapping.Policy{mapping.DRMap()})
-	if err != nil {
-		return 0, err
-	}
-	return res.TotalEDP(), nil
+	return pl.TotalEDP(prof, acfg, net, batch)
 }
 
 // Subarrays sweeps subarrays-per-bank on SALP-MASA: the subarray-stream
@@ -104,6 +98,7 @@ func Subarrays(counts []int, net cnn.Network, batch int) (*Table, error) {
 		Name:   "Ablation: subarrays per bank (SALP-MASA, " + net.Name + ")",
 		Header: []string{"subarrays", "subarray-cycles/access", "subarray-nJ/access", "DRMap-total-EDP[uJs]"},
 	}
+	pl := NewPlanner()
 	for _, sa := range counts {
 		cfg := dram.SALPMASAConfig()
 		cfg.Geometry.Subarrays = sa
@@ -112,7 +107,7 @@ func Subarrays(counts []int, net cnn.Network, batch int) (*Table, error) {
 			return nil, err
 		}
 		cost := prof.Stream[trace.AccessSubarraySwitch]
-		edp, err := drmapTotalEDP(cfg, accel.TableII(), net, batch)
+		edp, err := drmapTotalEDP(pl, cfg, accel.TableII(), net, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -132,10 +127,14 @@ func Buffers(sizesKB []int, backend dram.Backend, net cnn.Network, batch int) (*
 		Header: []string{"buffer-KB", "DRMap-total-EDP[uJs]"},
 	}
 	cfg := backend.Config
+	// One plan cache across the trajectory: the count signature is
+	// buffer-independent, so layers whose tiling candidates coincide
+	// between budgets reprice the carried-over plans.
+	pl := NewPlanner()
 	for _, kb := range sizesKB {
 		acfg := accel.TableII()
 		acfg.IfmBufBytes, acfg.WgtBufBytes, acfg.OfmBufBytes = kb*1024, kb*1024, kb*1024
-		edp, err := drmapTotalEDP(cfg, acfg, net, batch)
+		edp, err := drmapTotalEDP(pl, cfg, acfg, net, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -154,8 +153,9 @@ func Batches(batches []int, backend dram.Backend, net cnn.Network) (*Table, erro
 		Header: []string{"batch", "DRMap-total-EDP[uJs]"},
 	}
 	cfg := backend.Config
+	pl := NewPlanner()
 	for _, b := range batches {
-		edp, err := drmapTotalEDP(cfg, accel.TableII(), net, b)
+		edp, err := drmapTotalEDP(pl, cfg, accel.TableII(), net, b)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +172,8 @@ func Batches(batches []int, backend dram.Backend, net cnn.Network) (*Table, erro
 // no pruned permutation beats the six.
 //
 // The scan runs through the count -> price split: the layer's tile
-// groups expand once into a 24-policy count plan instead of once per
+// groups expand once into a 24-policy count plan - vectorized, so the
+// per-permutation minimum is a flat scan - instead of once per
 // permutation, with EDPs identical to the per-permutation scan.
 func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, error) {
 	prof, err := profile.CharacterizeBackend(backend)
@@ -185,7 +186,7 @@ func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, er
 	}
 	lg := core.LayerGrid{Layer: layer, Tilings: tiling.Enumerate(layer, ev.Accel)}
 	perms := mapping.AllPermutations()
-	plan := ev.CountScheduleColumn(lg, 0, tiling.AdaptiveReuse, perms)
+	plan := ev.CountScheduleColumn(lg, 0, tiling.AdaptiveReuse, perms).Flatten()
 	tm := ev.Timing()
 	tableI := map[[4]mapping.Level]bool{}
 	for _, p := range mapping.TableI() {
@@ -197,7 +198,7 @@ func PolicyPruning(backend dram.Backend, layer cnn.Layer, batch int) (*Table, er
 	}
 	bestKept, bestPruned := -1.0, -1.0
 	for pi, p := range perms {
-		_, cost := ev.MinOverColumn(plan, pi)
+		_, cost := ev.MinOverFlatColumn(plan, pi)
 		edp := cost.EDP(tm)
 		if tableI[p.Order] {
 			if bestKept < 0 || edp < bestKept {
@@ -234,18 +235,11 @@ func Registry(backends []dram.Backend, net cnn.Network, batch int) (*Table, erro
 	}
 	acfg := accel.TableII()
 	policies := []mapping.Policy{mapping.DRMap()}
-	grids, err := core.DSEGridFor(net, acfg, tiling.Schedules, policies)
-	if err != nil {
-		return nil, err
-	}
-	// One count plan per (count signature, layer, schedule), shared
-	// across every backend with that signature.
-	type colKey struct {
-		count core.CountKey
-		layer int
-		sched int
-	}
-	plans := map[colKey]*core.CountColumn{}
+	// One plan cache across the scan: a backend whose count signature
+	// (die geometry, element width, batch) appeared earlier reprices the
+	// cached vectorized plans in a flat linear scan, into scratch buffers
+	// the planner recycles across backends.
+	pl := NewPlanner()
 	for _, b := range backends {
 		prof, err := profile.CharacterizeBackend(b)
 		if err != nil {
@@ -255,22 +249,9 @@ func Registry(backends []dram.Backend, net cnn.Network, batch int) (*Table, erro
 		if err != nil {
 			return nil, err
 		}
-		ck := ev.CountKey()
-		tm := ev.Timing()
-		var totalEDP, totalSeconds, totalEnergy float64
-		for _, lg := range grids {
-			cells := make([]core.CellResult, 0, len(tiling.Schedules)*len(policies))
-			for si, s := range tiling.Schedules {
-				k := colKey{count: ck, layer: lg.Index, sched: si}
-				if plans[k] == nil {
-					plans[k] = ev.CountScheduleColumn(lg, si, s, policies)
-				}
-				cells = append(cells, ev.PriceCells(plans[k], core.MinimizeEDP)...)
-			}
-			lr := core.ReduceCells(lg, tiling.Schedules, policies, cells, tm)
-			totalEDP += lr.MinEDP
-			totalSeconds += lr.Cost.Seconds(tm)
-			totalEnergy += lr.Cost.Energy
+		totalEDP, totalSeconds, totalEnergy, err := pl.run(ev, net, tiling.Schedules, policies)
+		if err != nil {
+			return nil, err
 		}
 		if err := t.AddRow(b.ID, totalEDP*1e6, totalSeconds*1e3, totalEnergy*1e3); err != nil {
 			return nil, err

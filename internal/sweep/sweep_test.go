@@ -125,14 +125,29 @@ func TestRegistrySweepMatchesSerialDSE(t *testing.T) {
 		if tb.Labels[i] != b.ID {
 			t.Errorf("row %d labeled %q, want %q", i, tb.Labels[i], b.ID)
 		}
-		want, err := drmapTotalEDP(b.Config, accel.TableII(), net, 1)
-		if err != nil {
-			t.Fatalf("%s: serial DSE: %v", b.ID, err)
-		}
-		if got := tb.Rows[i][0]; got != want*1e6 {
-			t.Errorf("%s: registry sweep EDP %.17g != serial DSE %.17g", b.ID, got, want*1e6)
+		if got := tb.Rows[i][0]; got != serialDRMapEDP(t, b.Config, net, 1)*1e6 {
+			t.Errorf("%s: registry sweep EDP %.17g != serial DSE", b.ID, got)
 		}
 	}
+}
+
+// serialDRMapEDP is the pre-split baseline: a fresh characterization
+// and a serial core.RunDSE with no plan caching or flattening anywhere.
+func serialDRMapEDP(t *testing.T, cfg dram.Config, net cnn.Network, batch int) float64 {
+	t.Helper()
+	prof, err := profile.Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(prof, accel.TableII(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunDSE(net, ev, tiling.Schedules, []mapping.Policy{mapping.DRMap()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.TotalEDP()
 }
 
 // TestPolicyPruningMatchesDirectScan: the plan-based pruning table
