@@ -59,6 +59,12 @@ type (
 	JobTimings           = service.JobTimings
 	Event                = service.JobEvent
 	VersionResponse      = service.VersionResponse
+	TracesResponse       = service.TracesResponse
+	TraceSummary         = obs.TraceSummary
+	TraceTree            = obs.TraceTree
+	TraceNode            = obs.TraceNode
+	Span                 = obs.Span
+	SpanAttr             = obs.Attr
 )
 
 // Job states and event types, mirrored for switch statements.
@@ -410,6 +416,30 @@ func (c *Client) Jobs(ctx context.Context, f JobFilter) ([]Job, error) {
 		return nil, err
 	}
 	return out.Jobs, nil
+}
+
+// Traces lists the server's retained trace summaries, newest first
+// (GET /api/v1/traces). limit <= 0 takes the server default.
+func (c *Client) Traces(ctx context.Context, limit int) ([]TraceSummary, error) {
+	path := "/api/v1/traces"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out TracesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// Trace fetches one assembled span tree (GET /api/v1/traces/{id}).
+// A trace the server no longer retains returns a 404 APIError.
+func (c *Client) Trace(ctx context.Context, id string) (*TraceTree, error) {
+	var out TraceTree
+	if err := c.do(ctx, http.MethodGet, "/api/v1/traces/"+url.PathEscape(id), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Cancel cancels a job (DELETE /api/v2/jobs/{id}). Canceling an

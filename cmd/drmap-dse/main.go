@@ -6,7 +6,7 @@
 // Usage:
 //
 //	drmap-dse [-arch all|<backend-id>] [-network alexnet|vgg16|lenet5|resnet18]
-//	          [-batch N] [-print-mappings] [-server URL]
+//	          [-batch N] [-print-mappings] [-server URL] [-trace]
 //
 // -arch accepts any registered DRAM backend ID (ddr3, salp1, salp2,
 // masa, ddr4, lpddr3, lpddr4, hbm2, ...); "all" runs the four paper
@@ -15,7 +15,10 @@
 // -server http://host:8080 runs the search remotely on a drmap-serve
 // daemon instead of in-process: the search is submitted as an
 // asynchronous v2 job and each layer's design point prints the moment
-// the server commits it, followed by the totals.
+// the server commits it, followed by the totals. Adding -trace then
+// fetches the job's assembled span tree (GET /api/v1/traces/{id}) and
+// prints where the time went: queue/run, per-backend dse, shard
+// dispatches, and the workers' own count/price spans.
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 	batch := flag.Int("batch", 1, "batch size")
 	printMappings := flag.Bool("print-mappings", false, "print Table I (the candidate mapping policies) and exit")
 	server := flag.String("server", "", "drmap-serve base URL: run the DSE remotely as a streaming v2 job")
+	trace := flag.Bool("trace", false, "with -server: fetch each job's span tree afterwards and print it (queue/run, dse, shard dispatch, worker count/price)")
 	flag.Parse()
 
 	if *printMappings {
@@ -49,8 +53,11 @@ func main() {
 	}
 
 	if *server != "" {
-		runRemote(*server, *archFlag, *networkFlag, *batch)
+		runRemote(*server, *archFlag, *networkFlag, *batch, *trace)
 		return
+	}
+	if *trace {
+		log.Fatal("-trace needs -server: traces are recorded by the daemon's span store")
 	}
 
 	net, err := cli.ParseNetwork(*networkFlag)
@@ -111,7 +118,7 @@ func printLayer(l report.DSELayerJSON) {
 
 // runRemote submits the search to a drmap-serve daemon as an async v2
 // job per backend and streams each layer's pick as it lands.
-func runRemote(server, arch, network string, batch int) {
+func runRemote(server, arch, network string, batch int, showTrace bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	c := client.New(server)
@@ -153,5 +160,57 @@ func runRemote(server, arch, network string, batch int) {
 		}
 		fmt.Printf("  total: edp=%.4e J*s  energy=%.4e J  (%s, cached=%v)\n\n",
 			res.Result.TotalEDPJs, res.Result.TotalEnergyJ, res.Result.Arch, res.Cached)
+		if showTrace {
+			tree, err := c.Trace(ctx, final.TraceID)
+			if err != nil {
+				log.Printf("trace %s unavailable: %v", final.TraceID, err)
+				continue
+			}
+			printTraceTree(tree)
+		}
 	}
+}
+
+// printTraceTree renders an assembled trace as an indented span tree.
+func printTraceTree(t *client.TraceTree) {
+	fmt.Printf("  trace %s: %d spans, %.2f ms%s\n",
+		t.TraceID, t.Summary.Spans, t.Summary.DurationMillis,
+		map[bool]string{true: "  [error]"}[t.Summary.Error])
+	for _, root := range t.Roots {
+		printSpan(root, 1)
+	}
+	fmt.Println()
+}
+
+func printSpan(n *client.TraceNode, depth int) {
+	indent := ""
+	for i := 1; i < depth; i++ {
+		indent += "  "
+	}
+	d := float64(n.End.Sub(n.Start).Microseconds()) / 1000.0
+	line := fmt.Sprintf("  %s%-16s %9.3f ms", indent, n.Name, d)
+	if n.Process != "" {
+		line += "  [" + n.Process + "]"
+	}
+	if attrs := obsAttrLine(n.Attrs); attrs != "" {
+		line += "  " + attrs
+	}
+	if n.Error != "" {
+		line += "  error=" + n.Error
+	}
+	fmt.Println(line)
+	for _, c := range n.Children {
+		printSpan(c, depth+1)
+	}
+}
+
+func obsAttrLine(attrs []client.SpanAttr) string {
+	out := ""
+	for i, a := range attrs {
+		if i > 0 {
+			out += " "
+		}
+		out += a.Key + "=" + a.Value
+	}
+	return out
 }

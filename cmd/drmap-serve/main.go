@@ -139,6 +139,7 @@ func main() {
 		PlanCacheEntries: *planCacheEntries, PlanCacheBytes: *planCacheBytes,
 	})
 	obs.RegisterBuildInfo(svc.Registry())
+	obs.RegisterRuntimeMetrics(svc.Registry())
 	jobs := service.NewJobManager(svc, service.JobManagerOptions{MaxJobs: *maxJobs, TTL: *jobTTL})
 
 	// GET /metrics always carries the job-store gauges; cluster roles
@@ -147,6 +148,7 @@ func main() {
 
 	var mount func(*http.ServeMux)
 	var onServing func(ctx context.Context)
+	dash := service.DashboardOptions{Role: *role}
 	switch *role {
 	case "standalone":
 	case "coordinator":
@@ -157,6 +159,17 @@ func main() {
 		svc.SetRunner(coord)
 		extraMetrics = func() []service.Metric { return append(jobs.Metrics(), coord.Metrics()...) }
 		mount = coord.Mount
+		dash.Workers = func() []service.DashboardWorker {
+			snap := coord.Membership().Snapshot()
+			out := make([]service.DashboardWorker, len(snap))
+			for i, wi := range snap {
+				out[i] = service.DashboardWorker{
+					ID: wi.ID, URL: wi.URL, Capacity: wi.Capacity,
+					Live: wi.Live, AgeMillis: wi.AgeMillis,
+				}
+			}
+			return out
+		}
 	case "worker":
 		if *coordinator == "" {
 			fmt.Fprintln(os.Stderr, "drmap-serve: role=worker needs -coordinator URL (start one with: drmap-serve -role coordinator)")
@@ -182,7 +195,7 @@ func main() {
 
 	srv := service.NewServer(svc, service.ServerOptions{
 		Addr: *addr, RequestTimeout: *timeout, Jobs: jobs, Mount: mount,
-		Logger: logger, Pprof: *pprof,
+		Logger: logger, Pprof: *pprof, Dashboard: dash,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -82,6 +82,7 @@ func main() {
 
 	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cacheEntries})
 	obs.RegisterBuildInfo(svc.Registry())
+	obs.RegisterRuntimeMetrics(svc.Registry())
 	w := cluster.NewWorker(svc, cluster.WorkerOptions{
 		ID:                *id,
 		AdvertiseURL:      adv,
@@ -93,6 +94,7 @@ func main() {
 	srv := service.NewServer(svc, service.ServerOptions{
 		Addr: *addr, RequestTimeout: *timeout, Mount: w.Mount,
 		Logger: logger, Pprof: *pprof,
+		Dashboard: service.DashboardOptions{Role: "worker"},
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

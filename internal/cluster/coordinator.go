@@ -275,6 +275,8 @@ func (c *Coordinator) RunDSE(ctx context.Context, job service.DSEJob) (*core.DSE
 	if rec := core.PhasesFrom(ctx); rec != nil {
 		rec.RecordPhase(core.PhaseShardMerge, mergeDur)
 	}
+	obs.RecordSpan(ctx, "shard.merge", mergeStart, mergeStart.Add(mergeDur),
+		obs.Int("shards", len(spans)), obs.Int("cells", len(cells)))
 	if err != nil {
 		return nil, err
 	}
@@ -407,8 +409,17 @@ func (c *Coordinator) dispatchShardRemote(ctx context.Context, job service.DSEJo
 			return nil, fmt.Errorf("cluster: shard %d/%d: %w", shard, total, service.ErrNoWorkers)
 		}
 		start := time.Now()
-		cells, err := c.callShard(ctx, w, ShardRequest{Job: job, Span: span, Shard: shard, Total: total})
+		// One dispatch span per attempt: a failed attempt records as a
+		// failed span, and the worker's returned spans splice in under
+		// the successful one.
+		sctx, dspan := obs.StartSpan(ctx, "shard.dispatch",
+			obs.Str("worker", w.ID), obs.Int("shard", shard), obs.Int("of", total),
+			obs.Int("span_start", span.Start), obs.Int("span_end", span.End),
+			obs.Int("attempt", attempt+1))
+		cells, workerSpans, err := c.callShard(sctx, w, ShardRequest{Job: job, Span: span, Shard: shard, Total: total})
 		if err == nil {
+			dspan.End()
+			obs.ForwardSpans(ctx, workerSpans)
 			dur := time.Since(start)
 			c.dispatchSeconds.Observe(dur.Seconds())
 			if rec := core.PhasesFrom(ctx); rec != nil {
@@ -417,6 +428,8 @@ func (c *Coordinator) dispatchShardRemote(ctx context.Context, job service.DSEJo
 			c.completed.Add(1)
 			return cells, nil
 		}
+		dspan.Fail(err)
+		dspan.End()
 		if ctx.Err() != nil {
 			// The caller gave up; the worker is not at fault.
 			return nil, fmt.Errorf("cluster: shard %d/%d canceled: %w", shard, total, ctx.Err())
@@ -512,17 +525,19 @@ func weightedSlots(live []WorkerInfo) []WorkerInfo {
 }
 
 // callShard performs one shard HTTP round trip, bounded by the shard
-// timeout so a frozen worker surfaces as a retryable failure.
-func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequest) ([]core.CellResult, error) {
+// timeout so a frozen worker surfaces as a retryable failure. It
+// returns the worker's cells plus the worker-recorded spans riding the
+// shard response.
+func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequest) ([]core.CellResult, []obs.Span, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.shardTimeout)
 	defer cancel()
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("encode shard: %w", err)
+		return nil, nil, fmt.Errorf("encode shard: %w", err)
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+PathShard, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	if trace := obs.TraceFrom(ctx); trace != "" {
@@ -530,20 +545,25 @@ func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequ
 		// trace across coordinator and worker logs and metrics.
 		httpReq.Header.Set(obs.TraceHeader, trace)
 	}
+	if span := obs.SpanIDFrom(ctx); span != "" {
+		// The dispatch span's ID rides along so the worker's spans
+		// parent under it in the assembled tree.
+		httpReq.Header.Set(obs.SpanHeader, span)
+	}
 	resp, err := c.client.Do(httpReq)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return nil, fmt.Errorf("shard endpoint returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, nil, fmt.Errorf("shard endpoint returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	var sr ShardResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("decode shard response: %w", err)
+		return nil, nil, fmt.Errorf("decode shard response: %w", err)
 	}
-	return sr.Cells, nil
+	return sr.Cells, sr.Spans, nil
 }
 
 // Merge folds shard cells into the job's DSEResult. The reduction is

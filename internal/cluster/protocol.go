@@ -35,6 +35,7 @@ package cluster
 
 import (
 	"drmap/internal/core"
+	"drmap/internal/obs"
 	"drmap/internal/service"
 )
 
@@ -85,6 +86,12 @@ type ShardRequest struct {
 type ShardResponse struct {
 	WorkerID string            `json:"worker_id"`
 	Cells    []core.CellResult `json:"cells"`
+	// Spans are the worker's own spans for this shard (shard.evaluate
+	// plus its count/price children), parented under the coordinator's
+	// dispatch span via X-Drmap-Span-Id; the coordinator forwards them
+	// into its trace store so GET /api/v1/traces/{id} shows one
+	// cross-process tree. Bounded by obs.DefaultSpanBufferCap.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // WorkerStatus is one membership entry on GET /cluster/v1/workers.

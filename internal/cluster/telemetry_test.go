@@ -61,7 +61,7 @@ func TestTracePropagatesCoordinatorToWorker(t *testing.T) {
 	jm := service.NewJobManager(svc, service.JobManagerOptions{})
 	mux := service.NewHandlerWithJobs(svc, jm, time.Minute)
 	coord.Mount(mux)
-	coordSrv := httptest.NewServer(service.Observe(mux, reg, coordLogger))
+	coordSrv := httptest.NewServer(service.Observe(mux, reg, coordLogger, svc.Spans()))
 	t.Cleanup(coordSrv.Close)
 
 	// Worker process: its own service (own registry), trace-carrying
@@ -241,7 +241,7 @@ func TestMidBatchScrape(t *testing.T) {
 	jm := service.NewJobManager(svc, service.JobManagerOptions{})
 	mux := service.NewHandlerWithJobs(svc, jm, time.Minute)
 	coord.Mount(mux)
-	coordSrv := httptest.NewServer(service.Observe(mux, reg, nil))
+	coordSrv := httptest.NewServer(service.Observe(mux, reg, nil, svc.Spans()))
 	t.Cleanup(coordSrv.Close)
 
 	// The worker serves the full API surface (like drmap-worker does),
@@ -251,7 +251,7 @@ func TestMidBatchScrape(t *testing.T) {
 	wsvc.SetExtraMetrics(w.Metrics) // as drmap-worker wires it
 	wmux := service.NewHandler(wsvc, time.Minute)
 	w.Mount(wmux)
-	workerSrv := httptest.NewServer(service.Observe(wmux, wsvc.Registry(), nil))
+	workerSrv := httptest.NewServer(service.Observe(wmux, wsvc.Registry(), nil, wsvc.Spans()))
 	t.Cleanup(workerSrv.Close)
 	coord.Membership().Heartbeat(WorkerInfo{ID: w.ID(), URL: workerSrv.URL, Capacity: 2})
 

@@ -136,14 +136,31 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad shard body: " + err.Error()})
 		return
 	}
+	// The shard's spans are recorded twice over: into a bounded buffer
+	// returned in the response (the coordinator splices them into its
+	// trace tree, parented under its dispatch span via X-Drmap-Span-Id)
+	// and into this worker's own trace store for local debugging.
+	buf := obs.NewSpanBuffer(0)
+	ctx = obs.WithSpanSink(ctx, obs.TeeSpans(buf, w.svc.Spans()))
+	ctx = obs.WithSpanProcess(ctx, "worker/"+w.id)
+	if parent := r.Header.Get(obs.SpanHeader); parent != "" {
+		ctx = obs.WithSpanParent(ctx, parent)
+	}
+	ctx, span := obs.StartSpan(ctx, "shard.evaluate",
+		obs.Str("worker", w.id), obs.Int("shard", req.Shard), obs.Int("of", req.Total),
+		obs.Int("span_start", req.Span.Start), obs.Int("span_end", req.Span.End))
 	start := time.Now()
 	cells, err := w.svc.EvaluateShard(ctx, req.Job, req.Span)
 	if err != nil {
+		span.Fail(err)
+		span.End()
 		w.rejected.Add(1)
 		w.logger.Warn("shard rejected", "trace_id", trace, "shard", req.Shard, "of", req.Total, "err", err)
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	span.SetAttr(obs.Int("cells", len(cells)))
+	span.End()
 	dur := time.Since(start)
 	w.shards.Add(1)
 	w.shardSeconds.Observe(dur.Seconds())
@@ -151,7 +168,7 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	w.logger.Info("shard served",
 		"trace_id", trace, "shard", req.Shard, "of", req.Total,
 		"columns", req.Span.Len(), "cells", len(cells), "duration_ms", dur.Milliseconds())
-	writeJSON(rw, http.StatusOK, ShardResponse{WorkerID: w.id, Cells: cells})
+	writeJSON(rw, http.StatusOK, ShardResponse{WorkerID: w.id, Cells: cells, Spans: buf.Spans()})
 }
 
 // Register performs one registration/heartbeat round trip.

@@ -1,0 +1,125 @@
+// Chrome trace-event export: converts an assembled TraceTree into the
+// JSON object format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// that chrome://tracing and Perfetto load directly, so a DRMap trace
+// can be inspected on the standard timeline UI with zero dependencies
+// on our side. Each process in the tree becomes a pid with a
+// process_name metadata event; spans become "X" (complete) events laid
+// out on greedily assigned lanes (tids) so overlapping siblings render
+// side by side.
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the tree as Chrome trace-event JSON.
+func ChromeTrace(t *TraceTree) []byte {
+	var spans []Span
+	var walk func(*TraceNode)
+	walk = func(n *TraceNode) {
+		spans = append(spans, n.Span)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+
+	// Timestamps are microseconds relative to the trace start; Chrome
+	// dislikes absolute Unix-epoch micros (they overflow the UI zoom).
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+
+	// One pid per process, in order of appearance.
+	pids := map[string]int{}
+	var procs []string
+	for _, s := range spans {
+		if _, ok := pids[s.Process]; !ok {
+			pids[s.Process] = len(pids) + 1
+			procs = append(procs, s.Process)
+		}
+	}
+
+	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, p := range procs {
+		name := p
+		if name == "" {
+			name = "drmap"
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[p], Tid: 0,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	// Greedy lane assignment per process: each span takes the lowest
+	// lane whose previous occupant already ended.
+	laneEnds := map[int][]time.Time{}
+	for _, s := range spans {
+		pid := pids[s.Process]
+		lanes := laneEnds[pid]
+		tid := -1
+		for i, end := range lanes {
+			if !end.After(s.Start) {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(lanes)
+			lanes = append(lanes, time.Time{})
+		}
+		lanes[tid] = s.End
+		laneEnds[pid] = lanes
+
+		args := map[string]string{"span_id": s.SpanID}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "drmap",
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch).Microseconds()),
+			Dur:  float64(s.End.Sub(s.Start).Microseconds()),
+			Pid:  pid,
+			Tid:  tid + 1,
+			Args: args,
+		})
+	}
+	out, err := json.Marshal(file)
+	if err != nil {
+		// map[string]string and floats cannot fail to marshal; keep the
+		// endpoint total anyway.
+		return []byte(`{"traceEvents":[],"displayTimeUnit":"ms"}`)
+	}
+	return out
+}

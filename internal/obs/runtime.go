@@ -1,0 +1,41 @@
+// Go runtime health metrics for both daemons: goroutine count and
+// heap footprint from runtime/metrics, plus the process start time so
+// scrapers compute uptime as time() - drmap_process_start_time_seconds.
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// processStart anchors uptime; package init runs before main, so this
+// is as close to process birth as a pure-Go reading gets.
+var processStart = time.Now()
+
+// ProcessStart returns when this process started.
+func ProcessStart() time.Time { return processStart }
+
+// RegisterRuntimeMetrics describes and gathers the Go runtime health
+// family on reg: drmap_go_goroutines, drmap_go_heap_bytes and
+// drmap_process_start_time_seconds.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.Describe("drmap_go_goroutines", KindGauge,
+		"Live goroutines in this process (runtime/metrics).")
+	reg.Describe("drmap_go_heap_bytes", KindGauge,
+		"Bytes occupied by live heap objects (runtime/metrics).")
+	reg.Describe("drmap_process_start_time_seconds", KindGauge,
+		"Unix time the process started; uptime = time() - this.")
+	reg.AddGatherer(func() []Sample {
+		// A fresh sample slice per gather: scrapes run concurrently.
+		samples := []metrics.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+		}
+		metrics.Read(samples)
+		return []Sample{
+			{Name: "drmap_go_goroutines", Value: float64(samples[0].Value.Uint64())},
+			{Name: "drmap_go_heap_bytes", Value: float64(samples[1].Value.Uint64())},
+			{Name: "drmap_process_start_time_seconds", Value: float64(processStart.UnixNano()) / 1e9},
+		}
+	})
+}

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanWithoutSinkIsNoop(t *testing.T) {
+	ctx := WithTrace(context.Background(), NewTraceID())
+	sctx, span := StartSpan(ctx, "orphan")
+	if span != nil {
+		t.Fatalf("StartSpan without a sink returned %v, want nil", span)
+	}
+	if sctx != ctx {
+		t.Fatal("StartSpan without a sink should return ctx unchanged")
+	}
+	// Every method must be nil-safe.
+	span.SetAttr(Str("k", "v"))
+	span.Fail(errors.New("x"))
+	span.End()
+	if span.ID() != "" {
+		t.Fatalf("nil span ID = %q, want empty", span.ID())
+	}
+
+	// A sink without a trace ID is equally inert.
+	buf := NewSpanBuffer(4)
+	_, span = StartSpan(WithSpanSink(context.Background(), buf), "no-trace")
+	if span != nil {
+		t.Fatal("StartSpan without a trace ID should be a no-op")
+	}
+	RecordSpan(WithSpanSink(context.Background(), buf), "no-trace", time.Now(), time.Now())
+	if len(buf.Spans()) != 0 {
+		t.Fatalf("no-op paths recorded %d spans", len(buf.Spans()))
+	}
+}
+
+func TestSpanParentageAndBoundary(t *testing.T) {
+	buf := NewSpanBuffer(16)
+	ctx := WithTrace(context.Background(), NewTraceID())
+	ctx = WithSpanSink(ctx, buf)
+	ctx = WithSpanProcess(ctx, "test-proc")
+
+	rctx, root := StartSpan(ctx, "request", Str("route", "/api/v1/dse"))
+	cctx, child := StartSpan(rctx, "dse")
+	RecordSpan(cctx, "count", time.Now().Add(-time.Millisecond), time.Now())
+	child.End()
+	root.End()
+
+	spans := buf.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.Process != "test-proc" {
+			t.Errorf("span %s process = %q, want test-proc", s.Name, s.Process)
+		}
+	}
+	req, dse, count := byName["request"], byName["dse"], byName["count"]
+	if !req.Root || req.ParentID != "" {
+		t.Errorf("request span: Root=%v ParentID=%q, want root with no parent", req.Root, req.ParentID)
+	}
+	if dse.Root || dse.ParentID != req.SpanID {
+		t.Errorf("dse span: Root=%v ParentID=%q, want child of %s", dse.Root, dse.ParentID, req.SpanID)
+	}
+	if count.Root || count.ParentID != dse.SpanID {
+		t.Errorf("count span: Root=%v ParentID=%q, want child of %s", count.Root, count.ParentID, dse.SpanID)
+	}
+
+	// A boundary parent (adopted from another process) keeps the link
+	// but the next local span is a Root: nothing local closes above it.
+	remote := NewSpanID()
+	bctx := WithSpanParent(ctx, remote)
+	if got := SpanIDFrom(bctx); got != remote {
+		t.Fatalf("SpanIDFrom after WithSpanParent = %q, want %q", got, remote)
+	}
+	_, shard := StartSpan(bctx, "shard.evaluate")
+	shard.End()
+	last := buf.Spans()[len(buf.Spans())-1]
+	if !last.Root || last.ParentID != remote {
+		t.Errorf("boundary child: Root=%v ParentID=%q, want local root parented to %s",
+			last.Root, last.ParentID, remote)
+	}
+
+	// Invalid wire IDs are rejected rather than adopted.
+	if SpanIDFrom(WithSpanParent(ctx, "NOT-HEX!")) != "" {
+		t.Error("WithSpanParent adopted an invalid span ID")
+	}
+}
+
+func TestForwardSpansFillsTraceAndClearsRoot(t *testing.T) {
+	buf := NewSpanBuffer(8)
+	trace := NewTraceID()
+	ctx := WithSpanSink(WithTrace(context.Background(), trace), buf)
+	ForwardSpans(ctx, []Span{
+		{SpanID: "aaaa", Name: "shard.evaluate", Root: true},
+		{SpanID: "", Name: "dropped: no span id"},
+		{TraceID: "othertraceid1234", SpanID: "bbbb", Name: "count"},
+	})
+	spans := buf.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("forwarded %d spans, want 2", len(spans))
+	}
+	if spans[0].TraceID != trace {
+		t.Errorf("missing trace ID not filled: got %q", spans[0].TraceID)
+	}
+	if spans[0].Root {
+		t.Error("forwarded span kept Root; only local roots may complete a trace")
+	}
+	if spans[1].TraceID != "othertraceid1234" {
+		t.Errorf("explicit trace ID overwritten: got %q", spans[1].TraceID)
+	}
+}
+
+func TestSpanBufferOverflowCounts(t *testing.T) {
+	buf := NewSpanBuffer(2)
+	for i := 0; i < 5; i++ {
+		buf.RecordSpan(Span{TraceID: "t", SpanID: NewSpanID()})
+	}
+	if len(buf.Spans()) != 2 || buf.Dropped() != 3 {
+		t.Fatalf("buffer kept %d dropped %d, want 2/3", len(buf.Spans()), buf.Dropped())
+	}
+}
+
+func TestTeeSpans(t *testing.T) {
+	if TeeSpans(nil, nil) != nil {
+		t.Error("TeeSpans of all-nil sinks should be nil")
+	}
+	a, b := NewSpanBuffer(4), NewSpanBuffer(4)
+	if TeeSpans(nil, a) != SpanSink(a) {
+		t.Error("TeeSpans of one live sink should return it unwrapped")
+	}
+	tee := TeeSpans(a, b)
+	tee.RecordSpan(Span{TraceID: "t", SpanID: "s"})
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Fatalf("tee delivered %d/%d, want 1/1", len(a.Spans()), len(b.Spans()))
+	}
+}
+
+// storeSpan builds one span of a synthetic trace for store tests.
+func storeSpan(trace string, name string, root bool, dur time.Duration, attrs ...Attr) Span {
+	end := time.Now()
+	return Span{
+		TraceID: trace, SpanID: NewSpanID(), Name: name,
+		Start: end.Add(-dur), End: end, Root: root, Attrs: attrs,
+	}
+}
+
+func TestSpanStoreErrorAndSlowSurviveEviction(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{MaxTraces: 8, SlowestPerKey: 2, MaxErrorTraces: 4})
+
+	errSpan := storeSpan("errtrace00000001", "request", true, time.Millisecond, Str("route", "/api/v1/dse"))
+	errSpan.Error = "boom"
+	st.RecordSpan(errSpan)
+
+	slow := storeSpan("slowtrace0000001", "request", true, 10*time.Second, Str("route", "/api/v1/dse"))
+	st.RecordSpan(slow)
+
+	// Flood with fast, unclassified-key traffic on the same route.
+	for i := 0; i < 100; i++ {
+		st.RecordSpan(storeSpan(fmt.Sprintf("fasttrace%07d", i), "request", true,
+			time.Microsecond, Str("route", "/api/v1/dse")))
+	}
+
+	if _, ok := st.Summary("errtrace00000001"); !ok {
+		t.Error("error trace was evicted; tail sampling must pin failures")
+	}
+	sum, ok := st.Summary("slowtrace0000001")
+	if !ok {
+		t.Fatal("slowest trace was evicted; tail sampling must pin the slowest per key")
+	}
+	if sum.DurationMillis < 9000 {
+		t.Errorf("slow trace duration_ms = %v, want ~10000", sum.DurationMillis)
+	}
+	if stats := st.Stats(); stats.Traces > 8 {
+		t.Errorf("store holds %d traces, want <= MaxTraces=8", stats.Traces)
+	} else if stats.Evicted == 0 {
+		t.Error("flood evicted nothing; ring eviction is not running")
+	}
+}
+
+func TestSpanStoreBounds(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{MaxTraces: 4, MaxSpansPerTrace: 3, MaxBytes: 2048})
+
+	// Per-trace span cap: overflow is dropped and counted.
+	for i := 0; i < 10; i++ {
+		st.RecordSpan(storeSpan("capped0000000001", "count", false, time.Microsecond))
+	}
+	sum, ok := st.Summary("capped0000000001")
+	if !ok {
+		t.Fatal("capped trace missing")
+	}
+	if sum.Spans != 3 || sum.DroppedSpans != 7 {
+		t.Errorf("capped trace spans=%d dropped=%d, want 3/7", sum.Spans, sum.DroppedSpans)
+	}
+
+	// Byte bound: big unclassified traces ring-evict to hold MaxBytes.
+	for i := 0; i < 50; i++ {
+		s := storeSpan(fmt.Sprintf("bigtrace%08d", i), "request", false, time.Microsecond)
+		s.Attrs = []Attr{Str("payload", strings.Repeat("x", 300))}
+		st.RecordSpan(s)
+	}
+	stats := st.Stats()
+	if stats.Traces > 4 {
+		t.Errorf("store holds %d traces, want <= 4", stats.Traces)
+	}
+	// The byte bound holds to within the newest trace, which is never
+	// evicted in favor of staying non-empty.
+	if stats.Bytes > 2048+1024 {
+		t.Errorf("store holds %d bytes, want ~<= 2048", stats.Bytes)
+	}
+}
+
+func TestSpanStoreRootReclassification(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{})
+	trace := NewTraceID()
+	// The HTTP request root lands first, keyed by route...
+	st.RecordSpan(storeSpan(trace, "request", true, time.Millisecond, Str("route", "/api/v2/jobs")))
+	sum, _ := st.Summary(trace)
+	if sum.Key != "/api/v2/jobs" || !sum.Complete {
+		t.Fatalf("after request root: key=%q complete=%v, want /api/v2/jobs complete", sum.Key, sum.Complete)
+	}
+	// ...then the detached job.run root re-classifies by job kind.
+	st.RecordSpan(storeSpan(trace, "job.run", true, 5*time.Millisecond, Str("kind", "batch")))
+	sum, _ = st.Summary(trace)
+	if sum.Key != "job:batch" {
+		t.Errorf("after job.run root: key=%q, want job:batch", sum.Key)
+	}
+	if sum.Root != "job.run" {
+		t.Errorf("root name = %q, want job.run", sum.Root)
+	}
+}
+
+func TestAssembleTreeOrphansAndOrdering(t *testing.T) {
+	base := time.Now()
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	spans := []Span{
+		{TraceID: "t", SpanID: "root", Name: "request", Start: at(0), End: at(10)},
+		{TraceID: "t", SpanID: "b", ParentID: "root", Name: "second", Start: at(5), End: at(9)},
+		{TraceID: "t", SpanID: "a", ParentID: "root", Name: "first", Start: at(1), End: at(4)},
+		{TraceID: "t", SpanID: "orphan", ParentID: "gone", Name: "lost-parent", Start: at(2), End: at(3)},
+		{TraceID: "t", SpanID: "self", ParentID: "self", Name: "self-loop", Start: at(6), End: at(7)},
+	}
+	tree := AssembleTree("t", TraceSummary{TraceID: "t"}, spans)
+	if len(tree.Roots) != 3 {
+		t.Fatalf("tree has %d roots, want 3 (root + orphan + self-loop)", len(tree.Roots))
+	}
+	if tree.Roots[0].Name != "request" {
+		t.Errorf("roots not start-sorted: first is %s", tree.Roots[0].Name)
+	}
+	kids := tree.Roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "first" || kids[1].Name != "second" {
+		t.Fatalf("children of request misordered: %v", kids)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		{TraceID: "t", SpanID: "r", Name: "request", Process: "coordinator",
+			Start: base, End: base.Add(10 * time.Millisecond), Root: true},
+		{TraceID: "t", SpanID: "w", ParentID: "r", Name: "shard.evaluate", Process: "worker/w1",
+			Start: base.Add(time.Millisecond), End: base.Add(9 * time.Millisecond),
+			Attrs: []Attr{Int("shard", 0)}, Error: "late"},
+	}
+	tree := AssembleTree("t", TraceSummary{TraceID: "t"}, spans)
+	raw := ChromeTrace(tree)
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("ChromeTrace emitted invalid JSON: %v\n%s", err, raw)
+	}
+	var complete, meta int
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Errorf("complete event %s missing ts/dur", ev.Name)
+			}
+			pids[ev.Pid] = true
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("%d complete events, want 2", complete)
+	}
+	if meta < 2 {
+		t.Errorf("%d process_name metadata events, want one per process (2)", meta)
+	}
+	if len(pids) != 2 {
+		t.Errorf("spans landed on %d pids, want 2 distinct processes", len(pids))
+	}
+}
+
+// TestCappedCounterConcurrentScrapeRecord drives the per-trace labeled
+// counter (the capped-cardinality family /metrics uses for
+// drmap_trace_* series) from many recorders while a scraper renders the
+// exposition, under -race: eviction at the cap must never corrupt a
+// concurrent scrape, and the cardinality bound must hold throughout.
+func TestCappedCounterConcurrentScrapeRecord(t *testing.T) {
+	reg := NewRegistry()
+	const capN = 8
+	cv := reg.CappedCounter("drmap_trace_shards_total",
+		"Shards evaluated per trace.", capN, "trace_id")
+
+	var recorders sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		recorders.Add(1)
+		go func(g int) {
+			defer recorders.Done()
+			for i := 0; i < 500; i++ {
+				cv.With(fmt.Sprintf("trace-%d-%d", g, i)).Inc()
+			}
+		}(g)
+	}
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			text := reg.Expose()
+			expo, err := ParseExposition(text)
+			if err != nil {
+				t.Errorf("mid-flood exposition failed to parse: %v", err)
+				return
+			}
+			_ = expo.Has("drmap_trace_shards_total")
+		}
+	}()
+	recorders.Wait()
+	close(stop)
+	<-scraperDone
+
+	expo, err := ParseExposition(reg.Expose())
+	if err != nil {
+		t.Fatalf("final exposition failed to parse: %v", err)
+	}
+	fam := expo.Families["drmap_trace_shards_total"]
+	if fam == nil {
+		t.Fatal("drmap_trace_shards_total family missing from exposition")
+	}
+	if series := len(fam.Samples); series == 0 || series > capN {
+		t.Fatalf("capped counter holds %d series, want 1..%d", series, capN)
+	}
+}

@@ -1,0 +1,433 @@
+// SpanStore: the bounded in-process trace store behind
+// GET /api/v1/traces. Spans arrive one at a time (from this process's
+// instrumentation and from worker shard responses, forwarded by the
+// coordinator); the store groups them by trace ID, classifies each
+// trace when its root span completes (route for synchronous requests,
+// job kind for v2 jobs), and retains traces under a tail-sampling
+// policy: errors are always kept (up to an error budget), so are the
+// slowest N per classification key, and everything else ring-evicts
+// oldest-first under entry and byte bounds.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanStoreOptions configures a SpanStore; zero values take defaults.
+type SpanStoreOptions struct {
+	// MaxTraces bounds retained traces (default 256).
+	MaxTraces int
+	// MaxSpansPerTrace bounds one trace's spans; overflow is dropped
+	// and counted (default 512).
+	MaxSpansPerTrace int
+	// MaxBytes bounds the store's estimated resident span bytes
+	// (default 4 MiB).
+	MaxBytes int64
+	// SlowestPerKey pins the slowest N traces per classification key
+	// - route or job kind - against ring eviction (default 8).
+	SlowestPerKey int
+	// MaxErrorTraces bounds how many error traces stay pinned; beyond
+	// it, error traces age out like any other (default 64).
+	MaxErrorTraces int
+	// Process names this process on spans that arrive without one
+	// (default "drmap").
+	Process string
+}
+
+// SpanStoreStats is a point-in-time accounting snapshot.
+type SpanStoreStats struct {
+	Traces       int   `json:"traces"`
+	Bytes        int64 `json:"bytes"`
+	Recorded     int64 `json:"recorded"`
+	DroppedSpans int64 `json:"dropped_spans"`
+	Evicted      int64 `json:"evicted_traces"`
+}
+
+// TraceSummary is one trace's index entry: enough to list, rank and
+// link traces without shipping their spans.
+type TraceSummary struct {
+	TraceID        string    `json:"trace_id"`
+	Root           string    `json:"root"`
+	Key            string    `json:"key"`
+	Start          time.Time `json:"start"`
+	DurationMillis float64   `json:"duration_ms"`
+	Spans          int       `json:"spans"`
+	DroppedSpans   int       `json:"dropped_spans,omitempty"`
+	Error          bool      `json:"error,omitempty"`
+	Complete       bool      `json:"complete"`
+}
+
+// SpanStore implements SpanSink with tail-sampling retention.
+type SpanStore struct {
+	mu        sync.Mutex
+	opt       SpanStoreOptions
+	traces    map[string]*traceEntry
+	order     []string // insertion order, oldest first
+	slow      map[string][]slowRef
+	errPinned int
+	bytes     int64
+	recorded  int64
+	dropped   int64
+	evicted   int64
+}
+
+type slowRef struct {
+	id  string
+	dur time.Duration
+}
+
+type traceEntry struct {
+	id         string
+	spans      []Span
+	bytes      int64
+	dropped    int
+	hasRoot    bool
+	rootName   string
+	key        string
+	keyPrio    int
+	err        bool
+	start      time.Time
+	end        time.Time
+	pinnedErr  bool
+	pinnedSlow bool
+	slowKey    string
+}
+
+// NewSpanStore returns a store with opt's bounds.
+func NewSpanStore(opt SpanStoreOptions) *SpanStore {
+	if opt.MaxTraces <= 0 {
+		opt.MaxTraces = 256
+	}
+	if opt.MaxSpansPerTrace <= 0 {
+		opt.MaxSpansPerTrace = 512
+	}
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = 4 << 20
+	}
+	if opt.SlowestPerKey <= 0 {
+		opt.SlowestPerKey = 8
+	}
+	if opt.MaxErrorTraces <= 0 {
+		opt.MaxErrorTraces = 64
+	}
+	if opt.Process == "" {
+		opt.Process = "drmap"
+	}
+	return &SpanStore{
+		opt:    opt,
+		traces: make(map[string]*traceEntry),
+		slow:   make(map[string][]slowRef),
+	}
+}
+
+// Process returns the store's default process name, for stamping onto
+// span contexts.
+func (st *SpanStore) Process() string { return st.opt.Process }
+
+// RecordSpan implements SpanSink.
+func (st *SpanStore) RecordSpan(s Span) {
+	if s.TraceID == "" || s.SpanID == "" {
+		return
+	}
+	if s.Process == "" {
+		s.Process = st.opt.Process
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.recorded++
+	e := st.traces[s.TraceID]
+	if e == nil {
+		e = &traceEntry{id: s.TraceID}
+		st.traces[s.TraceID] = e
+		st.order = append(st.order, s.TraceID)
+	}
+	if s.Error != "" {
+		// An error marks the trace even when its span overflows the
+		// per-trace cap: tail sampling must not lose failures to volume.
+		e.err = true
+	}
+	if len(e.spans) >= st.opt.MaxSpansPerTrace {
+		e.dropped++
+		st.dropped++
+	} else {
+		sz := s.sizeBytes()
+		e.spans = append(e.spans, s)
+		e.bytes += sz
+		st.bytes += sz
+		if e.start.IsZero() || s.Start.Before(e.start) {
+			e.start = s.Start
+		}
+		if s.End.After(e.end) {
+			e.end = s.End
+		}
+	}
+	if e.rootName == "" {
+		e.rootName = s.Name
+	}
+	if s.Root {
+		name, key, prio := rootKey(s)
+		if !e.hasRoot || prio >= e.keyPrio {
+			e.rootName, e.key, e.keyPrio = name, key, prio
+		}
+		e.hasRoot = true
+	}
+	if e.hasRoot {
+		st.pinLocked(e)
+	}
+	st.enforceLocked(e.id)
+}
+
+// rootKey classifies a root span for tail sampling: a job kind beats a
+// route beats the bare span name, so a v2 request whose job.run root
+// completes after the HTTP request root ends up keyed per job kind.
+func rootKey(s Span) (name, key string, prio int) {
+	if kind, ok := s.Attr("kind"); ok && kind != "" {
+		return s.Name, "job:" + kind, 2
+	}
+	if route, ok := s.Attr("route"); ok && route != "" {
+		return s.Name, route, 1
+	}
+	return s.Name, s.Name, 0
+}
+
+// pinLocked re-evaluates a classified trace's pins: the error budget,
+// and the slowest-N ranking of its current key (moving it between key
+// lists when a later root re-classified it).
+func (st *SpanStore) pinLocked(e *traceEntry) {
+	if e.err && !e.pinnedErr && st.errPinned < st.opt.MaxErrorTraces {
+		e.pinnedErr = true
+		st.errPinned++
+	}
+	dur := e.end.Sub(e.start)
+	if e.slowKey != "" && e.slowKey != e.key {
+		st.removeSlowLocked(e.slowKey, e.id)
+		e.slowKey = ""
+		e.pinnedSlow = false
+	}
+	list := st.slow[e.key]
+	for i := range list {
+		if list[i].id == e.id {
+			list[i].dur = dur
+			sortSlow(list)
+			st.slow[e.key] = list
+			return
+		}
+	}
+	if len(list) < st.opt.SlowestPerKey {
+		list = append(list, slowRef{id: e.id, dur: dur})
+	} else if dur > list[0].dur {
+		// Unpin the displaced minimum; it becomes ring-evictable.
+		if old := st.traces[list[0].id]; old != nil {
+			old.pinnedSlow = false
+			old.slowKey = ""
+		}
+		list[0] = slowRef{id: e.id, dur: dur}
+	} else {
+		return
+	}
+	sortSlow(list)
+	st.slow[e.key] = list
+	e.pinnedSlow = true
+	e.slowKey = e.key
+}
+
+func sortSlow(list []slowRef) {
+	sort.Slice(list, func(i, j int) bool { return list[i].dur < list[j].dur })
+}
+
+func (st *SpanStore) removeSlowLocked(key, id string) {
+	list := st.slow[key]
+	for i := range list {
+		if list[i].id == id {
+			st.slow[key] = append(list[:i], list[i+1:]...)
+			if len(st.slow[key]) == 0 {
+				delete(st.slow, key)
+			}
+			return
+		}
+	}
+}
+
+// enforceLocked ring-evicts oldest-first until the entry and byte
+// bounds hold, skipping pinned traces and the trace just appended (so
+// bounds hold to within the newest trace). When only pinned traces
+// remain, the oldest pinned one goes anyway: bounds win over pins.
+func (st *SpanStore) enforceLocked(current string) {
+	for len(st.order) > st.opt.MaxTraces || st.bytes > st.opt.MaxBytes {
+		victim := -1
+		for i, id := range st.order {
+			if id == current {
+				continue
+			}
+			e := st.traces[id]
+			if e != nil && !e.pinnedErr && !e.pinnedSlow {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			for i, id := range st.order {
+				if id != current {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			return // only the current trace is left; let it stand
+		}
+		st.evictLocked(victim)
+	}
+}
+
+func (st *SpanStore) evictLocked(i int) {
+	id := st.order[i]
+	st.order = append(st.order[:i], st.order[i+1:]...)
+	e := st.traces[id]
+	delete(st.traces, id)
+	if e == nil {
+		return
+	}
+	st.bytes -= e.bytes
+	if e.pinnedErr {
+		st.errPinned--
+	}
+	if e.slowKey != "" {
+		st.removeSlowLocked(e.slowKey, id)
+	}
+	st.evicted++
+}
+
+func (e *traceEntry) summary() TraceSummary {
+	return TraceSummary{
+		TraceID:        e.id,
+		Root:           e.rootName,
+		Key:            e.key,
+		Start:          e.start,
+		DurationMillis: float64(e.end.Sub(e.start).Microseconds()) / 1000.0,
+		Spans:          len(e.spans),
+		DroppedSpans:   e.dropped,
+		Error:          e.err,
+		Complete:       e.hasRoot,
+	}
+}
+
+// Summaries returns up to limit trace summaries, newest-first
+// (limit <= 0 means all retained traces).
+func (st *SpanStore) Summaries(limit int) []TraceSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if limit <= 0 || limit > len(st.order) {
+		limit = len(st.order)
+	}
+	out := make([]TraceSummary, 0, limit)
+	for i := len(st.order) - 1; i >= 0 && len(out) < limit; i-- {
+		if e := st.traces[st.order[i]]; e != nil {
+			out = append(out, e.summary())
+		}
+	}
+	return out
+}
+
+// Summary returns one trace's summary.
+func (st *SpanStore) Summary(id string) (TraceSummary, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.traces[id]
+	if e == nil {
+		return TraceSummary{}, false
+	}
+	return e.summary(), true
+}
+
+// Slowest returns the n slowest retained traces, slowest first.
+func (st *SpanStore) Slowest(n int) []TraceSummary {
+	all := st.Summaries(0)
+	sort.Slice(all, func(i, j int) bool { return all[i].DurationMillis > all[j].DurationMillis })
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// Stats returns the store's accounting snapshot.
+func (st *SpanStore) Stats() SpanStoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SpanStoreStats{
+		Traces:       len(st.order),
+		Bytes:        st.bytes,
+		Recorded:     st.recorded,
+		DroppedSpans: st.dropped,
+		Evicted:      st.evicted,
+	}
+}
+
+// Tree assembles one retained trace into its span tree.
+func (st *SpanStore) Tree(id string) (*TraceTree, bool) {
+	st.mu.Lock()
+	e := st.traces[id]
+	if e == nil {
+		st.mu.Unlock()
+		return nil, false
+	}
+	spans := make([]Span, len(e.spans))
+	copy(spans, e.spans)
+	sum := e.summary()
+	st.mu.Unlock()
+	return AssembleTree(id, sum, spans), true
+}
+
+// TraceNode is one span plus its children, sorted by start time.
+type TraceNode struct {
+	Span
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceTree is the assembled form of one trace: its summary plus the
+// parent-linked span forest. Spans whose parent was not retained (or
+// lives only in another process's store) surface as extra roots
+// rather than vanishing.
+type TraceTree struct {
+	TraceID string       `json:"trace_id"`
+	Summary TraceSummary `json:"summary"`
+	Roots   []*TraceNode `json:"roots"`
+}
+
+// AssembleTree links spans into a TraceTree by parent ID.
+func AssembleTree(id string, sum TraceSummary, spans []Span) *TraceTree {
+	nodes := make(map[string]*TraceNode, len(spans))
+	ordered := make([]*TraceNode, 0, len(spans))
+	for _, s := range spans {
+		n := &TraceNode{Span: s}
+		if _, dup := nodes[s.SpanID]; !dup {
+			nodes[s.SpanID] = n
+		}
+		ordered = append(ordered, n)
+	}
+	tree := &TraceTree{TraceID: id, Summary: sum}
+	for _, n := range ordered {
+		parent := nodes[n.ParentID]
+		if n.ParentID == "" || parent == nil || parent == n {
+			tree.Roots = append(tree.Roots, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	sortNodes(tree.Roots)
+	for _, n := range ordered {
+		sortNodes(n.Children)
+	}
+	return tree
+}
+
+func sortNodes(ns []*TraceNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if !ns[i].Start.Equal(ns[j].Start) {
+			return ns[i].Start.Before(ns[j].Start)
+		}
+		return ns[i].SpanID < ns[j].SpanID
+	})
+}

@@ -35,6 +35,9 @@ type ServerOptions struct {
 	// Pprof mounts the /debug/pprof profiling handlers (the -pprof
 	// flag). Off by default: the endpoints expose heap contents.
 	Pprof bool
+	// Dashboard tunes the /debug/dashboard ops page (role name, worker
+	// listing source); the zero value mounts it with defaults.
+	Dashboard DashboardOptions
 }
 
 // Serving defaults.
@@ -129,6 +132,8 @@ func handle[Req, Resp any](timeout time.Duration, call func(context.Context, Req
 //	POST /api/v1/batch
 //	POST /api/v1/simulate
 //	POST /api/v1/sweep
+//	GET  /api/v1/traces
+//	GET  /api/v1/traces/{id}
 //
 // plus the /api/v2/jobs surface (see mountV2), backed by a job manager
 // with default options; NewHandlerWithJobs accepts a tuned one. The v1
@@ -190,6 +195,7 @@ func NewHandlerWithJobs(s *Service, jm *JobManager, requestTimeout time.Duration
 	mux.HandleFunc("POST /api/v1/simulate", handle(requestTimeout, s.Simulate))
 	mux.HandleFunc("POST /api/v1/sweep", handle(requestTimeout, jm.SyncSweep))
 	mountV2(mux, jm)
+	mountTraces(mux, s)
 	return mux
 }
 
@@ -205,16 +211,21 @@ func NewServer(s *Service, opt ServerOptions) *http.Server {
 	if reqTimeout <= 0 {
 		reqTimeout = DefaultRequestTimeout
 	}
-	mux := NewHandlerWithJobs(s, opt.Jobs, reqTimeout)
+	jm := opt.Jobs
+	if jm == nil {
+		jm = NewJobManager(s, JobManagerOptions{})
+	}
+	mux := NewHandlerWithJobs(s, jm, reqTimeout)
 	if opt.Mount != nil {
 		opt.Mount(mux)
 	}
+	MountDashboard(mux, s, jm, opt.Dashboard)
 	if opt.Pprof {
 		obs.MountPprof(mux)
 	}
 	return &http.Server{
 		Addr:              opt.Addr,
-		Handler:           Observe(mux, s.Registry(), opt.Logger),
+		Handler:           Observe(mux, s.Registry(), opt.Logger, s.Spans()),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      reqTimeout + 15*time.Second,

@@ -98,6 +98,10 @@ type JobView struct {
 	// TraceID correlates the job with the submitting request, the
 	// coordinator's shard dispatches and the workers' logs/metrics.
 	TraceID string `json:"trace_id"`
+	// Trace summarizes the job's recorded span tree (span count,
+	// duration, error flag) while the trace store still retains it;
+	// the full tree is GET /api/v1/traces/{trace_id}.
+	Trace *obs.TraceSummary `json:"trace,omitempty"`
 	// Timings is the job's timing breakdown, present once it started
 	// (run/phase fields fill in as the job progresses and finishes).
 	Timings *JobTimings `json:"timings,omitempty"`
@@ -277,8 +281,12 @@ type job struct {
 	created time.Time
 	timing  dram.Timing // the DSE backend's clock, for layer events
 	trace   string      // trace ID: the submitting request's, or fresh
-	cancel  context.CancelFunc
-	done    chan struct{}
+	// parentSpan is the submitting request's span ID; the job's
+	// queue/run spans link under it so a v2 trace stays one tree even
+	// though the request span ends before the detached job runs.
+	parentSpan string
+	cancel     context.CancelFunc
+	done       chan struct{}
 	// ephemeral marks a v1 synchronous wrapper's job: visible while
 	// running (so /api/v2/jobs shows v1 load), but its result is never
 	// marshaled into the event log and the job leaves the store the
@@ -502,7 +510,7 @@ func (s *jobSink) progressLocked() {
 // trace ID (generating one when absent), so the job's shards, logs and
 // events stay correlatable with the request that submitted it.
 func (m *JobManager) Submit(ctx context.Context, req JobRequest) (JobView, error) {
-	j, err := m.submit(context.Background(), obs.TraceFrom(ctx), req, false)
+	j, err := m.submit(context.Background(), obs.TraceFrom(ctx), obs.SpanIDFrom(ctx), req, false)
 	if err != nil {
 		return JobView{}, err
 	}
@@ -514,9 +522,10 @@ func (m *JobManager) Submit(ctx context.Context, req JobRequest) (JobView, error
 // for detached v2 jobs; the request context for v1 sync wrappers, so a
 // v1 client's deadline or disconnect cancels its job exactly as it
 // canceled the pre-job handlers). trace is the submitting request's
-// trace ID; empty or invalid generates a fresh one. ephemeral marks a
-// sync wrapper's job (see the job field).
-func (m *JobManager) submit(parent context.Context, trace string, req JobRequest, ephemeral bool) (*job, error) {
+// trace ID; empty or invalid generates a fresh one. parentSpan is the
+// submitting request's span ID ("" when the request was untraced).
+// ephemeral marks a sync wrapper's job (see the job field).
+func (m *JobManager) submit(parent context.Context, trace, parentSpan string, req JobRequest, ephemeral bool) (*job, error) {
 	kind, timing, err := validateJobRequest(req)
 	if err != nil {
 		return nil, err
@@ -544,7 +553,7 @@ func (m *JobManager) submit(parent context.Context, trace string, req JobRequest
 	ctx, cancel := context.WithCancel(parent)
 	j := &job{
 		id: id, kind: kind, req: req, created: now, timing: timing,
-		trace:  trace,
+		trace: trace, parentSpan: parentSpan,
 		cancel: cancel, done: make(chan struct{}), ephemeral: ephemeral,
 		state: JobPending, maxEvents: m.maxEvents,
 		changed: make(chan struct{}),
@@ -580,6 +589,24 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	ctx = core.WithPhases(ctx, sink)
 	ctx = obs.WithTrace(ctx, j.trace)
 
+	// Tracing: the queue wait becomes a retroactive span, and the whole
+	// execution runs under a "job.run" span. Both link beneath the
+	// submitting request's span (a boundary parent: it may already have
+	// ended for detached v2 jobs), making job.run this process's root
+	// span for the job and carrying the kind the trace store samples by.
+	var runSpan *obs.ActiveSpan
+	if st := m.svc.Spans(); st != nil {
+		ctx = obs.WithSpanSink(ctx, st)
+		ctx = obs.WithSpanProcess(ctx, st.Process())
+		if j.parentSpan != "" {
+			ctx = obs.WithSpanParent(ctx, j.parentSpan)
+		}
+		obs.RecordSpan(ctx, "job.queue", j.created, j.started,
+			obs.Str("job", j.id), obs.Str("kind", string(j.kind)))
+		ctx, runSpan = obs.StartSpan(ctx, "job.run",
+			obs.Str("job", j.id), obs.Str("kind", string(j.kind)))
+	}
+
 	var result any
 	var err error
 	switch j.kind {
@@ -594,6 +621,10 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	default: // unreachable: validateJobRequest rejected unknown kinds
 		err = fmt.Errorf("service: unknown job kind %q", j.kind)
 	}
+	if err != nil {
+		runSpan.Fail(err)
+	}
+	runSpan.End()
 	m.finish(j, result, err)
 }
 
@@ -727,7 +758,19 @@ func (m *JobManager) Get(id string) (JobView, bool) {
 	if !ok {
 		return JobView{}, false
 	}
-	return j.view(true), true
+	v := j.view(true)
+	m.attachTrace(&v)
+	return v, true
+}
+
+// attachTrace links the trace store's summary of the job's trace into
+// its view, when the store still retains it.
+func (m *JobManager) attachTrace(v *JobView) {
+	if st := m.svc.Spans(); st != nil {
+		if sum, ok := st.Summary(v.TraceID); ok {
+			v.Trace = &sum
+		}
+	}
 }
 
 // JobFilter narrows GET /api/v2/jobs.
@@ -759,6 +802,7 @@ func (m *JobManager) List(f JobFilter) []JobView {
 		if f.State != "" && string(v.State) != f.State {
 			continue
 		}
+		m.attachTrace(&v)
 		out = append(out, v)
 		if f.Limit > 0 && len(out) >= f.Limit {
 			break
@@ -812,7 +856,7 @@ func (m *JobManager) Wait(ctx context.Context, id string) (JobView, error) {
 // return promptly), which also preserves v1 Batch's
 // partial-results-on-deadline contract.
 func (m *JobManager) runSync(ctx context.Context, req JobRequest) (any, error) {
-	j, err := m.submit(ctx, obs.TraceFrom(ctx), req, true)
+	j, err := m.submit(ctx, obs.TraceFrom(ctx), obs.SpanIDFrom(ctx), req, true)
 	if err != nil {
 		return nil, err
 	}

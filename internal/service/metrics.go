@@ -102,15 +102,18 @@ var metricHelp = map[string]struct{ kind, help string }{
 	"drmap_jobs_active":          {obs.KindGauge, "Stored jobs not yet terminal."},
 	"drmap_jobs_stored":          {obs.KindGauge, "Jobs resident in the store (active plus retained terminal)."},
 
-	"drmap_cluster_workers":                  {obs.KindGauge, "Cluster members currently alive (heartbeat within TTL)."},
-	"drmap_cluster_workers_dead":             {obs.KindGauge, "Cluster members marked dead."},
-	"drmap_cluster_capacity":                 {obs.KindGauge, "Summed worker capacity of alive members."},
-	"drmap_cluster_shards_inflight":          {obs.KindGauge, "Shards currently dispatched and unresolved."},
-	"drmap_cluster_shards_completed_total":   {obs.KindCounter, "Shards completed across all distributed runs."},
-	"drmap_cluster_shard_retries_total":      {obs.KindCounter, "Shard dispatch attempts beyond each shard's first."},
-	"drmap_cluster_shard_cache_hits_total":   {obs.KindCounter, "Shard-cache lookups served from a completed entry."},
-	"drmap_cluster_shard_cache_misses_total": {obs.KindCounter, "Shard-cache lookups that dispatched fresh work."},
-	"drmap_cluster_shard_cache_entries":      {obs.KindGauge, "Resident shard-cache entries."},
+	// The cluster names below mirror Coordinator.Metrics and
+	// Worker.Metrics exactly; TestMetricsHelpCatalog (internal/cluster)
+	// fails the build when the two drift apart again.
+	"drmap_cluster_workers":                     {obs.KindGauge, "Cluster members currently alive (heartbeat within TTL)."},
+	"drmap_cluster_inflight_shards":             {obs.KindGauge, "Shards currently dispatched and unresolved."},
+	"drmap_cluster_shards_completed_total":      {obs.KindCounter, "Shards completed across all distributed runs."},
+	"drmap_cluster_shard_retries_total":         {obs.KindCounter, "Shard dispatch attempts beyond each shard's first."},
+	"drmap_cluster_shard_cache_hits_total":      {obs.KindCounter, "Shard-cache lookups served from a completed entry."},
+	"drmap_cluster_shard_cache_misses_total":    {obs.KindCounter, "Shard-cache lookups that dispatched fresh work."},
+	"drmap_cluster_shard_cache_coalesced_total": {obs.KindCounter, "Shard dispatches joined while an identical shard was in flight."},
+	"drmap_cluster_shard_cache_evictions_total": {obs.KindCounter, "Shard-cache LRU evictions."},
+	"drmap_cluster_shard_cache_entries":         {obs.KindGauge, "Resident shard-cache entries."},
 
 	"drmap_worker_shards_served_total":   {obs.KindCounter, "Shard requests this worker evaluated."},
 	"drmap_worker_shards_rejected_total": {obs.KindCounter, "Shard requests this worker rejected."},

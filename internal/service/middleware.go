@@ -1,11 +1,13 @@
 // HTTP observability middleware: one wrapper around the daemon mux
 // that gives every request a trace ID (generated, or adopted from the
-// client's X-Drmap-Trace-Id header), echoes it on the response, times
-// the request into a route/status-labeled histogram, and emits one
+// client's X-Drmap-Trace-Id header), echoes it on the response, opens
+// the trace's root "request" span into the span store, times the
+// request into a route/status-labeled histogram, and emits one
 // structured access-log line carrying the trace ID.
 package service
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -50,8 +52,10 @@ func routeLabel(path string) string {
 		"/api/v1/version", "/api/v1/policies", "/api/v1/backends",
 		"/api/v1/characterize", "/api/v1/dse", "/api/v1/batch",
 		"/api/v1/simulate", "/api/v1/sweep",
+		"/api/v1/traces",
 		"/api/v2/jobs",
-		"/cluster/v1/register", "/cluster/v1/shard", "/cluster/v1/workers":
+		"/cluster/v1/register", "/cluster/v1/shard", "/cluster/v1/workers",
+		"/debug/dashboard":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/v2/jobs/"); ok {
@@ -62,19 +66,38 @@ func routeLabel(path string) string {
 			return "/api/v2/jobs/{id}"
 		}
 	}
+	if rest, ok := strings.CutPrefix(path, "/api/v1/traces/"); ok && !strings.Contains(rest, "/") {
+		return "/api/v1/traces/{id}"
+	}
 	if strings.HasPrefix(path, "/debug/pprof/") || path == "/debug/pprof" {
 		return "/debug/pprof"
 	}
 	return "other"
 }
 
+// tracedRoute reports whether a route's requests should open root
+// spans in the trace store. Observability reads - scrapes, health
+// probes, the trace API itself, the dashboard's refresh loop - would
+// otherwise dominate the store and drown the requests worth keeping;
+// they still get trace IDs, metrics and access logs.
+func tracedRoute(route string) bool {
+	switch route {
+	case "/metrics", "/healthz", "/debug/pprof", "/debug/dashboard",
+		"/api/v1/traces", "/api/v1/traces/{id}":
+		return false
+	}
+	return true
+}
+
 // Observe wraps a handler with the daemon's request telemetry: trace
-// ID propagation (header in, context through, header out), the
+// ID propagation (header in, context through, header out), a root
+// "request" span recorded into spans (nil disables tracing; probe and
+// observability routes are skipped - see tracedRoute), the
 // drmap_http_request_duration_seconds{route,status} histogram, a
 // bounded drmap_trace_requests_total{trace_id} counter (most recent
 // trace IDs only), and a per-request access-log line on logger. A nil
 // logger discards the log lines; the metrics and tracing still apply.
-func Observe(next http.Handler, reg *obs.Registry, logger *slog.Logger) http.Handler {
+func Observe(next http.Handler, reg *obs.Registry, logger *slog.Logger, spans *obs.SpanStore) http.Handler {
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
@@ -88,14 +111,26 @@ func Observe(next http.Handler, reg *obs.Registry, logger *slog.Logger) http.Han
 		start := time.Now()
 		ctx, traceID := obs.EnsureTrace(r.Context(), r.Header.Get(obs.TraceHeader))
 		w.Header().Set(obs.TraceHeader, traceID)
+		route := routeLabel(r.URL.Path)
+		var span *obs.ActiveSpan
+		if spans != nil && tracedRoute(route) {
+			ctx = obs.WithSpanSink(ctx, spans)
+			ctx = obs.WithSpanProcess(ctx, spans.Process())
+			ctx, span = obs.StartSpan(ctx, "request",
+				obs.Str("method", r.Method), obs.Str("route", route))
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			// Handler wrote nothing; net/http will send 200 on return.
 			sw.status = http.StatusOK
 		}
+		span.SetAttr(obs.Int("status", sw.status))
+		if sw.status >= 500 {
+			span.Fail(fmt.Errorf("HTTP %d", sw.status))
+		}
+		span.End()
 		elapsed := time.Since(start)
-		route := routeLabel(r.URL.Path)
 		durations.With(route, strconv.Itoa(sw.status)).Observe(elapsed.Seconds())
 		traces.With(traceID).Inc()
 		logger.Info("http request",

@@ -6,11 +6,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"drmap/internal/cnn"
 	"drmap/internal/core"
 	"drmap/internal/dram"
 	"drmap/internal/mapping"
+	"drmap/internal/obs"
 	"drmap/internal/profile"
 	"drmap/internal/tiling"
 )
@@ -136,11 +138,14 @@ func parallelDSE(ctx context.Context, gate chan struct{}, grids []core.LayerGrid
 			prog.ColumnsDone(1)
 		}
 		if remaining[li].Add(-1) == 0 {
+			reduceStart := time.Now()
 			cells := make([]core.CellResult, 0, len(schedules)*len(policies))
 			for _, cc := range colCells[li] {
 				cells = append(cells, cc...)
 			}
 			layers[li] = core.ReduceCells(grids[li], schedules, policies, cells, ev.Timing())
+			obs.RecordSpan(ctx, "reduce", reduceStart, time.Now(),
+				obs.Int("layer", li), obs.Int("cells", len(cells)))
 			// The reduction copied everything it keeps; the layer's column
 			// buffers go back to the pool for the next reprice.
 			for si := range colCells[li] {

@@ -19,6 +19,7 @@ import (
 	"drmap/internal/cnn"
 	"drmap/internal/core"
 	"drmap/internal/mapping"
+	"drmap/internal/obs"
 )
 
 // cellBufs pools the per-column []core.CellResult buffers of the warm
@@ -57,15 +58,19 @@ func planSizeBytes(v any) int64 {
 type columnEvalFn func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult
 
 // recordPhase observes one finished evaluation phase everywhere it is
-// watched: the service-wide drmap_eval_phase_seconds histogram, and
-// the per-job recorder riding ctx (core.WithPhases), when one is
-// attached.
-func (s *Service) recordPhase(ctx context.Context, phase string, start time.Time) {
-	d := time.Since(start)
+// watched: the service-wide drmap_eval_phase_seconds histogram, the
+// per-job recorder riding ctx (core.WithPhases), and - when ctx
+// carries a span sink - a retroactive span named after the phase, so
+// count/price work shows up in the trace tree under whatever span
+// (dse, shard.evaluate) encloses the evaluation.
+func (s *Service) recordPhase(ctx context.Context, phase string, start time.Time, attrs ...obs.Attr) {
+	end := time.Now()
+	d := end.Sub(start)
 	s.phaseSeconds.With(phase).Observe(d.Seconds())
 	if r := core.PhasesFrom(ctx); r != nil {
 		r.RecordPhase(phase, d)
 	}
+	obs.RecordSpan(ctx, phase, start, end, attrs...)
 }
 
 // planKey content-addresses a job's count plan: the DSE cache key with
@@ -110,7 +115,8 @@ func (s *Service) countPlan(ctx context.Context, job DSEJob, ev *core.Evaluator,
 		start := time.Now()
 		counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
 		flat := counts.Flatten()
-		s.recordPhase(ctx, core.PhaseCount, start)
+		s.recordPhase(ctx, core.PhaseCount, start,
+			obs.Int("layer", li), obs.Int("schedule", si))
 		return flat, nil
 	}
 }
@@ -135,10 +141,12 @@ func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
 	direct := func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 		start := time.Now()
 		counts := ev.CountScheduleColumn(grids[li], si, job.Schedules[si], job.Policies)
-		s.recordPhase(ctx, core.PhaseCount, start)
+		s.recordPhase(ctx, core.PhaseCount, start,
+			obs.Int("layer", li), obs.Int("schedule", si))
 		start = time.Now()
 		cells := ev.PriceCellsInto(counts, job.Objective, getCellBuf())
-		s.recordPhase(ctx, core.PhasePrice, start)
+		s.recordPhase(ctx, core.PhasePrice, start,
+			obs.Int("layer", li), obs.Int("schedule", si))
 		return cells
 	}
 	if s.planCache == nil {
@@ -153,13 +161,15 @@ func (s *Service) columnEval(job DSEJob, ev *core.Evaluator) columnEvalFn {
 	}
 	return func(ctx context.Context, grids []core.LayerGrid, li, si int) []core.CellResult {
 		key := fmt.Sprintf("%s:%d:%d", prefix, li, si)
-		v, _, err := s.planCache.Do(key, s.countPlan(ctx, job, ev, grids, li, si))
+		v, shared, err := s.planCache.Do(key, s.countPlan(ctx, job, ev, grids, li, si))
 		if err != nil {
 			return direct(ctx, grids, li, si)
 		}
 		start := time.Now()
 		cells := ev.PriceFlatInto(v.(*core.FlatColumn), job.Objective, getCellBuf())
-		s.recordPhase(ctx, core.PhasePrice, start)
+		s.recordPhase(ctx, core.PhasePrice, start,
+			obs.Int("layer", li), obs.Int("schedule", si),
+			obs.Bool("plan_cache_hit", shared))
 		return cells
 	}
 }

@@ -100,6 +100,10 @@ type Options struct {
 	// roles) share the service's registry, so one scrape covers them
 	// all.
 	Registry *obs.Registry
+	// Spans, when set, is the trace store GET /api/v1/traces reads and
+	// every instrumented tier records spans into; nil builds one with
+	// default bounds (obs.SpanStoreOptions zero values).
+	Spans *obs.SpanStore
 }
 
 // DefaultCacheEntries is the drmap-serve default result-cache bound.
@@ -133,6 +137,8 @@ type Service struct {
 	phaseSeconds *obs.HistogramVec
 	// warm tracks the plan warmer once EnableWarm has run; nil otherwise.
 	warm *warmer
+	// spans is the tail-sampled trace store behind /api/v1/traces.
+	spans *obs.SpanStore
 }
 
 // New builds a Service.
@@ -153,6 +159,9 @@ func New(opt Options) *Service {
 	if opt.Registry == nil {
 		opt.Registry = obs.NewRegistry()
 	}
+	if opt.Spans == nil {
+		opt.Spans = obs.NewSpanStore(obs.SpanStoreOptions{})
+	}
 	workers := defaultWorkers(opt.Workers)
 	s := &Service{
 		workers:      workers,
@@ -163,6 +172,7 @@ func New(opt Options) *Service {
 		planCache:    planCache,
 		extraMetrics: opt.ExtraMetrics,
 		registry:     opt.Registry,
+		spans:        opt.Spans,
 	}
 	s.registerMetrics()
 	return s
@@ -176,6 +186,9 @@ func (s *Service) SetRunner(r DSERunner) { s.runner = r }
 // SetExtraMetrics installs the extra-metrics source after construction.
 // Call before serving requests.
 func (s *Service) SetExtraMetrics(f func() []Metric) { s.extraMetrics = f }
+
+// Spans returns the service's trace store.
+func (s *Service) Spans() *obs.SpanStore { return s.spans }
 
 // internalError marks a failure that occurred while computing a result,
 // as opposed to rejecting a request's inputs; the HTTP layer maps it to
@@ -369,7 +382,15 @@ func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error)
 		Schedules: schedNames, Policies: polIDs,
 		Objective: obj.String(), Batch: batch,
 	}
-	evalCtx := context.WithoutCancel(ctx)
+	// The "dse" span opens before the detached evaluation context is
+	// captured, so count/price/shard spans recorded by the compute
+	// closure parent under it even when the evaluation outlives ctx.
+	sctx, span := obs.StartSpan(ctx, "dse",
+		obs.Str("backend", backend.ID),
+		obs.Str("network", net.Name),
+		obs.Str("objective", obj.String()),
+		obs.Int("batch", batch))
+	evalCtx := context.WithoutCancel(sctx)
 	v, shared, err := s.doBounded(ctx, "dse", key, func() (any, error) {
 		job := DSEJob{
 			Backend: backend, Accel: s.accel, Network: net,
@@ -391,8 +412,12 @@ func (s *Service) DSE(ctx context.Context, req DSERequest) (*DSEResponse, error)
 		}, nil
 	})
 	if err != nil {
+		span.Fail(err)
+		span.End()
 		return nil, err
 	}
+	span.SetAttr(obs.Bool("cache_hit", shared))
+	span.End()
 	resp := *(v.(*DSEResponse))
 	resp.Cached = shared
 	return &resp, nil

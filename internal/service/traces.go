@@ -1,0 +1,63 @@
+// The trace API: read-only endpoints over the service's tail-sampled
+// span store (obs.SpanStore).
+//
+//	GET /api/v1/traces                    - index of retained traces, newest first
+//	GET /api/v1/traces?limit=N            - cap the index
+//	GET /api/v1/traces/{id}               - one assembled span tree
+//	GET /api/v1/traces/{id}?format=chrome - Chrome trace-event JSON
+//	                                        (load in Perfetto or chrome://tracing)
+package service
+
+import (
+	"net/http"
+	"strconv"
+
+	"drmap/internal/obs"
+)
+
+// TracesResponse is the GET /api/v1/traces body.
+type TracesResponse struct {
+	// Traces are the retained trace summaries, newest first.
+	Traces []obs.TraceSummary `json:"traces"`
+	// Store is the span store's accounting (recorded/dropped/evicted).
+	Store obs.SpanStoreStats `json:"store"`
+}
+
+// defaultTraceIndexLimit bounds GET /api/v1/traces without ?limit=.
+const defaultTraceIndexLimit = 100
+
+func mountTraces(mux *http.ServeMux, s *Service) {
+	st := s.Spans()
+	if st == nil {
+		return
+	}
+	mux.HandleFunc("GET /api/v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		limit := defaultTraceIndexLimit
+		if q := r.URL.Query().Get("limit"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad limit: " + q})
+				return
+			}
+			limit = n
+		}
+		writeJSON(w, http.StatusOK, TracesResponse{
+			Traces: st.Summaries(limit),
+			Store:  st.Stats(),
+		})
+	})
+	mux.HandleFunc("GET /api/v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		tree, ok := st.Tree(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "trace not found (evicted or never recorded): " + id})
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(obs.ChromeTrace(tree))
+			return
+		}
+		writeJSON(w, http.StatusOK, tree)
+	})
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"drmap/internal/obs"
+)
+
+// newTracedServer builds the full daemon handler stack the way
+// NewServer does - jobs surface, traces API, dashboard, Observe
+// middleware with the span store - but over httptest.
+func newTracedServer(t *testing.T, svc *Service) *httptest.Server {
+	t.Helper()
+	jm := NewJobManager(svc, JobManagerOptions{})
+	mux := NewHandlerWithJobs(svc, jm, 2*time.Minute)
+	MountDashboard(mux, svc, jm, DashboardOptions{})
+	ts := httptest.NewServer(Observe(mux, svc.Registry(), nil, svc.Spans()))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// flattenTree walks a trace tree into a flat span list.
+func flattenTree(tree *obs.TraceTree) []obs.Span {
+	var out []obs.Span
+	var walk func(n *obs.TraceNode)
+	walk = func(n *obs.TraceNode) {
+		out = append(out, n.Span)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tree.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// TestTraceEndpointsStandalone drives one synchronous DSE through the
+// full handler stack and asserts the span tree the trace API returns:
+// the middleware's request root, the job manager's queue/run spans, the
+// evaluator's dse/count/price spans, connected by parent IDs.
+func TestTraceEndpointsStandalone(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheEntries: 8})
+	ts := newTracedServer(t, svc)
+
+	trace := obs.NewTraceID()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/dse",
+		strings.NewReader(`{"arch":"ddr3","network":"lenet5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DSE status %d", resp.StatusCode)
+	}
+
+	// Index: the trace is retained and listed.
+	idxResp, err := http.Get(ts.URL + "/api/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx TracesResponse
+	err = json.NewDecoder(idxResp.Body).Decode(&idx)
+	idxResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum *obs.TraceSummary
+	for i := range idx.Traces {
+		if idx.Traces[i].TraceID == trace {
+			sum = &idx.Traces[i]
+		}
+	}
+	if sum == nil {
+		t.Fatalf("trace %s missing from index (%d traces)", trace, len(idx.Traces))
+	}
+	if !sum.Complete {
+		t.Error("trace not marked complete after its roots ended")
+	}
+	if sum.Key != "job:dse" {
+		t.Errorf("trace key %q, want job:dse (job.run root re-classifies the route key)", sum.Key)
+	}
+
+	// Tree: every instrumented tier shows up, parent-linked.
+	treeResp, err := http.Get(ts.URL + "/api/v1/traces/" + trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree obs.TraceTree
+	err = json.NewDecoder(treeResp.Body).Decode(&tree)
+	treeResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := flattenTree(&tree)
+	counts := map[string]int{}
+	ids := map[string]bool{}
+	for _, s := range spans {
+		counts[s.Name]++
+		ids[s.SpanID] = true
+	}
+	for _, want := range []string{"request", "job.queue", "job.run", "dse", "count", "price"} {
+		if counts[want] == 0 {
+			t.Errorf("span %q missing from trace tree (got %v)", want, counts)
+		}
+	}
+	for _, s := range spans {
+		if s.ParentID != "" && !ids[s.ParentID] {
+			t.Errorf("span %s (%s) parents to %s, which is not in the tree", s.SpanID, s.Name, s.ParentID)
+		}
+	}
+
+	// Chrome export: valid trace-event JSON with complete events.
+	chResp, err := http.Get(ts.URL + "/api/v1/traces/" + trace + "?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	err = json.NewDecoder(chResp.Body).Decode(&doc)
+	chResp.Body.Close()
+	if err != nil {
+		t.Fatalf("chrome format is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Errorf("chrome export has %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+
+	// A v2 job's view links to its trace summary once spans land.
+	view := submitJob(t, ts.URL, `{"kind":"dse","dse":{"arch":"salp1","network":"lenet5"}}`)
+	deadline := time.Now().Add(time.Minute)
+	var final JobView
+	for {
+		final = getJob(t, ts.URL, view.ID)
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("v2 job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.Trace == nil {
+		t.Fatalf("terminal job view lacks its trace summary: %+v", final)
+	}
+	if final.Trace.TraceID != final.TraceID {
+		t.Errorf("job trace summary is for %s, want %s", final.Trace.TraceID, final.TraceID)
+	}
+}
+
+// TestTraceEndpointErrors: bad limits 400, unknown traces 404.
+func TestTraceEndpointErrors(t *testing.T) {
+	ts := newTracedServer(t, New(Options{Workers: 1, CacheEntries: 4}))
+	for url, want := range map[string]int{
+		"/api/v1/traces?limit=0":    http.StatusBadRequest,
+		"/api/v1/traces?limit=x":    http.StatusBadRequest,
+		"/api/v1/traces/deadbeef00": http.StatusNotFound,
+		"/api/v1/traces?limit=10":   http.StatusOK,
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestDashboardRenders: the ops page serves self-contained HTML with
+// the serving, cache and trace sections populated.
+func TestDashboardRenders(t *testing.T) {
+	svc := New(Options{Workers: 1, CacheEntries: 4})
+	ts := newTracedServer(t, svc)
+	if resp, body := postJSON(t, ts.URL+"/api/v1/dse", `{"arch":"ddr3","network":"lenet5"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed DSE: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	for _, want := range []string{
+		"drmap standalone", "Caches", "Slowest recent traces", "/api/v1/traces",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard page lacks %q", want)
+		}
+	}
+}
