@@ -50,6 +50,9 @@ type (
 	CharacterizeResponse = service.CharacterizeResponse
 	SweepRequest         = service.SweepRequest
 	SweepResponse        = service.SweepResponse
+	SimulateRequest      = service.SimulateRequest
+	SimulateResponse     = service.SimulateResponse
+	SimulateLayer        = service.SimulateLayerJSON
 	BackendsResponse     = service.BackendsResponse
 	PoliciesResponse     = service.PoliciesResponse
 	HealthResponse       = service.HealthResponse
@@ -78,6 +81,7 @@ const (
 	EventState    = service.EventState
 	EventProgress = service.EventProgress
 	EventLayer    = service.EventLayer
+	EventSimLayer = service.EventSimLayer
 	EventItem     = service.EventItem
 	EventResult   = service.EventResult
 	EventError    = service.EventError
@@ -301,6 +305,17 @@ func (c *Client) Characterize(ctx context.Context, req CharacterizeRequest) (*Ch
 	return &out, nil
 }
 
+// Simulate runs one synchronous cycle-accurate simulation (POST
+// /api/v1/simulate): a single layer at a fixed design point, or a whole
+// network at its DSE-picked per-layer design points.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	var out SimulateResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/simulate", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Sweep runs one ablation sweep (POST /api/v1/sweep).
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	var out SweepResponse
@@ -376,6 +391,12 @@ func (c *Client) SubmitCharacterize(ctx context.Context, req CharacterizeRequest
 // SubmitSweep submits an asynchronous sweep job.
 func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (*Job, error) {
 	return c.SubmitJob(ctx, JobRequest{Kind: "sweep", Sweep: &req})
+}
+
+// SubmitSimulate submits an asynchronous cycle-accurate simulation job;
+// its event stream carries one sim_layer event per finalized layer.
+func (c *Client) SubmitSimulate(ctx context.Context, req SimulateRequest) (*Job, error) {
+	return c.SubmitJob(ctx, JobRequest{Kind: "simulate", Simulate: &req})
 }
 
 // Job fetches one job's status, progress and - once terminal - result
@@ -514,3 +535,6 @@ func CharacterizeResultOf(j *Job) (*CharacterizeResponse, error) {
 
 // SweepResultOf decodes a finished sweep job's result.
 func SweepResultOf(j *Job) (*SweepResponse, error) { return resultOf[SweepResponse](j) }
+
+// SimulateResultOf decodes a finished simulate job's result.
+func SimulateResultOf(j *Job) (*SimulateResponse, error) { return resultOf[SimulateResponse](j) }

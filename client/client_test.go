@@ -264,3 +264,54 @@ func TestClientCancelRunning(t *testing.T) {
 		t.Error("finished item missing from the canceled batch's partial result")
 	}
 }
+
+// TestClientSimulate drives the simulate surface: the v1 synchronous
+// endpoint, the v2 submit/Follow path with sim_layer events, and the
+// typed result decoder - with v1 and v2 answering identically.
+func TestClientSimulate(t *testing.T) {
+	ts, _ := newServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	job, err := c.SubmitSimulate(ctx, SimulateRequest{Arch: "ddr3", Network: "lenet5", Engine: "parallel"})
+	if err != nil {
+		t.Fatalf("SubmitSimulate: %v", err)
+	}
+	simLayers := 0
+	final, err := c.Follow(ctx, job.ID, 0, func(ev Event) {
+		if ev.Type == EventSimLayer && ev.SimLayer != nil {
+			simLayers++
+		}
+	})
+	if err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if final.State != service.JobSucceeded {
+		t.Fatalf("final state %s", final.State)
+	}
+	res, err := SimulateResultOf(final)
+	if err != nil {
+		t.Fatalf("SimulateResultOf: %v", err)
+	}
+	if res.Network == "" || len(res.Layers) == 0 || res.Cost.Cycles <= 0 {
+		t.Fatalf("simulate result %+v", res)
+	}
+	if simLayers != len(res.Layers) {
+		t.Errorf("stream carried %d sim_layer events for %d layers", simLayers, len(res.Layers))
+	}
+
+	// The v1 sync endpoint answers the identical request from the job's
+	// cache entry - the serial engine shares it, since engine choice is
+	// excluded from the key.
+	sync, err := c.Simulate(ctx, SimulateRequest{Arch: "ddr3", Network: "lenet5"})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !sync.Cached {
+		t.Error("v1 simulate after the v2 job missed the shared cache entry")
+	}
+	sync.Cached = res.Cached
+	if !reflect.DeepEqual(res, sync) {
+		t.Error("v2 simulate job result diverged from v1 sync result")
+	}
+}

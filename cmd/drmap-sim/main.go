@@ -11,11 +11,15 @@
 //
 //	drmap-sim [-arch <backend-id>] [-network alexnet|vgg16|lenet5|resnet18]
 //	          [-batch N] [-clock MHz] [-tensors] [-validate]
+//	          [-engine serial|parallel]
 //
-// -arch accepts any registered DRAM backend ID.
+// -arch accepts any registered DRAM backend ID. -engine selects the
+// discrete-event driver for -validate; both produce bit-for-bit
+// identical results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,7 +39,12 @@ func main() {
 	clock := flag.Float64("clock", 0, "accelerator clock in MHz (0 = 700 MHz default)")
 	tensors := flag.Bool("tensors", true, "print the per-tensor energy split")
 	validate := flag.Bool("validate", false, "replay the smallest layer through the cycle-accurate simulator")
+	engine := flag.String("engine", "serial", "event engine for -validate: serial or parallel")
 	flag.Parse()
+
+	if *engine != "serial" && *engine != "parallel" {
+		log.Fatalf("-engine %q: want serial or parallel", *engine)
+	}
 
 	backend, err := cli.ParseBackend(*archFlag)
 	if err != nil {
@@ -82,11 +91,17 @@ func main() {
 			Schedule: smallest.Best.Schedule,
 			Batch:    *batch,
 		}
-		fmt.Printf("validating %s against the cycle-accurate simulator...\n", smallest.Layer.Name)
-		sim, err := drmap.SimulateLayer(cfg, smallest.Best.Policy, spec, drmap.TableII().BytesPerElement)
+		fmt.Printf("validating %s against the cycle-accurate simulator (%s engine)...\n",
+			smallest.Layer.Name, *engine)
+		res, err := drmap.SimulateNetwork(context.Background(), cfg, smallest.Best.Policy,
+			[]drmap.LayerSpec{spec}, drmap.SimOptions{
+				BytesPerElement: drmap.TableII().BytesPerElement,
+				Parallel:        *engine == "parallel",
+			})
 		if err != nil {
 			log.Fatal(err)
 		}
+		sim := res[0].Cost
 		fmt.Printf("  analytic: %.0f cycles, %.4g J\n", smallest.Cost.Cycles, smallest.Cost.Energy)
 		fmt.Printf("  simulated: %.0f cycles, %.4g J\n", sim.Cycles, sim.Energy)
 		fmt.Printf("  cycle error: %+.1f%%, energy error: %+.1f%%\n",

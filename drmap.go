@@ -296,6 +296,25 @@ func SimulateLayer(cfg DRAMConfig, pol MappingPolicy, spec LayerSpec, bytesPerEl
 	return core.SimulateLayer(cfg, pol, spec, bytesPerElement)
 }
 
+// Multi-layer cycle-accurate simulation on the discrete-event engines.
+type (
+	// SimLayerResult is one layer's simulated outcome: exact cycles and
+	// energy, tile-group and request counts, and the per-kind DRAM
+	// command census.
+	SimLayerResult = core.SimLayerResult
+	// SimOptions tune SimulateNetwork: controller knobs, the
+	// serial/parallel engine choice, and a per-layer completion hook.
+	SimOptions = core.SimOptions
+)
+
+// SimulateNetwork simulates every layer of a workload cycle-accurately
+// on the internal/sim discrete-event kernel. With opt.Parallel the
+// layers' tile-stream controllers run concurrently across cores -
+// bit-for-bit identical to the serial engine, only faster.
+func SimulateNetwork(ctx context.Context, cfg DRAMConfig, pol MappingPolicy, specs []LayerSpec, opt SimOptions) ([]SimLayerResult, error) {
+	return core.SimulateNetwork(ctx, cfg, pol, specs, opt)
+}
+
 // TotalLayerName labels Fig. 9's aggregate pseudo-layer.
 const TotalLayerName = core.TotalLayerName
 

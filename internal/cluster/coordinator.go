@@ -524,20 +524,29 @@ func weightedSlots(live []WorkerInfo) []WorkerInfo {
 	return out
 }
 
-// callShard performs one shard HTTP round trip, bounded by the shard
-// timeout so a frozen worker surfaces as a retryable failure. It
-// returns the worker's cells plus the worker-recorded spans riding the
-// shard response.
+// callShard performs one DSE shard HTTP round trip, returning the
+// worker's cells plus the worker-recorded spans riding the response.
 func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequest) ([]core.CellResult, []obs.Span, error) {
+	sr, err := c.postShard(ctx, w, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sr.Cells, sr.Spans, nil
+}
+
+// postShard performs one shard HTTP round trip - DSE or simulate,
+// whichever the request carries - bounded by the shard timeout so a
+// frozen worker surfaces as a retryable failure.
+func (c *Coordinator) postShard(ctx context.Context, w WorkerInfo, req ShardRequest) (ShardResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.shardTimeout)
 	defer cancel()
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, nil, fmt.Errorf("encode shard: %w", err)
+		return ShardResponse{}, fmt.Errorf("encode shard: %w", err)
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+PathShard, bytes.NewReader(body))
 	if err != nil {
-		return nil, nil, err
+		return ShardResponse{}, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	if trace := obs.TraceFrom(ctx); trace != "" {
@@ -552,18 +561,18 @@ func (c *Coordinator) callShard(ctx context.Context, w WorkerInfo, req ShardRequ
 	}
 	resp, err := c.client.Do(httpReq)
 	if err != nil {
-		return nil, nil, err
+		return ShardResponse{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return nil, nil, fmt.Errorf("shard endpoint returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return ShardResponse{}, fmt.Errorf("shard endpoint returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	var sr ShardResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, nil, fmt.Errorf("decode shard response: %w", err)
+		return ShardResponse{}, fmt.Errorf("decode shard response: %w", err)
 	}
-	return sr.Cells, sr.Spans, nil
+	return sr, nil
 }
 
 // Merge folds shard cells into the job's DSEResult. The reduction is

@@ -67,12 +67,19 @@ type RegisterResponse struct {
 	TTLMillis int64 `json:"ttl_millis"`
 }
 
-// ShardRequest asks a worker to evaluate one span of a job's (layer,
-// schedule) column space.
+// ShardRequest asks a worker to evaluate one span of a job's column
+// space: a DSE job's (layer, schedule) columns, or - when Sim is set -
+// a simulate job's layer indices.
 type ShardRequest struct {
 	// Job is the fully resolved DSE job; it JSON-round-trips exactly
-	// (int enums and float64s re-decode to identical bits).
+	// (int enums and float64s re-decode to identical bits). Ignored
+	// when Sim is set.
 	Job service.DSEJob `json:"job"`
+	// Sim, when set, makes this a simulate shard: the worker runs the
+	// cycle-accurate engine over Span's layer indices instead of
+	// pricing DSE columns. Like Job, it JSON-round-trips exactly, so
+	// every worker reproduces each layer's command stream bit-for-bit.
+	Sim *service.SimulateJob `json:"sim,omitempty"`
 	// Span is the half-open column range to evaluate.
 	Span core.ColumnSpan `json:"span"`
 	// Shard and Total locate the shard in the job's partition, for logs.
@@ -86,6 +93,10 @@ type ShardRequest struct {
 type ShardResponse struct {
 	WorkerID string            `json:"worker_id"`
 	Cells    []core.CellResult `json:"cells"`
+	// SimLayers answers a simulate shard (ShardRequest.Sim set): one
+	// result per layer in the span, each carrying its global layer
+	// index, so the coordinator merges shards by placement.
+	SimLayers []core.SimLayerResult `json:"sim_layers,omitempty"`
 	// Spans are the worker's own spans for this shard (shard.evaluate
 	// plus its count/price children), parented under the coordinator's
 	// dispatch span via X-Drmap-Span-Id; the coordinator forwards them

@@ -273,5 +273,12 @@ func TestMetricsHelpCatalog(t *testing.T) {
 					proc.role, name, fam.Help)
 			}
 		}
+		// The simulate instrumentation is pre-touched at registry
+		// creation, so both processes must catalog it.
+		for _, want := range []string{"drmap_sim_commands_total", "drmap_sim_engine_seconds"} {
+			if _, ok := expo.Families[want]; !ok {
+				t.Errorf("%s: family %s missing from /metrics", proc.role, want)
+			}
+		}
 	}
 }

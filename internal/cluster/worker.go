@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drmap/internal/core"
 	"drmap/internal/obs"
 	"drmap/internal/service"
 )
@@ -146,11 +147,23 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	if parent := r.Header.Get(obs.SpanHeader); parent != "" {
 		ctx = obs.WithSpanParent(ctx, parent)
 	}
+	kind := "dse"
+	if req.Sim != nil {
+		kind = "simulate"
+	}
 	ctx, span := obs.StartSpan(ctx, "shard.evaluate",
-		obs.Str("worker", w.id), obs.Int("shard", req.Shard), obs.Int("of", req.Total),
+		obs.Str("worker", w.id), obs.Str("kind", kind),
+		obs.Int("shard", req.Shard), obs.Int("of", req.Total),
 		obs.Int("span_start", req.Span.Start), obs.Int("span_end", req.Span.End))
 	start := time.Now()
-	cells, err := w.svc.EvaluateShard(ctx, req.Job, req.Span)
+	var cells []core.CellResult
+	var simLayers []core.SimLayerResult
+	var err error
+	if req.Sim != nil {
+		simLayers, err = w.svc.EvaluateSimShard(ctx, *req.Sim, req.Span)
+	} else {
+		cells, err = w.svc.EvaluateShard(ctx, req.Job, req.Span)
+	}
 	if err != nil {
 		span.Fail(err)
 		span.End()
@@ -159,16 +172,16 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	span.SetAttr(obs.Int("cells", len(cells)))
+	span.SetAttr(obs.Int("cells", len(cells)+len(simLayers)))
 	span.End()
 	dur := time.Since(start)
 	w.shards.Add(1)
 	w.shardSeconds.Observe(dur.Seconds())
 	w.traceShards.With(trace).Inc()
 	w.logger.Info("shard served",
-		"trace_id", trace, "shard", req.Shard, "of", req.Total,
-		"columns", req.Span.Len(), "cells", len(cells), "duration_ms", dur.Milliseconds())
-	writeJSON(rw, http.StatusOK, ShardResponse{WorkerID: w.id, Cells: cells, Spans: buf.Spans()})
+		"trace_id", trace, "kind", kind, "shard", req.Shard, "of", req.Total,
+		"columns", req.Span.Len(), "cells", len(cells)+len(simLayers), "duration_ms", dur.Milliseconds())
+	writeJSON(rw, http.StatusOK, ShardResponse{WorkerID: w.id, Cells: cells, SimLayers: simLayers, Spans: buf.Spans()})
 }
 
 // Register performs one registration/heartbeat round trip.

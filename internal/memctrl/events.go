@@ -1,0 +1,157 @@
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"drmap/internal/sim"
+	"drmap/internal/trace"
+)
+
+// Agent drives one Controller as a discrete-event component on a
+// sim.Engine: the controller's request stream becomes arrival events
+// (request i of the service order arrives at tick i*ArrivalGap; with
+// no gap, the whole stream arrives at tick 0 and fires in schedule
+// order), and each arrival services the request through the exact
+// timing state machine the monolithic loop used. Command issue, timing
+// constraints and refresh remain inside the servicing step - that is
+// what pins the event-driven controller bit-for-bit to the original
+// command streams, counters and energy.
+//
+// Each Agent is its own sim.Domain, so a parallel engine runs many
+// agents (one controller per tile stream) concurrently while every
+// individual stream stays strictly sequential.
+type Agent struct {
+	ctrl  *Controller
+	dom   *sim.Domain
+	reqs  []trace.Request
+	order []int // service order: indices into reqs
+	next  int   // arrivals handled so far
+	done  bool
+	res   *Result
+	// onDone fires (from the engine's goroutine) the moment the agent
+	// finalizes its result; see SetOnDone.
+	onDone func()
+}
+
+// arrival is one request-arrival event.
+type arrival struct {
+	tick  int64
+	agent *Agent
+	idx   int // position in the agent's service order
+}
+
+func (e arrival) Tick() int64          { return e.tick }
+func (e arrival) Handler() sim.Handler { return e.agent }
+
+// NewAgent resets the controller, validates and schedules the request
+// stream's arrival events on the engine, and returns the agent that
+// will handle them. The controller must not be shared with another
+// live agent: the stream owns its state until the engine drains.
+// An empty stream finalizes immediately (its result is the reset
+// controller's empty result, exactly as Run returned it).
+func NewAgent(eng sim.Engine, ctrl *Controller, reqs []trace.Request) (*Agent, error) {
+	ctrl.reset()
+	g := ctrl.cfg.Geometry
+	for i, r := range reqs {
+		if !r.Addr.Valid(g) {
+			return nil, fmt.Errorf("memctrl: request %d: address %v outside geometry", i, r.Addr)
+		}
+	}
+	a := &Agent{
+		ctrl:  ctrl,
+		dom:   sim.NewDomain("memctrl"),
+		reqs:  reqs,
+		order: ctrl.schedule(reqs),
+	}
+	gap := int64(ctrl.opt.ArrivalGap)
+	for i := range a.order {
+		var tick int64
+		if gap > 0 {
+			tick = int64(i) * gap
+		}
+		eng.Schedule(arrival{tick: tick, agent: a, idx: i})
+	}
+	if len(a.order) == 0 {
+		a.finalize()
+	}
+	return a, nil
+}
+
+// Domain declares the agent's scheduling domain: the controller's
+// state is shared by all of the agent's events and nothing else.
+func (a *Agent) Domain() *sim.Domain { return a.dom }
+
+// SetOnDone registers a completion hook, fired exactly once when the
+// agent finalizes its result - from whichever engine goroutine handles
+// the last arrival, so the hook must be safe to call there. Setting it
+// on an already-done agent fires it immediately.
+func (a *Agent) SetOnDone(f func()) {
+	a.onDone = f
+	if a.done && f != nil {
+		f()
+	}
+}
+
+// Handle services one arrival. Arrivals fire in service order (the
+// engine's (tick, schedule-order) contract), so the controller sees
+// requests in exactly the sequence the monolithic loop served them.
+func (a *Agent) Handle(ev sim.Event) error {
+	e, ok := ev.(arrival)
+	if !ok || e.agent != a {
+		return fmt.Errorf("memctrl: agent received foreign event %T", ev)
+	}
+	if e.idx != a.next {
+		return fmt.Errorf("memctrl: arrival %d out of order (expected %d)", e.idx, a.next)
+	}
+	a.next++
+	c := a.ctrl
+	if c.opt.ArrivalGap > 0 {
+		c.reqFloor = int64(e.idx) * int64(c.opt.ArrivalGap)
+	}
+	c.service(a.reqs[a.order[e.idx]])
+	if a.next == len(a.order) {
+		a.finalize()
+	}
+	return nil
+}
+
+// finalize closes the run exactly as the monolithic loop did: settle
+// the device-active and subarray-latch accounting at the final cycle,
+// stable-sort the command log by issue cycle (generation order breaks
+// ties), and snapshot the result.
+func (a *Agent) finalize() {
+	c := a.ctrl
+	c.closeActiveAccounting(c.result.TotalCycles)
+	for bi := range c.banks {
+		c.accountExtraOpen(&c.banks[bi], c.result.TotalCycles)
+	}
+	sort.SliceStable(c.result.Commands, func(i, j int) bool {
+		return c.result.Commands[i].Cycle < c.result.Commands[j].Cycle
+	})
+	res := c.result
+	a.res = &res
+	a.done = true
+	if a.onDone != nil {
+		a.onDone()
+	}
+}
+
+// Done reports whether every arrival has been serviced and the result
+// finalized.
+func (a *Agent) Done() bool { return a.done }
+
+// Pending returns how many scheduled arrivals have not been serviced
+// yet - the invariant the randomized acceptance harness checks after a
+// run (it must be zero once the engine drains).
+func (a *Agent) Pending() int { return len(a.order) - a.next }
+
+// Result returns the finalized result; calling it before the engine
+// has drained the agent's arrivals is an error.
+func (a *Agent) Result() (*Result, error) {
+	if !a.done {
+		return nil, fmt.Errorf("memctrl: agent has %d pending requests (%d of %d serviced)",
+			a.Pending(), a.next, len(a.order))
+	}
+	return a.res, nil
+}

@@ -1,0 +1,153 @@
+package memctrl
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"drmap/internal/dram"
+	"drmap/internal/sim"
+	"drmap/internal/trace"
+)
+
+// agentRun drives reqs through a fresh agent on eng and returns the
+// finalized result.
+func agentRun(t *testing.T, eng sim.Engine, cfg dram.Config, opt Options, reqs []trace.Request) *Result {
+	t.Helper()
+	c, err := New(cfg, opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, err := NewAgent(eng, c, reqs)
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	res, err := a.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return res
+}
+
+// TestEnginesBitForBitAcrossOptionMatrix is the refactor's pinning
+// contract: for every architecture x scheduler x page policy x arrival
+// gap x refresh combination, the monolithic Run, a serial-engine agent,
+// and a parallel-engine agent produce byte-identical results - command
+// stream (kind, cycle, address), cycle counters, energy accounting
+// inputs and all (reflect.DeepEqual over the full Result).
+func TestEnginesBitForBitAcrossOptionMatrix(t *testing.T) {
+	const n = 192
+	for _, arch := range dram.Archs {
+		cfg := dram.ConfigFor(arch)
+		reqs := randomRequests(4242, n, cfg.Geometry)
+		for _, sched := range []Scheduler{FCFS, FRFCFS} {
+			for _, pp := range []PagePolicy{OpenRow, ClosedRow} {
+				for _, opt := range []Options{
+					{Scheduler: sched, PagePolicy: pp},
+					{Scheduler: sched, PagePolicy: pp, ArrivalGap: 3},
+					{Scheduler: sched, PagePolicy: pp, EnableRefresh: true},
+				} {
+					name := fmt.Sprintf("%v/%v/%v/gap=%d/refresh=%v", arch, sched, pp, opt.ArrivalGap, opt.EnableRefresh)
+
+					c, err := New(cfg, opt)
+					if err != nil {
+						t.Fatalf("%s: New: %v", name, err)
+					}
+					mono, err := c.Run(reqs)
+					if err != nil {
+						t.Fatalf("%s: Run: %v", name, err)
+					}
+					serial := agentRun(t, sim.NewSerialEngine(), cfg, opt, reqs)
+					parallel := agentRun(t, sim.NewParallelEngine(4), cfg, opt, reqs)
+
+					if !reflect.DeepEqual(mono, serial) {
+						t.Errorf("%s: serial-engine agent diverged from Run", name)
+					}
+					if !reflect.DeepEqual(serial, parallel) {
+						t.Errorf("%s: parallel-engine agent diverged from serial", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAgentOnDoneFiresOnce: the completion hook fires exactly once when
+// the last arrival finalizes, and immediately when set afterwards.
+func TestAgentOnDoneFiresOnce(t *testing.T) {
+	cfg := dram.ConfigFor(dram.DDR3)
+	c, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewSerialEngine()
+	a, err := NewAgent(eng, c, randomRequests(1, 16, cfg.Geometry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	a.SetOnDone(func() { fired++ })
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("OnDone fired %d times, want 1", fired)
+	}
+	late := 0
+	a.SetOnDone(func() { late++ })
+	if late != 1 {
+		t.Errorf("OnDone set after completion fired %d times, want immediate 1", late)
+	}
+}
+
+// TestAgentEmptyStreamFinalizesImmediately: a requestless stream is
+// done at construction with the reset controller's empty result.
+func TestAgentEmptyStreamFinalizesImmediately(t *testing.T) {
+	cfg := dram.ConfigFor(dram.SALP1)
+	c, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(sim.NewSerialEngine(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Done() || a.Pending() != 0 {
+		t.Fatalf("empty-stream agent done=%v pending=%d", a.Done(), a.Pending())
+	}
+	res, err := a.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != 0 || len(res.Commands) != 0 || len(res.Serviced) != 0 {
+		t.Errorf("empty stream produced non-empty result %+v", res)
+	}
+}
+
+// TestAgentRejectsForeignEvent: events from another agent (or another
+// type entirely) fail the run instead of corrupting controller state.
+func TestAgentRejectsForeignEvent(t *testing.T) {
+	cfg := dram.ConfigFor(dram.DDR3)
+	mk := func() *Agent {
+		c, err := New(cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAgent(sim.NewSerialEngine(), c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := mk(), mk()
+	if err := a.Handle(arrival{agent: b}); err == nil {
+		t.Error("agent handled a foreign agent's arrival")
+	}
+	if err := a.Handle(arrival{agent: a, idx: 5}); err == nil {
+		t.Error("agent handled an out-of-order arrival")
+	}
+}

@@ -14,10 +14,11 @@
 package memctrl
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"drmap/internal/dram"
+	"drmap/internal/sim"
 	"drmap/internal/trace"
 )
 
@@ -264,29 +265,20 @@ func (c *Controller) stateSubarray(a dram.Address) int {
 // Run services the requests and returns the timing result. The
 // controller is reset before the stream starts; the configured
 // scheduler decides the service order (FCFS preserves arrival order).
+// The stream runs as arrival events on a serial discrete-event engine
+// (package sim) via an Agent - one component, so the engine delivers
+// the events in exactly the order the pre-event monolithic loop
+// serviced them, and the result is bit-for-bit what it produced.
 func (c *Controller) Run(reqs []trace.Request) (*Result, error) {
-	c.reset()
-	g := c.cfg.Geometry
-	for i, r := range reqs {
-		if !r.Addr.Valid(g) {
-			return nil, fmt.Errorf("memctrl: request %d: address %v outside geometry", i, r.Addr)
-		}
+	eng := sim.NewSerialEngine()
+	agent, err := NewAgent(eng, c, reqs)
+	if err != nil {
+		return nil, err
 	}
-	for i, idx := range c.schedule(reqs) {
-		if c.opt.ArrivalGap > 0 {
-			c.reqFloor = int64(i) * int64(c.opt.ArrivalGap)
-		}
-		c.service(reqs[idx])
+	if err := eng.Run(context.Background()); err != nil {
+		return nil, err
 	}
-	c.closeActiveAccounting(c.result.TotalCycles)
-	for bi := range c.banks {
-		c.accountExtraOpen(&c.banks[bi], c.result.TotalCycles)
-	}
-	sort.SliceStable(c.result.Commands, func(i, j int) bool {
-		return c.result.Commands[i].Cycle < c.result.Commands[j].Cycle
-	})
-	res := c.result
-	return &res, nil
+	return agent.Result()
 }
 
 // classify derives the Fig. 1 access condition for a request, given the

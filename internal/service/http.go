@@ -192,7 +192,7 @@ func NewHandlerWithJobs(s *Service, jm *JobManager, requestTimeout time.Duration
 	})
 	mux.HandleFunc("POST /api/v1/dse", handle(requestTimeout, jm.SyncDSE))
 	mux.HandleFunc("POST /api/v1/batch", handle(requestTimeout, jm.SyncBatch))
-	mux.HandleFunc("POST /api/v1/simulate", handle(requestTimeout, s.Simulate))
+	mux.HandleFunc("POST /api/v1/simulate", handle(requestTimeout, jm.SyncSimulate))
 	mux.HandleFunc("POST /api/v1/sweep", handle(requestTimeout, jm.SyncSweep))
 	mountV2(mux, jm)
 	mountTraces(mux, s)

@@ -336,7 +336,8 @@ func TestHTTPV2ErrorPaths(t *testing.T) {
 	}{
 		{"malformed JSON", `{not json`, http.StatusBadRequest, "bad request body"},
 		{"unknown field", `{"kind":"dse","dse":{"arch":"ddr3","network":"lenet5"},"bogus":1}`, http.StatusBadRequest, "unknown field"},
-		{"unknown kind", `{"kind":"simulate"}`, http.StatusBadRequest, "unknown job kind"},
+		{"unknown kind", `{"kind":"emulate"}`, http.StatusBadRequest, "unknown job kind"},
+		{"simulate without payload", `{"kind":"simulate"}`, http.StatusBadRequest, `needs a "simulate" payload`},
 		{"unknown backend", `{"kind":"dse","dse":{"arch":"ddr9","network":"lenet5"}}`, http.StatusBadRequest, "ddr9"},
 		{"trailing garbage", `{"kind":"dse","dse":{"arch":"ddr3","network":"lenet5"}} extra`, http.StatusBadRequest, "trailing"},
 	}

@@ -25,6 +25,7 @@ const (
 	JobBatch        JobKind = "batch"
 	JobCharacterize JobKind = "characterize"
 	JobSweep        JobKind = "sweep"
+	JobSimulate     JobKind = "simulate"
 )
 
 // JobState is a job's lifecycle state. The machine is linear:
@@ -54,6 +55,7 @@ type JobRequest struct {
 	Batch        *BatchRequest        `json:"batch,omitempty"`
 	Characterize *CharacterizeRequest `json:"characterize,omitempty"`
 	Sweep        *SweepRequest        `json:"sweep,omitempty"`
+	Simulate     *SimulateRequest     `json:"simulate,omitempty"`
 }
 
 // JobProgress counts a job's completed work. Columns count (layer,
@@ -122,6 +124,7 @@ const (
 	EventState    = "state"
 	EventProgress = "progress"
 	EventLayer    = "layer"
+	EventSimLayer = "sim_layer"
 	EventItem     = "item"
 	EventResult   = "result"
 	EventError    = "error"
@@ -147,11 +150,13 @@ type JobEvent struct {
 	ItemsDone  int `json:"items_done"`
 	ItemsTotal int `json:"items_total"`
 
-	// Index locates a layer (type "layer") or batch item (type
-	// "item"); always serialized - index 0 is the first layer/item.
-	Index int                  `json:"index"`
-	Layer *report.DSELayerJSON `json:"layer,omitempty"`
-	Item  *BatchItem           `json:"item,omitempty"`
+	// Index locates a layer (type "layer"/"sim_layer") or batch item
+	// (type "item"); always serialized - index 0 is the first
+	// layer/item.
+	Index    int                  `json:"index"`
+	Layer    *report.DSELayerJSON `json:"layer,omitempty"`
+	SimLayer *SimulateLayerJSON   `json:"sim_layer,omitempty"`
+	Item     *BatchItem           `json:"item,omitempty"`
 
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
@@ -454,6 +459,22 @@ func (s *jobSink) LayerDone(index, layers int, lr core.LayerResult) {
 	j.appendLocked(JobEvent{Type: EventLayer, Index: index, Layer: &enc})
 }
 
+// simLayerDone logs one finished simulated layer - the simulate
+// counterpart of LayerDone, fed through the core.SimLayerSink hook.
+// It may fire from an engine goroutine (parallel driver) or a cluster
+// merge; the job lock serializes it.
+func (s *jobSink) simLayerDone(lr core.SimLayerResult, total int) {
+	j := s.j
+	enc := simLayerToJSON(lr, j.timing)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress.LayersDone++
+	j.appendLocked(JobEvent{Type: EventSimLayer, Index: lr.Index, SimLayer: &enc})
+}
+
 func (s *jobSink) StartItems(total int) {
 	j := s.j
 	j.mu.Lock()
@@ -526,7 +547,7 @@ func (m *JobManager) Submit(ctx context.Context, req JobRequest) (JobView, error
 // submitting request's span ID ("" when the request was untraced).
 // ephemeral marks a sync wrapper's job (see the job field).
 func (m *JobManager) submit(parent context.Context, trace, parentSpan string, req JobRequest, ephemeral bool) (*job, error) {
-	kind, timing, err := validateJobRequest(req)
+	kind, timing, err := m.validateJobRequest(req)
 	if err != nil {
 		return nil, err
 	}
@@ -587,6 +608,9 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	sink := &jobSink{j: j, layers: j.kind == JobDSE}
 	ctx = core.WithProgress(ctx, sink)
 	ctx = core.WithPhases(ctx, sink)
+	if j.kind == JobSimulate {
+		ctx = core.WithSimLayers(ctx, sink.simLayerDone)
+	}
 	ctx = obs.WithTrace(ctx, j.trace)
 
 	// Tracing: the queue wait becomes a retroactive span, and the whole
@@ -618,6 +642,8 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 		result, err = m.svc.Characterize(ctx, *j.req.Characterize)
 	case JobSweep:
 		result, err = m.svc.Sweep(ctx, *j.req.Sweep)
+	case JobSimulate:
+		result, err = m.svc.Simulate(ctx, *j.req.Simulate)
 	default: // unreachable: validateJobRequest rejected unknown kinds
 		err = fmt.Errorf("service: unknown job kind %q", j.kind)
 	}
@@ -691,6 +717,8 @@ func isNilResult(result any) bool {
 	case *CharacterizeResponse:
 		return r == nil
 	case *SweepResponse:
+		return r == nil
+	case *SimulateResponse:
 		return r == nil
 	}
 	return result == nil
@@ -933,6 +961,16 @@ func (m *JobManager) SyncSweep(ctx context.Context, req SweepRequest) (*SweepRes
 	return v.(*SweepResponse), nil
 }
 
+// SyncSimulate is POST /api/v1/simulate as a submit-and-wait over the
+// job store.
+func (m *JobManager) SyncSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	v, err := m.runSync(ctx, JobRequest{Kind: string(JobSimulate), Simulate: &req})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SimulateResponse), nil
+}
+
 // Metrics returns the job-store gauges for GET /metrics.
 func (m *JobManager) Metrics() []Metric {
 	m.mu.Lock()
@@ -968,13 +1006,13 @@ func (m *JobManager) Metrics() []Metric {
 // would reject, so a bad submit fails with a 400 instead of a failed
 // job. The parses mirror each entry point's order exactly, so the
 // error text matches what the v1 path reported before jobs existed.
-// For DSE jobs it returns the backend's timing (the clock layer events
-// are priced in).
-func validateJobRequest(req JobRequest) (JobKind, dram.Timing, error) {
+// For DSE and simulate jobs it returns the backend's timing (the
+// clock layer events are priced in).
+func (m *JobManager) validateJobRequest(req JobRequest) (JobKind, dram.Timing, error) {
 	kind := JobKind(req.Kind)
 	var timing dram.Timing
 	payloads := 0
-	for _, p := range []bool{req.DSE != nil, req.Batch != nil, req.Characterize != nil, req.Sweep != nil} {
+	for _, p := range []bool{req.DSE != nil, req.Batch != nil, req.Characterize != nil, req.Sweep != nil, req.Simulate != nil} {
 		if p {
 			payloads++
 		}
@@ -1046,8 +1084,19 @@ func validateJobRequest(req JobRequest) (JobKind, dram.Timing, error) {
 		default:
 			return "", timing, errUnknownSweepKind(req.Sweep.Kind)
 		}
+	case JobSimulate:
+		if req.Simulate == nil {
+			return "", timing, fmt.Errorf(`kind "simulate" needs a "simulate" payload`)
+		}
+		// parseSimulate is exactly Service.Simulate's parse, so a bad
+		// submit fails with the v1 endpoint's error text.
+		in, err := m.svc.parseSimulate(*req.Simulate)
+		if err != nil {
+			return "", timing, err
+		}
+		timing = in.backend.Config.Timing
 	default:
-		return "", timing, fmt.Errorf("unknown job kind %q (want dse, batch, characterize or sweep)", req.Kind)
+		return "", timing, fmt.Errorf("unknown job kind %q (want dse, batch, characterize, sweep or simulate)", req.Kind)
 	}
 	return kind, timing, nil
 }

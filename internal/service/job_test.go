@@ -263,7 +263,10 @@ func TestJobValidation(t *testing.T) {
 		req  JobRequest
 		want string
 	}{
-		{"unknown kind", JobRequest{Kind: "simulate"}, "unknown job kind"},
+		{"unknown kind", JobRequest{Kind: "emulate"}, "unknown job kind"},
+		{"simulate without payload", JobRequest{Kind: "simulate"}, `needs a "simulate" payload`},
+		{"simulate bad engine", JobRequest{Kind: "simulate", Simulate: &SimulateRequest{Arch: "ddr3", Network: "lenet5", Engine: "quantum"}}, "unknown engine"},
+		{"simulate layer and network", JobRequest{Kind: "simulate", Simulate: &SimulateRequest{Arch: "ddr3", Network: "lenet5", Layer: LayerJSON{Name: "c1", H: 8, W: 8, J: 3, I: 3, P: 3, Q: 3, Stride: 1}}}, "not both"},
 		{"missing payload", JobRequest{Kind: "dse"}, `needs a "dse" payload`},
 		{"mismatched payload", JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr3", Network: "lenet5"}, Batch: &BatchRequest{}}, "exactly the one payload"},
 		{"bad backend", JobRequest{Kind: "dse", DSE: &DSERequest{Arch: "ddr9", Network: "lenet5"}}, "ddr9"},

@@ -150,6 +150,20 @@ func (s *Service) registerMetrics() {
 	s.phaseSeconds = r.Histogram("drmap_eval_phase_seconds",
 		"Evaluation wall-clock per phase: count (backend-independent tile-group counting) vs price (per-backend costing).",
 		nil, "phase")
+	s.simCommands = r.Counter("drmap_sim_commands_total",
+		"DRAM commands issued by the cycle-accurate simulator, by JEDEC mnemonic (ACT, PRE, RD, WR, SASEL, REF).",
+		"kind")
+	s.simEngineSeconds = r.Histogram("drmap_sim_engine_seconds",
+		"Simulate evaluation wall-clock by discrete-event engine (serial vs parallel); both engines produce bit-for-bit identical results.",
+		nil, "engine")
+	// Pre-touch the full label vocabularies so a scrape before the
+	// first simulate run still shows every series.
+	for _, kind := range []string{"ACT", "PRE", "RD", "WR", "SASEL", "REF"} {
+		s.simCommands.With(kind)
+	}
+	for _, engine := range []string{"serial", "parallel"} {
+		s.simEngineSeconds.With(engine)
+	}
 	r.AddGatherer(func() []obs.Sample {
 		metrics := s.Metrics()
 		out := make([]obs.Sample, 0, len(metrics)+6)

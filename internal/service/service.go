@@ -23,7 +23,7 @@
 // plus the job-oriented v2 surface (async submit, progress, streaming,
 // cancel - see JobManager and API.md):
 //
-//	POST   /api/v2/jobs             - submit a dse/batch/characterize/sweep job
+//	POST   /api/v2/jobs             - submit a dse/batch/characterize/sweep/simulate job
 //	GET    /api/v2/jobs             - list jobs (?kind=, ?state=, ?limit=)
 //	GET    /api/v2/jobs/{id}        - status, progress, result once terminal
 //	GET    /api/v2/jobs/{id}/events - NDJSON/SSE event stream (?from= resumes)
@@ -52,10 +52,14 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"drmap/internal/accel"
+	"drmap/internal/cnn"
 	"drmap/internal/core"
 	"drmap/internal/dram"
+	"drmap/internal/mapping"
+	"drmap/internal/memctrl"
 	"drmap/internal/obs"
 	"drmap/internal/profile"
 	"drmap/internal/report"
@@ -135,6 +139,11 @@ type Service struct {
 	// phaseSeconds is the drmap_eval_phase_seconds histogram; the column
 	// evaluator observes count and price time into it (see plan.go).
 	phaseSeconds *obs.HistogramVec
+	// simCommands and simEngineSeconds instrument the cycle-accurate
+	// validation path: issued DRAM commands by mnemonic, and simulate
+	// wall-clock by event engine (see simjob.go).
+	simCommands      *obs.CounterVec
+	simEngineSeconds *obs.HistogramVec
 	// warm tracks the plan warmer once EnableWarm has run; nil otherwise.
 	warm *warmer
 	// spans is the tail-sampled trace store behind /api/v1/traces.
@@ -511,13 +520,32 @@ func (s *Service) doBounded(ctx context.Context, kind string, keyable any, compu
 	}
 }
 
-// Simulate prices one layer through the cycle-accurate controller and
-// energy model (the validation path), cached like every entry point.
-func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	backend, err := parseBackend(req.Arch)
+// simInputs are a simulate request's parsed fields, shared by
+// Service.Simulate and the job-submit validation (which must reject
+// bad inputs with identical text without running anything).
+type simInputs struct {
+	backend     dram.Backend
+	policy      mapping.Policy
+	policyID    int
+	networkMode bool
+	network     cnn.Network
+	spec        core.LayerSpec  // single-layer mode
+	sched       tiling.Schedule // network mode's pick schedule
+	batch       int
+	bpe         int
+	scheduler   memctrl.Scheduler
+	pagePolicy  memctrl.PagePolicy
+	parallel    bool
+}
+
+// parseSimulate resolves a simulate request's names and defaults. The
+// single-layer parse order (backend, policy, layer, schedule, batch,
+// element width) predates network mode and is preserved exactly, so
+// error text never changes for existing clients.
+func (s *Service) parseSimulate(req SimulateRequest) (*simInputs, error) {
+	in := &simInputs{policyID: req.Policy}
+	var err error
+	in.backend, err = parseBackend(req.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -525,51 +553,178 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateR
 	if err != nil {
 		return nil, err
 	}
-	layer, err := req.Layer.toLayer()
-	if err != nil {
-		return nil, err
-	}
-	sched, err := parseSchedule(req.Schedule)
-	if err != nil {
-		return nil, err
-	}
-	batch := req.Batch
-	if batch == 0 {
-		batch = 1
-	}
-	bpe := req.BytesPerElement
-	if bpe == 0 {
-		// Default to the service accelerator's element width so the
-		// validation path prices the same datatype the DSE models.
-		bpe = s.accel.BytesPerElement
-	}
-	cfg := backend.Config
-	spec := core.LayerSpec{
-		Layer:    layer,
-		Tiling:   tiling.Tiling{Th: req.Tiling.Th, Tw: req.Tiling.Tw, Tj: req.Tiling.Tj, Ti: req.Tiling.Ti},
-		Schedule: sched,
-		Batch:    batch,
-	}
-	type simKey struct {
-		Backend dram.Backend
-		Policy  int
-		Spec    core.LayerSpec
-		BPE     int
-	}
-	v, shared, err := s.doBounded(ctx, "simulate", simKey{Backend: backend, Policy: req.Policy, Spec: spec, BPE: bpe}, func() (any, error) {
-		cost, err := core.SimulateLayer(cfg, policies[0], spec, bpe)
+	in.policy = policies[0]
+	in.networkMode = req.Network != ""
+	if in.networkMode {
+		if req.Layer != (LayerJSON{}) || req.Tiling != (report.TilingJSON{}) {
+			return nil, fmt.Errorf("give either a network or a single layer+tiling, not both")
+		}
+		in.network, err = parseNetwork(req.Network, nil)
 		if err != nil {
 			return nil, err
 		}
-		return &SimulateResponse{
-			Arch:  backend.Name,
-			Layer: layer.Name,
-			Cost:  report.LayerEDPToJSON(cost, cfg.Timing),
-		}, nil
-	})
+		schedName := req.Schedule
+		if schedName == "" {
+			schedName = "adaptive"
+		}
+		in.sched, err = parseSchedule(schedName)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		layer, err := req.Layer.toLayer()
+		if err != nil {
+			return nil, err
+		}
+		sched, err := parseSchedule(req.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		in.spec = core.LayerSpec{
+			Layer:    layer,
+			Tiling:   tiling.Tiling{Th: req.Tiling.Th, Tw: req.Tiling.Tw, Tj: req.Tiling.Tj, Ti: req.Tiling.Ti},
+			Schedule: sched,
+		}
+	}
+	in.batch = req.Batch
+	if in.batch == 0 {
+		in.batch = 1
+	}
+	in.spec.Batch = in.batch
+	in.bpe = req.BytesPerElement
+	if in.bpe == 0 {
+		// Default to the service accelerator's element width so the
+		// validation path prices the same datatype the DSE models.
+		in.bpe = s.accel.BytesPerElement
+	}
+	in.scheduler, err = parseSimScheduler(req.Scheduler)
 	if err != nil {
 		return nil, err
 	}
+	in.pagePolicy, err = parsePagePolicy(req.PagePolicy)
+	if err != nil {
+		return nil, err
+	}
+	in.parallel, err = parseSimEngine(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// simSpecsFor expands the parsed inputs to concrete layer specs. In
+// network mode, each layer's tiling (and, for adaptive, schedule) is
+// picked by the DSE under the requested policy - the Fig. 8 flow:
+// search analytically, then validate the picked design points in the
+// cycle-accurate simulator.
+func (s *Service) simSpecsFor(in *simInputs) ([]core.LayerSpec, error) {
+	if !in.networkMode {
+		return []core.LayerSpec{in.spec}, nil
+	}
+	ev, err := s.evaluatorFor(in.backend, in.batch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunDSE(in.network, ev, []tiling.Schedule{in.sched}, []mapping.Policy{in.policy})
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]core.LayerSpec, len(res.Layers))
+	for i, lr := range res.Layers {
+		specs[i] = core.LayerSpec{Layer: lr.Layer, Tiling: lr.Best.Tiling, Schedule: lr.Best.Schedule, Batch: in.batch}
+	}
+	return specs, nil
+}
+
+// Simulate runs the cycle-accurate controller and energy model (the
+// validation path): one layer at a fixed design point, or - in network
+// mode - every layer of a workload at its DSE-picked design point.
+// Results are engine-independent (serial and parallel are bit-for-bit
+// identical), so the engine choice is excluded from the cache key;
+// like DSE, the evaluation is detached from any one caller and a
+// distributed runner shards network jobs across cluster workers.
+func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	in, err := s.parseSimulate(req)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := s.simSpecsFor(in)
+	if err != nil {
+		return nil, err
+	}
+	job := SimulateJob{
+		Backend: in.backend, Policy: in.policy, Specs: specs,
+		BytesPerElement: in.bpe,
+		PagePolicy:      in.pagePolicy, Scheduler: in.scheduler,
+		Parallel: in.parallel,
+	}
+	// The cache key is the job minus the engine choice: either engine
+	// produces the identical response, so serial and parallel requests
+	// share one entry.
+	type simKey struct {
+		Backend    dram.Backend
+		Policy     int
+		Specs      []core.LayerSpec
+		BPE        int
+		Scheduler  memctrl.Scheduler
+		PagePolicy memctrl.PagePolicy
+	}
+	key := simKey{
+		Backend: in.backend, Policy: in.policyID, Specs: specs,
+		BPE: in.bpe, Scheduler: in.scheduler, PagePolicy: in.pagePolicy,
+	}
+	engineName := "serial"
+	if in.parallel {
+		engineName = "parallel"
+	}
+	// As with DSE, the "sim.run" span opens before the detached
+	// evaluation context is captured, so per-layer and shard spans
+	// recorded by the compute closure parent under it.
+	sctx, span := obs.StartSpan(ctx, "sim.run",
+		obs.Str("backend", in.backend.ID),
+		obs.Str("engine", engineName),
+		obs.Int("policy", in.policyID),
+		obs.Int("layers", len(specs)))
+	evalCtx := context.WithoutCancel(sctx)
+	v, shared, err := s.doBounded(ctx, "simulate", key, func() (any, error) {
+		start := time.Now()
+		res, err := s.runSimJob(evalCtx, job)
+		if err != nil {
+			return nil, err
+		}
+		s.simEngineSeconds.With(engineName).Observe(time.Since(start).Seconds())
+		tm := in.backend.Config.Timing
+		resp := &SimulateResponse{Arch: in.backend.Name}
+		var total core.LayerEDP
+		for _, lr := range res {
+			total.Add(lr.Cost)
+			for kind, n := range lr.Commands {
+				s.simCommands.With(kind).Add(n)
+			}
+		}
+		if in.networkMode {
+			resp.Network = in.network.Name
+			resp.Layers = make([]SimulateLayerJSON, len(res))
+			for i, lr := range res {
+				resp.Layers[i] = simLayerToJSON(lr, tm)
+			}
+			resp.Cost = report.LayerEDPToJSON(total, tm)
+		} else {
+			resp.Layer = in.spec.Layer.Name
+			resp.Cost = report.LayerEDPToJSON(res[0].Cost, tm)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		span.Fail(err)
+		span.End()
+		return nil, err
+	}
+	span.SetAttr(obs.Bool("cache_hit", shared))
+	span.End()
 	resp := *(v.(*SimulateResponse))
 	resp.Cached = shared
 	return &resp, nil

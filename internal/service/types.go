@@ -98,31 +98,75 @@ type PoliciesResponse struct {
 	Policies []report.PolicyJSON `json:"policies"`
 }
 
-// SimulateRequest asks for a trace-driven layer simulation - the
-// validation path of the tool flow (cycle-accurate controller + energy
-// model instead of the analytical counts).
+// SimulateRequest asks for a trace-driven simulation - the validation
+// path of the tool flow (cycle-accurate controller + energy model
+// instead of the analytical counts). Two modes share the endpoint:
+// single-layer (Layer + Tiling + Schedule, the original surface) and
+// whole-network (Network), where each layer first gets its
+// tiling/schedule picked by the DSE under the requested policy and
+// then simulates at that design point.
 type SimulateRequest struct {
 	// Arch is a registered DRAM backend ID.
 	Arch string `json:"arch"`
 	// Policy is the mapping ID (1-6, or 0 for the commodity default).
 	Policy int `json:"policy"`
-	// Layer is the simulated layer's geometry.
-	Layer LayerJSON `json:"layer"`
-	// Tiling fixes the partitioning under test.
-	Tiling report.TilingJSON `json:"tiling"`
-	// Schedule is ifms, wghs, ofms or adaptive.
-	Schedule string `json:"schedule"`
+	// Network names a built-in workload (alexnet, vgg16, lenet5,
+	// resnet18) for whole-network simulation. Give either Network or
+	// Layer+Tiling, not both.
+	Network string `json:"network,omitempty"`
+	// Layer is the simulated layer's geometry (single-layer mode).
+	Layer LayerJSON `json:"layer,omitzero"`
+	// Tiling fixes the partitioning under test (single-layer mode).
+	Tiling report.TilingJSON `json:"tiling,omitzero"`
+	// Schedule is ifms, wghs, ofms or adaptive. Required in
+	// single-layer mode; defaults to adaptive in network mode.
+	Schedule string `json:"schedule,omitempty"`
 	// Batch defaults to 1.
 	Batch int `json:"batch,omitempty"`
 	// BytesPerElement defaults to the service accelerator's element
 	// width (1 for the paper's int8 Table II datapath).
 	BytesPerElement int `json:"bytes_per_element,omitempty"`
+	// Scheduler picks the controller's request scheduler: fcfs (the
+	// default, the paper's Table II) or frfcfs.
+	Scheduler string `json:"scheduler,omitempty"`
+	// PagePolicy picks the controller's row policy: open (default) or
+	// closed.
+	PagePolicy string `json:"page_policy,omitempty"`
+	// Engine picks the event engine: serial (default) or parallel.
+	// The engines produce bit-for-bit identical results (the choice is
+	// excluded from the result cache key); parallel overlaps
+	// independent tile streams across cores.
+	Engine string `json:"engine,omitempty"`
 }
 
-// SimulateResponse is the simulated layer cost.
+// SimulateLayerJSON is one layer's simulated outcome in network-mode
+// responses and "sim_layer" job events.
+type SimulateLayerJSON struct {
+	// Index is the layer's position in the network.
+	Index int `json:"index"`
+	// Name is the layer's name.
+	Name string `json:"name"`
+	// Cost is the simulated DRAM cost.
+	Cost report.LayerEDPJSON `json:"cost"`
+	// Groups counts the layer's distinct tile streams.
+	Groups int `json:"groups"`
+	// Requests counts the simulated burst requests.
+	Requests int64 `json:"requests"`
+	// Commands counts the issued DRAM commands.
+	Commands int64 `json:"commands"`
+}
+
+// SimulateResponse is the simulated cost: a single layer's, or - in
+// network mode - every layer's plus the network total.
 type SimulateResponse struct {
-	Arch   string              `json:"arch"`
-	Layer  string              `json:"layer"`
+	Arch string `json:"arch"`
+	// Layer names the simulated layer (single-layer mode).
+	Layer string `json:"layer,omitempty"`
+	// Network names the simulated workload (network mode), with the
+	// per-layer outcomes in Layers.
+	Network string              `json:"network,omitempty"`
+	Layers  []SimulateLayerJSON `json:"layers,omitempty"`
+	// Cost is the layer's cost, or the network total in network mode.
 	Cost   report.LayerEDPJSON `json:"cost"`
 	Cached bool                `json:"cached"`
 }

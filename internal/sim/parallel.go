@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelEngine delivers the events of one tick concurrently across
+// domains, with a barrier before the clock advances: within a domain,
+// events fire in (tick, schedule-order) exactly as the serial engine
+// delivers them; across domains, they overlap on the worker pool.
+// Events a handler schedules at the current tick join the same tick in
+// a later round (the barrier repeats until the tick drains), so the
+// serial-engine semantics are preserved whenever same-tick events of
+// different domains touch disjoint state. Schedule is safe to call
+// from concurrent handlers; Run is not reentrant.
+type ParallelEngine struct {
+	workers int
+
+	mu        sync.Mutex
+	queue     eventHeap
+	scheduled int64
+
+	now     atomic.Int64
+	started atomic.Bool
+}
+
+// NewParallelEngine builds a parallel engine running at most workers
+// domains concurrently per tick; workers <= 0 means one per logical
+// CPU.
+func NewParallelEngine(workers int) *ParallelEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelEngine{workers: workers}
+}
+
+// Schedule enqueues an event; scheduling before the current tick
+// panics (see Engine). Safe for concurrent use.
+func (e *ParallelEngine) Schedule(ev Event) {
+	if e.started.Load() && ev.Tick() < e.now.Load() {
+		panic(fmt.Sprintf("sim: scheduling event at tick %d before current tick %d", ev.Tick(), e.now.Load()))
+	}
+	e.mu.Lock()
+	e.scheduled++
+	heap.Push(&e.queue, eventItem{ev: ev, tick: ev.Tick(), seq: e.scheduled})
+	e.mu.Unlock()
+}
+
+// Run delivers rounds of same-tick events until the queue drains, a
+// handler fails, or ctx is canceled. Each round takes every currently
+// queued event of the minimum tick, partitions them by domain, and
+// runs the partitions on the worker pool behind a barrier; the first
+// error (in domain partition order, for determinism) aborts the run.
+func (e *ParallelEngine) Run(ctx context.Context) error {
+	for {
+		batch, tick, ok := e.popRound()
+		if !ok {
+			return nil
+		}
+		e.now.Store(tick)
+		e.started.Store(true)
+		if err := e.runRound(ctx, batch); err != nil {
+			return err
+		}
+	}
+}
+
+// popRound removes and returns every queued event of the minimum tick,
+// in (tick, schedule-order).
+func (e *ParallelEngine) popRound() ([]eventItem, int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.queue.Len() == 0 {
+		return nil, 0, false
+	}
+	tick := e.queue[0].tick
+	var batch []eventItem
+	for e.queue.Len() > 0 && e.queue[0].tick == tick {
+		batch = append(batch, heap.Pop(&e.queue).(eventItem))
+	}
+	return batch, tick, true
+}
+
+// runRound partitions a round's events by domain (first-appearance
+// order, so error selection is deterministic) and runs the partitions
+// concurrently with a barrier.
+func (e *ParallelEngine) runRound(ctx context.Context, batch []eventItem) error {
+	var order []any
+	groups := make(map[any][]eventItem)
+	for _, it := range batch {
+		k := domainKey(it.ev.Handler())
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], it)
+	}
+	if len(order) == 1 {
+		return runDomain(ctx, groups[order[0]])
+	}
+	errs := make([]error, len(order))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i, k := range order {
+		wg.Add(1)
+		go func(i int, events []eventItem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = runDomain(ctx, events)
+		}(i, groups[k])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDomain delivers one domain's slice of a round sequentially,
+// checking ctx between events so a cancel interrupts even a
+// single-tick run.
+func runDomain(ctx context.Context, events []eventItem) error {
+	for _, it := range events {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := it.ev.Handler().Handle(it.ev); err != nil {
+			return fmt.Errorf("sim: tick %d: %w", it.tick, err)
+		}
+	}
+	return nil
+}
+
+// Now returns the current tick.
+func (e *ParallelEngine) Now() int64 { return e.now.Load() }
+
+// Scheduled returns how many events have been scheduled in total.
+func (e *ParallelEngine) Scheduled() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.scheduled
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+)
+
+// SerialEngine delivers events one at a time in (tick, schedule-order):
+// the deterministic reference driver. It is not safe for concurrent
+// use; the parallel driver exists for that.
+type SerialEngine struct {
+	queue     eventHeap
+	now       int64
+	started   bool
+	scheduled int64
+}
+
+// NewSerialEngine builds an empty serial engine.
+func NewSerialEngine() *SerialEngine {
+	return &SerialEngine{}
+}
+
+// Schedule enqueues an event; scheduling before the current tick
+// panics (see Engine).
+func (e *SerialEngine) Schedule(ev Event) {
+	if e.started && ev.Tick() < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at tick %d before current tick %d", ev.Tick(), e.now))
+	}
+	e.scheduled++
+	heap.Push(&e.queue, eventItem{ev: ev, tick: ev.Tick(), seq: e.scheduled})
+}
+
+// Run drains the queue in (tick, schedule-order). ctx is checked
+// before every delivery, so a cancel interrupts even a single-tick run
+// at event granularity.
+func (e *SerialEngine) Run(ctx context.Context) error {
+	for e.queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it := heap.Pop(&e.queue).(eventItem)
+		e.now = it.tick
+		e.started = true
+		if err := it.ev.Handler().Handle(it.ev); err != nil {
+			return fmt.Errorf("sim: tick %d: %w", it.tick, err)
+		}
+	}
+	return nil
+}
+
+// Now returns the current tick.
+func (e *SerialEngine) Now() int64 { return e.now }
+
+// Scheduled returns how many events have been scheduled in total.
+func (e *SerialEngine) Scheduled() int64 { return e.scheduled }

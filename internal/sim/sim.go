@@ -1,0 +1,127 @@
+// Package sim is a discrete-event simulation kernel in the style of
+// akita's engine: components schedule events at integer ticks, an
+// engine drives them in time order, and handlers react by mutating
+// their own state and scheduling further events.
+//
+// Two drivers share the Engine interface. NewSerialEngine pops events
+// one at a time from a (tick, sequence) min-heap - fully deterministic,
+// the reference driver. NewParallelEngine executes the events of one
+// tick concurrently across domains (see Domain) with a barrier before
+// the clock advances, so independent components - in DRMap's use, the
+// per-tile-stream memory controllers of a layer simulation - run on all
+// cores while every domain still observes its own events in exactly the
+// serial order. A program whose same-tick events touch disjoint state
+// per domain therefore produces bit-for-bit identical results under
+// both drivers; the memctrl equivalence suite pins that property for
+// the paper's controllers.
+package sim
+
+import "context"
+
+// Event is one scheduled occurrence: a tick at which it fires and the
+// handler that consumes it. Events are values; schedule a new one
+// rather than mutating a delivered one.
+type Event interface {
+	// Tick is the simulation time the event fires at.
+	Tick() int64
+	// Handler returns the component that handles the event.
+	Handler() Handler
+}
+
+// Handler consumes events. A handler's events are always delivered in
+// (tick, schedule-order) sequence, on one goroutine at a time, under
+// both drivers; returning an error aborts the run.
+type Handler interface {
+	Handle(e Event) error
+}
+
+// Domain is a unit of parallelism: handlers that share mutable state
+// declare the same Domain (via the Domained interface), and the
+// parallel engine serializes their same-tick events while running
+// different domains concurrently. Handlers that declare no domain are
+// each their own implicit domain.
+type Domain struct {
+	name string
+}
+
+// NewDomain names a scheduling domain. The name is only for debugging;
+// identity is the pointer.
+func NewDomain(name string) *Domain { return &Domain{name: name} }
+
+// Name returns the domain's debug name.
+func (d *Domain) Name() string {
+	if d == nil {
+		return ""
+	}
+	return d.name
+}
+
+// Domained is implemented by handlers that belong to an explicit
+// scheduling domain. The parallel engine groups same-tick events by
+// domain; handlers without one are grouped by handler identity.
+type Domained interface {
+	Domain() *Domain
+}
+
+// Engine drives scheduled events in tick order until none remain.
+// Implementations are safe for Schedule calls from handlers during Run
+// (the parallel driver accepts them from concurrent domains); Run
+// itself must not be called concurrently with itself.
+type Engine interface {
+	// Schedule enqueues an event. Scheduling into the past (a tick
+	// before the engine's current time) panics: the causality bug is in
+	// the caller, and silently reordering it would corrupt the run.
+	Schedule(e Event)
+	// Run delivers events in (tick, schedule-order) until the queue
+	// drains, a handler fails, or ctx is canceled. It returns the
+	// handler's error, ctx.Err() on cancellation, and nil on a drained
+	// queue. After a non-nil return the queue may hold undelivered
+	// events; the run is abandoned, not resumable.
+	Run(ctx context.Context) error
+	// Now returns the current simulation tick: the tick of the last
+	// delivered event (0 before any).
+	Now() int64
+	// Scheduled returns how many events have been scheduled in total.
+	Scheduled() int64
+}
+
+// eventItem orders events by (tick, seq): seq is the global schedule
+// order, so same-tick events fire in the order they were scheduled -
+// the determinism contract both drivers share.
+type eventItem struct {
+	ev   Event
+	tick int64
+	seq  int64
+}
+
+// eventHeap is a min-heap of eventItems (container/heap interface).
+type eventHeap []eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(eventItem)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// domainKey resolves the scheduling domain of an event's handler: the
+// declared Domain when the handler is Domained, else the handler
+// itself (each undeclared handler is its own domain).
+func domainKey(h Handler) any {
+	if d, ok := h.(Domained); ok {
+		if dom := d.Domain(); dom != nil {
+			return dom
+		}
+	}
+	return h
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// recorder is a test handler that logs the ticks of the events it
+// receives, optionally scheduling follow-ups or failing.
+type recorder struct {
+	dom   *Domain
+	log   []int64
+	onEvt func(*recorder, testEvent) error
+}
+
+func (r *recorder) Handle(e Event) error {
+	te := e.(testEvent)
+	r.log = append(r.log, te.tick)
+	if r.onEvt != nil {
+		return r.onEvt(r, te)
+	}
+	return nil
+}
+
+func (r *recorder) Domain() *Domain { return r.dom }
+
+// testEvent is a minimal Event carrying an identifying payload.
+type testEvent struct {
+	tick int64
+	h    Handler
+	id   int
+}
+
+func (e testEvent) Tick() int64      { return e.tick }
+func (e testEvent) Handler() Handler { return e.h }
+
+func TestSerialEngineOrdersByTickThenScheduleOrder(t *testing.T) {
+	eng := NewSerialEngine()
+	r := &recorder{}
+	// Scheduled out of tick order; same-tick events keep schedule order.
+	for _, tick := range []int64{5, 1, 5, 0, 1} {
+		eng.Schedule(testEvent{tick: tick, h: r})
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int64{0, 1, 1, 5, 5}
+	if !reflect.DeepEqual(r.log, want) {
+		t.Errorf("delivery order %v, want %v", r.log, want)
+	}
+	if eng.Now() != 5 {
+		t.Errorf("Now() = %d after drain, want 5", eng.Now())
+	}
+	if eng.Scheduled() != 5 {
+		t.Errorf("Scheduled() = %d, want 5", eng.Scheduled())
+	}
+}
+
+func TestHandlerSchedulesFollowUpsDuringRun(t *testing.T) {
+	for name, eng := range map[string]Engine{
+		"serial":   NewSerialEngine(),
+		"parallel": NewParallelEngine(2),
+	} {
+		r := &recorder{onEvt: func(r *recorder, e testEvent) error {
+			// Chain follow-ups, alternating same-tick and next-tick.
+			if e.id < 3 {
+				eng.Schedule(testEvent{tick: e.tick + int64(e.id%2), h: r, id: e.id + 1})
+			}
+			return nil
+		}}
+		eng.Schedule(testEvent{tick: 1, h: r, id: 0})
+		if err := eng.Run(context.Background()); err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		if len(r.log) != 4 {
+			t.Errorf("%s: delivered %d events, want 4 (chained)", name, len(r.log))
+		}
+		if eng.Scheduled() != 4 {
+			t.Errorf("%s: Scheduled() = %d, want 4", name, eng.Scheduled())
+		}
+	}
+}
+
+func TestScheduleIntoPastPanics(t *testing.T) {
+	for name, eng := range map[string]Engine{
+		"serial":   NewSerialEngine(),
+		"parallel": NewParallelEngine(2),
+	} {
+		r := &recorder{onEvt: func(r *recorder, e testEvent) error {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: scheduling into the past did not panic", name)
+				}
+			}()
+			eng.Schedule(testEvent{tick: e.tick - 1, h: r})
+			return nil
+		}}
+		eng.Schedule(testEvent{tick: 3, h: r})
+		if err := eng.Run(context.Background()); err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+	}
+}
+
+func TestHandlerErrorAbortsRun(t *testing.T) {
+	boom := errors.New("boom")
+	for name, eng := range map[string]Engine{
+		"serial":   NewSerialEngine(),
+		"parallel": NewParallelEngine(2),
+	} {
+		r := &recorder{onEvt: func(r *recorder, e testEvent) error {
+			if e.id == 1 {
+				return boom
+			}
+			return nil
+		}}
+		eng.Schedule(testEvent{tick: 0, h: r, id: 0})
+		eng.Schedule(testEvent{tick: 1, h: r, id: 1})
+		eng.Schedule(testEvent{tick: 2, h: r, id: 2})
+		err := eng.Run(context.Background())
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s: Run returned %v, want the handler's error", name, err)
+		}
+		if want := "sim: tick 1:"; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+			t.Errorf("%s: error %q not wrapped with the failing tick", name, err)
+		}
+		if len(r.log) != 2 {
+			t.Errorf("%s: %d events delivered after mid-run failure, want 2", name, len(r.log))
+		}
+	}
+}
+
+func TestCancelInterruptsSingleTickRun(t *testing.T) {
+	// All events at tick 0 - the ArrivalGap=0 shape every DRMap layer
+	// simulation uses - so only per-event ctx checks can interrupt.
+	for name, eng := range map[string]Engine{
+		"serial":   NewSerialEngine(),
+		"parallel": NewParallelEngine(2),
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		r := &recorder{onEvt: func(r *recorder, e testEvent) error {
+			if len(r.log) == 2 {
+				cancel()
+			}
+			return nil
+		}}
+		for i := 0; i < 100; i++ {
+			eng.Schedule(testEvent{tick: 0, h: r, id: i})
+		}
+		err := eng.Run(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: Run returned %v, want context.Canceled", name, err)
+		}
+		if len(r.log) >= 100 {
+			t.Errorf("%s: cancel did not interrupt the tick (all %d events delivered)", name, len(r.log))
+		}
+	}
+}
+
+// TestParallelMatchesSerialPerDomain pins the equivalence contract: for
+// a seeded random program over several domains, every domain observes
+// the identical event sequence under both drivers.
+func TestParallelMatchesSerialPerDomain(t *testing.T) {
+	const domains, events = 8, 200
+	run := func(eng Engine) [][]int64 {
+		rng := rand.New(rand.NewSource(12345))
+		recs := make([]*recorder, domains)
+		for d := range recs {
+			recs[d] = &recorder{dom: NewDomain(fmt.Sprintf("d%d", d))}
+		}
+		for i := 0; i < events; i++ {
+			eng.Schedule(testEvent{tick: int64(rng.Intn(20)), h: recs[rng.Intn(domains)], id: i})
+		}
+		if err := eng.Run(context.Background()); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		logs := make([][]int64, domains)
+		for d, r := range recs {
+			logs[d] = r.log
+		}
+		return logs
+	}
+	serial := run(NewSerialEngine())
+	parallel := run(NewParallelEngine(4))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("per-domain event sequences diverged:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}
+
+// TestParallelDomainsOverlap proves same-tick events of different
+// domains really run concurrently: two handlers rendezvous mid-event,
+// which deadlocks (and trips the timeout) under serial delivery.
+func TestParallelDomainsOverlap(t *testing.T) {
+	eng := NewParallelEngine(2)
+	a := make(chan struct{})
+	b := make(chan struct{})
+	meet := func(signal, wait chan struct{}) func(*recorder, testEvent) error {
+		return func(*recorder, testEvent) error {
+			close(signal)
+			select {
+			case <-wait:
+				return nil
+			case <-time.After(10 * time.Second):
+				return errors.New("domains did not overlap")
+			}
+		}
+	}
+	eng.Schedule(testEvent{tick: 0, h: &recorder{dom: NewDomain("a"), onEvt: meet(a, b)}})
+	eng.Schedule(testEvent{tick: 0, h: &recorder{dom: NewDomain("b"), onEvt: meet(b, a)}})
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestImplicitDomainsByHandlerIdentity: handlers that declare no domain
+// are each their own domain, so two plain handlers still overlap.
+func TestImplicitDomainsByHandlerIdentity(t *testing.T) {
+	type plain struct{ recorder }
+	eng := NewParallelEngine(2)
+	a := make(chan struct{})
+	b := make(chan struct{})
+	mk := func(signal, wait chan struct{}) *plain {
+		p := &plain{}
+		p.onEvt = func(*recorder, testEvent) error {
+			close(signal)
+			select {
+			case <-wait:
+				return nil
+			case <-time.After(10 * time.Second):
+				return errors.New("implicit domains did not overlap")
+			}
+		}
+		return p
+	}
+	ha, hb := mk(a, b), mk(b, a)
+	eng.Schedule(testEvent{tick: 0, h: &ha.recorder})
+	eng.Schedule(testEvent{tick: 0, h: &hb.recorder})
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDomainName(t *testing.T) {
+	if got := NewDomain("tile-0").Name(); got != "tile-0" {
+		t.Errorf("Name() = %q", got)
+	}
+	var nilDom *Domain
+	if got := nilDom.Name(); got != "" {
+		t.Errorf("nil domain Name() = %q, want empty", got)
+	}
+}
