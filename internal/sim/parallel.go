@@ -106,10 +106,13 @@ func (e *ParallelEngine) runRound(ctx context.Context, batch []eventItem) error 
 	sem := make(chan struct{}, e.workers)
 	var wg sync.WaitGroup
 	for i, k := range order {
+		// Acquire before spawning: with one domain per tile stream a
+		// round can hold thousands of partitions, and taking the slot
+		// inside the goroutine would launch them all just to park.
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, events []eventItem) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			errs[i] = runDomain(ctx, events)
 		}(i, groups[k])
