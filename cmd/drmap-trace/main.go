@@ -63,7 +63,9 @@ func main() {
 		fmt.Printf("wrote %d requests to %s\n", len(reqs), *requestsPath)
 	}
 
-	ctrl, err := drmap.NewController(cfg, drmap.ControllerOptions{})
+	// Trace export needs the individual commands, so opt into full-log
+	// retention (off by default since the census carries the counts).
+	ctrl, err := drmap.NewController(cfg, drmap.ControllerOptions{RetainCommands: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -362,9 +362,10 @@ func SALPImprovement(points []Fig9Point, policyID int, arch Arch) (float64, erro
 
 // EnergyOfRun computes the energy breakdown of a controller run under
 // an energy model, wiring the controller's cycle accounting into the
-// model's activity summary.
+// model's activity summary. It works from the run's per-kind command
+// census, so it needs no retained command log.
 func EnergyOfRun(model *EnergyModel, sim *SimResult) EnergyBreakdown {
-	act := vampire.ActivityFrom(sim.Commands, sim.DeviceActiveCycles, sim.TotalCycles)
+	act := vampire.ActivityFromCounts(sim.KindCounts, sim.DeviceActiveCycles, sim.TotalCycles)
 	act.ExtraOpenSubarrayCycles = sim.ExtraOpenSubarrayCycles
 	return model.Energy(act)
 }

@@ -84,6 +84,21 @@ func SimLayersFrom(ctx context.Context) SimLayerSink {
 	return fn
 }
 
+// requestStream feeds one tile stream's requests to a controller agent
+// straight from the mapping policy's address walk - every tile starts
+// at the rank origin, so the k-th request is a pure function of k and
+// the stream never exists as a slice.
+type requestStream struct {
+	op  trace.Op
+	n   int64
+	gen mapping.AddressGen
+}
+
+func (s requestStream) Len() int { return int(s.n) }
+func (s requestStream) At(i int) trace.Request {
+	return trace.Request{Op: s.op, Addr: s.gen.At(int64(i))}
+}
+
 // layerSim tracks one layer's agents while the engine runs.
 type layerSim struct {
 	spec    LayerSpec
@@ -120,6 +135,14 @@ func SimulateNetwork(ctx context.Context, cfg dram.Config, pol mapping.Policy, s
 	}
 
 	accessBytes := int64(cfg.Geometry.AccessBytes())
+	// The layer reduction only reads the result's counters (census,
+	// cycles), so the per-request serviced log is dead weight here;
+	// dropping it keeps each stream's footprint independent of its
+	// length. Retention stays available via SimulateLayer for callers
+	// that want logs.
+	ctrlOpt := opt.Controller
+	ctrlOpt.DiscardServiced = true
+	gen := pol.Generator(cfg.Geometry)
 	results := make([]SimLayerResult, len(specs))
 	layers := make([]*layerSim, len(specs))
 	for li, spec := range specs {
@@ -131,25 +154,20 @@ func SimulateNetwork(ctx context.Context, cfg dram.Config, pol mapping.Policy, s
 		ls.pending.Store(int64(len(ls.groups)))
 		for _, grp := range ls.groups {
 			bursts := (grp.Elems*int64(opt.BytesPerElement) + accessBytes - 1) / accessBytes
-			addrs := pol.Addresses(bursts, cfg.Geometry)
-			reqs := make([]trace.Request, len(addrs))
 			op := trace.Read
 			if grp.Write {
 				op = trace.Write
 			}
-			for i, a := range addrs {
-				reqs[i] = trace.Request{Op: op, Addr: a}
-			}
-			ctrl, err := memctrl.New(cfg, opt.Controller)
+			ctrl, err := memctrl.New(cfg, ctrlOpt)
 			if err != nil {
 				return nil, err
 			}
-			agent, err := memctrl.NewAgent(eng, ctrl, reqs)
+			agent, err := memctrl.NewSourceAgent(eng, ctrl, requestStream{op: op, n: bursts, gen: gen})
 			if err != nil {
 				return nil, err
 			}
 			ls.agents = append(ls.agents, agent)
-			ls.nreqs = append(ls.nreqs, len(reqs))
+			ls.nreqs = append(ls.nreqs, int(bursts))
 		}
 		// The layer finalizes when its last stream does; the hook runs
 		// on the finishing agent's engine goroutine, and the atomic
@@ -199,14 +217,17 @@ func reduceLayer(index int, ls *layerSim, model *vampire.Model) SimLayerResult {
 			// finalized.
 			panic(err)
 		}
-		act := vampire.ActivityFrom(res.Commands, res.DeviceActiveCycles, res.TotalCycles)
+		act := vampire.ActivityFromCounts(res.KindCounts, res.DeviceActiveCycles, res.TotalCycles)
 		act.ExtraOpenSubarrayCycles = res.ExtraOpenSubarrayCycles
 		out.Cost.Cycles += float64(res.TotalCycles) * float64(grp.Loads)
 		out.Cost.Energy += model.Energy(act).Total() * float64(grp.Loads)
 		out.Requests += int64(ls.nreqs[gi])
-		for _, cmd := range res.Commands {
-			out.Commands[cmd.Kind.String()]++
-			out.TotalCommands++
+		for kind, n := range res.KindCounts {
+			if n == 0 {
+				continue // only issued kinds get map keys, as before
+			}
+			out.Commands[trace.CommandKind(kind).String()] += n
+			out.TotalCommands += n
 		}
 	}
 	return out

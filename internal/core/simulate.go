@@ -50,7 +50,7 @@ func SimulateGroups(cfg dram.Config, pol mapping.Policy, groups []tiling.TileGro
 		if err != nil {
 			return LayerEDP{}, err
 		}
-		act := vampire.ActivityFrom(res.Commands, res.DeviceActiveCycles, res.TotalCycles)
+		act := vampire.ActivityFromCounts(res.KindCounts, res.DeviceActiveCycles, res.TotalCycles)
 		act.ExtraOpenSubarrayCycles = res.ExtraOpenSubarrayCycles
 		total.Cycles += float64(res.TotalCycles) * float64(grp.Loads)
 		total.Energy += model.Energy(act).Total() * float64(grp.Loads)

@@ -282,40 +282,60 @@ func (p Policy) PhysicalCounts(bursts int64, g dram.Geometry) Counts {
 	return c
 }
 
+// AddressGen computes a policy's address walk one index at a time:
+// At(k) is the k-th element of the stream Addresses materializes. The
+// simulate path feeds controllers straight from a generator so a
+// multi-thousand-request tile stream costs no per-request storage.
+type AddressGen struct {
+	order [4]Level
+	sizes [4]int64
+	rps   int
+}
+
+// Generator precomputes the policy's per-level radices over g.
+func (p Policy) Generator(g dram.Geometry) AddressGen {
+	gen := AddressGen{order: p.Order, rps: g.RowsPerSubarray()}
+	for i, l := range p.Order {
+		gen.sizes[i] = levelSize(l, g)
+	}
+	return gen
+}
+
+// At returns the k-th address of the walk.
+func (gen AddressGen) At(k int64) dram.Address {
+	rem := k
+	var digit [4]int64
+	for i := 0; i < 4; i++ {
+		digit[i] = rem % gen.sizes[i]
+		rem /= gen.sizes[i]
+	}
+	var a dram.Address
+	var sa, rowInSA int64
+	for i, l := range gen.order {
+		switch l {
+		case LevelColumn:
+			a.Column = int(digit[i])
+		case LevelBank:
+			a.Bank = int(digit[i])
+		case LevelSubarray:
+			sa = digit[i]
+		case LevelRow:
+			rowInSA = digit[i]
+		}
+	}
+	a.Row = int(sa)*gen.rps + int(rowInSA)
+	return a
+}
+
 // Addresses lays out a tile of `bursts` accesses from the origin of the
 // rank according to the policy, returning the concrete address stream.
 // It is the executable form of the paper's Fig. 6 pseudo-code and feeds
 // the simulation-based validation of Counts.
 func (p Policy) Addresses(bursts int64, g dram.Geometry) []dram.Address {
-	rps := g.RowsPerSubarray()
+	gen := p.Generator(g)
 	addrs := make([]dram.Address, 0, bursts)
-	var sizes [4]int64
-	for i, l := range p.Order {
-		sizes[i] = levelSize(l, g)
-	}
 	for k := int64(0); k < bursts; k++ {
-		rem := k
-		var digit [4]int64
-		for i := 0; i < 4; i++ {
-			digit[i] = rem % sizes[i]
-			rem /= sizes[i]
-		}
-		var a dram.Address
-		var sa, rowInSA int64
-		for i, l := range p.Order {
-			switch l {
-			case LevelColumn:
-				a.Column = int(digit[i])
-			case LevelBank:
-				a.Bank = int(digit[i])
-			case LevelSubarray:
-				sa = digit[i]
-			case LevelRow:
-				rowInSA = digit[i]
-			}
-		}
-		a.Row = int(sa)*rps + int(rowInSA)
-		addrs = append(addrs, a)
+		addrs = append(addrs, gen.At(k))
 	}
 	return addrs
 }

@@ -1,0 +1,104 @@
+package memctrl
+
+import "math/bits"
+
+// busWindow tracks the occupied command-bus cycles of one channel as a
+// sliding bitset, replacing the map[int64]struct{} + linear t++ probe
+// of the original issueCmd. Bit b of words[i] covers cycle
+// base + 64*i + b; a set bit means the cycle is taken.
+//
+// Two invariants make the window exact against the map semantics even
+// though command issue is only *near*-monotonic (the scheduler can slot
+// a command arbitrarily far before the frontier, e.g. a MASA SASEL
+// probed from cycle 0):
+//
+//   - every cycle below base is occupied: base only ever advances
+//     across words that were completely full, so clamping a probe up to
+//     the window start lands exactly where the map's t++ walk would;
+//   - words[:lo] are completely full (the low watermark), letting the
+//     same clamp skip the occupied prefix inside the window without
+//     scanning it.
+//
+// When a probe lands past the current window - a refresh stall or a
+// large arrival gap jumping the frontier - the window grows to cover
+// it, first compacting the full prefix away so capacity tracks the
+// live span between the watermark and the frontier rather than the
+// whole run.
+type busWindow struct {
+	base  int64 // cycle of bit 0 of words[0]; all cycles < base are taken
+	lo    int   // words[:lo] are all ones (low watermark)
+	words []uint64
+}
+
+// watermark returns the first cycle that could possibly be free.
+func (w *busWindow) watermark() int64 { return w.base + int64(w.lo)<<6 }
+
+// reserve claims the first free cycle at or after earliest and returns
+// it - exactly the cycle the map-based probe would have claimed.
+// earliest must be >= 0 (issueCmd clamps before calling).
+func (w *busWindow) reserve(earliest int64) int64 {
+	t := earliest
+	if wm := w.watermark(); t < wm {
+		t = wm
+	}
+	if int64(len(w.words))<<6 <= t-w.base {
+		w.ensure(t)
+	}
+	idx := int((t - w.base) >> 6)
+	mask := ^uint64(0) << (uint(t-w.base) & 63)
+	for {
+		if idx >= len(w.words) {
+			cyc := w.base + int64(idx)<<6
+			w.ensure(cyc) // may compact, shifting base
+			idx = int((cyc - w.base) >> 6)
+		}
+		if free := ^w.words[idx] & mask; free != 0 {
+			b := bits.TrailingZeros64(free)
+			w.words[idx] |= 1 << uint(b)
+			for w.lo < len(w.words) && w.words[w.lo] == ^uint64(0) {
+				w.lo++
+			}
+			return w.base + int64(idx)<<6 + int64(b)
+		}
+		idx++
+		mask = ^uint64(0)
+	}
+}
+
+// ensure compacts the full prefix away and grows words so the window
+// covers cycle t.
+func (w *busWindow) ensure(t int64) {
+	if w.lo > 0 {
+		n := copy(w.words, w.words[w.lo:])
+		clear(w.words[n:])
+		w.base += int64(w.lo) << 6
+		w.lo = 0
+	}
+	need := int((t-w.base)>>6) + 1
+	if need <= len(w.words) {
+		return
+	}
+	if need <= cap(w.words) {
+		old := len(w.words)
+		w.words = w.words[:need]
+		clear(w.words[old:])
+		return
+	}
+	newCap := 2 * cap(w.words)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 64 {
+		newCap = 64
+	}
+	grown := make([]uint64, need, newCap)
+	copy(grown, w.words)
+	w.words = grown
+}
+
+// reset clears the window for a fresh run, keeping the allocated
+// capacity for reuse.
+func (w *busWindow) reset() {
+	w.base, w.lo = 0, 0
+	clear(w.words)
+}

@@ -1,0 +1,205 @@
+package memctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"drmap/internal/dram"
+)
+
+// busMapModel is the retired bus-occupancy bookkeeping, kept verbatim
+// as the reference model: a set of taken cycles probed by linear t++
+// walk from the earliest candidate. busWindow.reserve must grant the
+// identical cycle for the identical probe sequence.
+type busMapModel map[int64]struct{}
+
+func (m busMapModel) reserve(earliest int64) int64 {
+	t := earliest
+	for {
+		if _, busy := m[t]; !busy {
+			m[t] = struct{}{}
+			return t
+		}
+		t++
+	}
+}
+
+// checkReserve runs one probe through both implementations and fails on
+// the first divergence, reporting the probe index for replay.
+func checkReserve(t *testing.T, w *busWindow, m busMapModel, step int, earliest int64) {
+	t.Helper()
+	got := w.reserve(earliest)
+	want := m.reserve(earliest)
+	if got != want {
+		t.Fatalf("probe %d: reserve(%d) = %d, map probe = %d", step, earliest, got, want)
+	}
+}
+
+// TestBusWindowMatchesMapProbe is the seeded property test pinning the
+// bitset window bit-for-bit against the map-based probe across the
+// probe shapes issueCmd actually produces: near-monotonic walks with
+// duplicate-cycle collisions (several commands computing the same
+// earliest free cycle), probes from cycle 0 long after the frontier (a
+// MASA SASEL has no timing predecessor), and forward jumps far past the
+// low watermark and past the allocated window (refresh stalls, arrival
+// gaps), which force the compact-and-grow path.
+func TestBusWindowMatchesMapProbe(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			var w busWindow
+			m := busMapModel{}
+			frontier := int64(0)
+			for step := 0; step < 5000; step++ {
+				var earliest int64
+				switch k := rng.Intn(100); {
+				case k < 55:
+					// Near-monotonic: at or just behind the frontier,
+					// colliding with occupied cycles.
+					earliest = frontier - rng.Int63n(8)
+				case k < 70:
+					// Exact duplicate of the previous grant - two
+					// commands whose timing constraints resolve to the
+					// same cycle, the collision the t++ walk existed for.
+					earliest = frontier
+				case k < 80:
+					// Probe from zero: everything below the watermark is
+					// occupied, the clamp must land where t++ would.
+					earliest = 0
+				case k < 95:
+					// Refresh-sized stall past the watermark but inside
+					// or near the window (tRFC-scale).
+					earliest = frontier + rng.Int63n(512)
+				default:
+					// Far jump beyond the allocated window: forces
+					// ensure() to compact the full prefix and grow.
+					earliest = frontier + 4096 + rng.Int63n(1<<16)
+				}
+				if earliest < 0 {
+					earliest = 0
+				}
+				got := w.reserve(earliest)
+				want := m.reserve(earliest)
+				if got != want {
+					t.Fatalf("step %d: reserve(%d) = %d, map probe = %d", step, earliest, got, want)
+				}
+				if got > frontier {
+					frontier = got
+				}
+			}
+		})
+	}
+}
+
+// TestBusWindowResetReuse pins the reset path: a window reused across
+// runs (the controller pools them) must behave like a fresh map.
+func TestBusWindowResetReuse(t *testing.T) {
+	var w busWindow
+	for run := 0; run < 3; run++ {
+		m := busMapModel{}
+		rng := rand.New(rand.NewSource(int64(run)))
+		frontier := int64(0)
+		for step := 0; step < 500; step++ {
+			earliest := frontier - rng.Int63n(16)
+			if earliest < 0 {
+				earliest = 0
+			}
+			checkReserve(t, &w, m, step, earliest)
+			if earliest > frontier {
+				frontier = earliest
+			}
+			frontier++
+		}
+		w.reset()
+	}
+}
+
+// FuzzBusWindowReserve fuzzes arbitrary probe sequences against the map
+// model. Each pair of input bytes encodes one probe as a signed offset
+// from the last granted cycle, so the corpus can express collisions
+// (offset <= 0), zero resets, and jumps of up to ~32k cycles. The
+// seeded corpus covers the structured cases; `go test` replays it on
+// every run, and `go test -fuzz=FuzzBusWindowReserve` explores further.
+func FuzzBusWindowReserve(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0})             // pure collisions at cycle 0
+	f.Add([]byte{0x10, 0x00, 0x10, 0x00, 0, 0}) // small forward steps
+	f.Add([]byte{0xff, 0x7f, 0xff, 0x7f, 0, 0}) // max jumps past the window
+	seeded := make([]byte, 256)
+	rand.New(rand.NewSource(42)).Read(seeded)
+	f.Add(seeded)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w busWindow
+		m := busMapModel{}
+		last := int64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			delta := int64(int16(binary.LittleEndian.Uint16(data[i:])))
+			earliest := last + delta
+			if earliest < 0 {
+				earliest = 0
+			}
+			got := w.reserve(earliest)
+			want := m.reserve(earliest)
+			if got != want {
+				t.Fatalf("probe %d: reserve(%d) = %d, map probe = %d", i/2, earliest, got, want)
+			}
+			last = got
+		}
+	})
+}
+
+// TestControllerBusMatchesMapProbe replays every bus reservation of
+// full controller runs through the retired map-based probe, across the
+// whole architecture x scheduler x page-policy x refresh matrix (plus
+// an arrival-gap axis that jumps the frontier past the window each
+// request). The busProbe seam records the earliest cycle issueCmd
+// actually passed to reserve - after the request floor and refresh
+// adjustments - so the shadow map sees exactly the probe stream the old
+// code saw, and every granted cycle is pinned bit-for-bit.
+func TestControllerBusMatchesMapProbe(t *testing.T) {
+	for _, arch := range dram.Archs {
+		cfg := dram.ConfigFor(arch)
+		reqs := randomRequests(777, 400, cfg.Geometry)
+		for _, sched := range []Scheduler{FCFS, FRFCFS} {
+			for _, pp := range []PagePolicy{OpenRow, ClosedRow} {
+				for _, refresh := range []bool{false, true} {
+					for _, gap := range []int{0, 5000} {
+						opt := Options{
+							Scheduler:     sched,
+							PagePolicy:    pp,
+							EnableRefresh: refresh,
+							ArrivalGap:    gap,
+						}
+						name := fmt.Sprintf("%s/%s/%s/refresh=%v/gap=%d",
+							arch, sched, pp, refresh, gap)
+						t.Run(name, func(t *testing.T) {
+							c, err := New(cfg, opt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							shadow := make([]busMapModel, cfg.Geometry.Channels)
+							for i := range shadow {
+								shadow[i] = busMapModel{}
+							}
+							probes := 0
+							c.busProbe = func(ch int, earliest, issued int64) {
+								probes++
+								if want := shadow[ch].reserve(earliest); want != issued {
+									t.Fatalf("probe %d ch %d: window granted %d, map probe %d (earliest %d)",
+										probes, ch, issued, want, earliest)
+								}
+							}
+							if _, err := c.Run(reqs); err != nil {
+								t.Fatal(err)
+							}
+							if probes < len(reqs) {
+								t.Fatalf("only %d probes for %d requests", probes, len(reqs))
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,30 @@ import (
 	"drmap/internal/trace"
 )
 
+// RequestSource yields a request stream by index, letting callers feed
+// an agent without materializing the stream: At(i) must be a pure
+// function of i (it may be called more than once per index), and Len
+// must be constant over the agent's life. The simulate path implements
+// it directly over the mapping policy's address walk.
+type RequestSource interface {
+	Len() int
+	At(i int) trace.Request
+}
+
+// sliceSource adapts a materialized request slice.
+type sliceSource []trace.Request
+
+func (s sliceSource) Len() int               { return len(s) }
+func (s sliceSource) At(i int) trace.Request { return s[i] }
+
+// arrivalChunk is the agent's scheduling window: how many arrival
+// events are live on the engine at once. Arrivals fire strictly in
+// index order, so when the last event of a window is handled every
+// ring slot of the window has been delivered and the next window can
+// reuse them - the engine queue and the event storage stay O(window)
+// instead of O(stream).
+const arrivalChunk = 256
+
 // Agent drives one Controller as a discrete-event component on a
 // sim.Engine: the controller's request stream becomes arrival events
 // (request i of the service order arrives at tick i*ArrivalGap; with
@@ -22,13 +46,23 @@ import (
 // agents (one controller per tile stream) concurrently while every
 // individual stream stays strictly sequential.
 type Agent struct {
-	ctrl  *Controller
-	dom   *sim.Domain
-	reqs  []trace.Request
-	order []int // service order: indices into reqs
-	next  int   // arrivals handled so far
-	done  bool
-	res   *Result
+	ctrl *Controller
+	eng  sim.Engine
+	dom  *sim.Domain
+	src  RequestSource
+	n    int
+	// order is the service order as indices into src; nil means the
+	// identity (FCFS), sparing the per-request index slice.
+	order []int
+	// arrivals is the ring backing the scheduled events of the current
+	// window: at most arrivalChunk slots, scheduled by pointer,
+	// instead of boxing one value event per request into the Event
+	// interface.
+	arrivals []arrival
+	sched    int // arrivals scheduled so far
+	next     int // arrivals handled so far
+	done     bool
+	res      *Result
 	// onDone fires (from the engine's goroutine) the moment the agent
 	// finalizes its result; see SetOnDone.
 	onDone func()
@@ -41,8 +75,8 @@ type arrival struct {
 	idx   int // position in the agent's service order
 }
 
-func (e arrival) Tick() int64          { return e.tick }
-func (e arrival) Handler() sim.Handler { return e.agent }
+func (e *arrival) Tick() int64          { return e.tick }
+func (e *arrival) Handler() sim.Handler { return e.agent }
 
 // NewAgent resets the controller, validates and schedules the request
 // stream's arrival events on the engine, and returns the agent that
@@ -51,31 +85,89 @@ func (e arrival) Handler() sim.Handler { return e.agent }
 // An empty stream finalizes immediately (its result is the reset
 // controller's empty result, exactly as Run returned it).
 func NewAgent(eng sim.Engine, ctrl *Controller, reqs []trace.Request) (*Agent, error) {
+	return NewSourceAgent(eng, ctrl, sliceSource(reqs))
+}
+
+// NewSourceAgent is NewAgent over a RequestSource: the stream is read
+// by index as arrivals are serviced, so a generator-backed source runs
+// with no per-request storage at all. An FR-FCFS controller needs the
+// whole stream up front to compute its lookahead order; that case
+// materializes the source once and proceeds as NewAgent would.
+func NewSourceAgent(eng sim.Engine, ctrl *Controller, src RequestSource) (*Agent, error) {
 	ctrl.reset()
 	g := ctrl.cfg.Geometry
-	for i, r := range reqs {
-		if !r.Addr.Valid(g) {
+	n := src.Len()
+	for i := 0; i < n; i++ {
+		if r := src.At(i); !r.Addr.Valid(g) {
 			return nil, fmt.Errorf("memctrl: request %d: address %v outside geometry", i, r.Addr)
 		}
 	}
 	a := &Agent{
-		ctrl:  ctrl,
-		dom:   sim.NewDomain("memctrl"),
-		reqs:  reqs,
-		order: ctrl.schedule(reqs),
+		ctrl: ctrl,
+		eng:  eng,
+		dom:  sim.NewDomain("memctrl"),
+		src:  src,
+		n:    n,
 	}
-	gap := int64(ctrl.opt.ArrivalGap)
-	for i := range a.order {
-		var tick int64
-		if gap > 0 {
-			tick = int64(i) * gap
+	if ctrl.opt.Scheduler == FRFCFS && n > 0 {
+		reqs := make([]trace.Request, n)
+		for i := range reqs {
+			reqs[i] = src.At(i)
 		}
-		eng.Schedule(arrival{tick: tick, agent: a, idx: i})
+		a.src = sliceSource(reqs)
+		a.order = ctrl.schedule(reqs)
 	}
-	if len(a.order) == 0 {
+	if n == 0 {
 		a.finalize()
+		return a, nil
 	}
+	if !ctrl.opt.DiscardServiced {
+		// Pre-size the serviced log: its length is known exactly, and
+		// append-growth doubling was a visible share of the run's bytes.
+		ctrl.result.Serviced = make([]trace.ServicedRequest, 0, n)
+	}
+	ring := n
+	if ring > arrivalChunk {
+		ring = arrivalChunk
+	}
+	a.arrivals = make([]arrival, ring)
+	a.scheduleWindow()
 	return a, nil
+}
+
+// reqAt returns the idx-th request of the service order.
+func (a *Agent) reqAt(idx int) trace.Request {
+	if a.order != nil {
+		idx = a.order[idx]
+	}
+	return a.src.At(idx)
+}
+
+// scheduleWindow schedules the next window of arrivals into the ring.
+// Called at construction and from Handle when the last arrival of the
+// previous window fires - at that point every slot has been delivered
+// (arrivals fire in index order), so overwriting them is safe. An
+// arrival whose nominal tick has already passed (possible only when
+// agents with different gaps share an engine) is scheduled at the
+// current tick instead; the service-time floor still honours the
+// nominal i*ArrivalGap, so the controller's results are unchanged.
+func (a *Agent) scheduleWindow() {
+	gap := int64(a.ctrl.opt.ArrivalGap)
+	now := a.eng.Now()
+	end := a.sched + len(a.arrivals)
+	if end > a.n {
+		end = a.n
+	}
+	for i := a.sched; i < end; i++ {
+		tick := now
+		if t := int64(i) * gap; t > tick {
+			tick = t
+		}
+		slot := &a.arrivals[i%len(a.arrivals)]
+		*slot = arrival{tick: tick, agent: a, idx: i}
+		a.eng.Schedule(slot)
+	}
+	a.sched = end
 }
 
 // Domain declares the agent's scheduling domain: the controller's
@@ -97,20 +189,26 @@ func (a *Agent) SetOnDone(f func()) {
 // engine's (tick, schedule-order) contract), so the controller sees
 // requests in exactly the sequence the monolithic loop served them.
 func (a *Agent) Handle(ev sim.Event) error {
-	e, ok := ev.(arrival)
+	e, ok := ev.(*arrival)
 	if !ok || e.agent != a {
 		return fmt.Errorf("memctrl: agent received foreign event %T", ev)
 	}
 	if e.idx != a.next {
 		return fmt.Errorf("memctrl: arrival %d out of order (expected %d)", e.idx, a.next)
 	}
+	idx := e.idx
 	a.next++
 	c := a.ctrl
 	if c.opt.ArrivalGap > 0 {
-		c.reqFloor = int64(e.idx) * int64(c.opt.ArrivalGap)
+		c.reqFloor = int64(idx) * int64(c.opt.ArrivalGap)
 	}
-	c.service(a.reqs[a.order[e.idx]])
-	if a.next == len(a.order) {
+	c.service(a.reqAt(idx))
+	// Scheduling the next window reuses e's ring slot; e is dead past
+	// this point.
+	if a.next == a.sched && a.sched < a.n {
+		a.scheduleWindow()
+	}
+	if a.next == a.n {
 		a.finalize()
 	}
 	return nil
@@ -126,9 +224,11 @@ func (a *Agent) finalize() {
 	for bi := range c.banks {
 		c.accountExtraOpen(&c.banks[bi], c.result.TotalCycles)
 	}
-	sort.SliceStable(c.result.Commands, func(i, j int) bool {
-		return c.result.Commands[i].Cycle < c.result.Commands[j].Cycle
-	})
+	if len(c.result.Commands) > 1 {
+		sort.SliceStable(c.result.Commands, func(i, j int) bool {
+			return c.result.Commands[i].Cycle < c.result.Commands[j].Cycle
+		})
+	}
 	res := c.result
 	a.res = &res
 	a.done = true
@@ -141,17 +241,17 @@ func (a *Agent) finalize() {
 // finalized.
 func (a *Agent) Done() bool { return a.done }
 
-// Pending returns how many scheduled arrivals have not been serviced
-// yet - the invariant the randomized acceptance harness checks after a
-// run (it must be zero once the engine drains).
-func (a *Agent) Pending() int { return len(a.order) - a.next }
+// Pending returns how many requests of the stream have not been
+// serviced yet - the invariant the randomized acceptance harness
+// checks after a run (it must be zero once the engine drains).
+func (a *Agent) Pending() int { return a.n - a.next }
 
 // Result returns the finalized result; calling it before the engine
 // has drained the agent's arrivals is an error.
 func (a *Agent) Result() (*Result, error) {
 	if !a.done {
 		return nil, fmt.Errorf("memctrl: agent has %d pending requests (%d of %d serviced)",
-			a.Pending(), a.next, len(a.order))
+			a.Pending(), a.next, a.n)
 	}
 	return a.res, nil
 }

@@ -144,10 +144,10 @@ func TestAgentRejectsForeignEvent(t *testing.T) {
 		return a
 	}
 	a, b := mk(), mk()
-	if err := a.Handle(arrival{agent: b}); err == nil {
+	if err := a.Handle(&arrival{agent: b}); err == nil {
 		t.Error("agent handled a foreign agent's arrival")
 	}
-	if err := a.Handle(arrival{agent: a, idx: 5}); err == nil {
+	if err := a.Handle(&arrival{agent: a, idx: 5}); err == nil {
 		t.Error("agent handled an out-of-order arrival")
 	}
 }

@@ -43,6 +43,15 @@ func (p PagePolicy) String() string {
 	return "open-row"
 }
 
+// CommandObserver receives every command the controller generates, in
+// generation order (not sorted by issue cycle), as a streaming
+// alternative to retaining the full log. Implementations must not
+// retain references past the callback and must be cheap: they run
+// inside the controller's hot loop.
+type CommandObserver interface {
+	ObserveCommand(trace.Command)
+}
+
 // Options tune controller behaviour.
 type Options struct {
 	PagePolicy    PagePolicy
@@ -55,12 +64,38 @@ type Options struct {
 	// isolated latencies of Fig. 1; zero (the default) lets requests
 	// stream back-to-back.
 	ArrivalGap int
+	// RetainCommands keeps the full per-command log in Result.Commands.
+	// Off by default: the characterize/simulate/sweep paths only
+	// consume the per-kind census and cycle counters, and the log is by
+	// far the largest allocation of a run. Turn it on for trace export
+	// and for tests that inspect individual commands.
+	RetainCommands bool
+	// Observer, when set, streams every generated command to the
+	// callback regardless of RetainCommands.
+	Observer CommandObserver
+	// DiscardServiced drops the per-request serviced log from the
+	// Result; ServicedCount and every cycle counter are still
+	// maintained. The simulate path sets it - its layer reduction only
+	// consumes counters - removing the last per-request retention of a
+	// run. Leave it unset for characterization (per-kind latency means)
+	// and trace export (histograms).
+	DiscardServiced bool
 }
 
 // Result is the outcome of servicing a request stream.
 type Result struct {
+	// Commands is the full command log, sorted by issue cycle. Nil
+	// unless Options.RetainCommands was set - the census in KindCounts
+	// and the cycle counters below are always maintained.
 	Commands []trace.Command
-	Serviced []trace.ServicedRequest
+	// Serviced logs each request's access condition and issue/done
+	// cycles, in service order. Nil when Options.DiscardServiced is
+	// set; ServicedCount is maintained either way.
+	Serviced      []trace.ServicedRequest
+	ServicedCount int64
+	// KindCounts is the per-kind command census, indexed by
+	// trace.CommandKind and maintained incrementally during the run.
+	KindCounts [trace.NumCommandKinds]int64
 	// TotalCycles is the cycle at which the last data burst left the bus.
 	TotalCycles int64
 	// DeviceActiveCycles counts cycles during which at least one bank of
@@ -76,25 +111,24 @@ type Result struct {
 	Refreshes int64
 }
 
-// CommandCount returns the number of commands of the given kind.
+// CommandCount returns the number of commands of the given kind, from
+// the incrementally maintained census - O(1), and available whether or
+// not the full log was retained.
 func (r *Result) CommandCount(kind trace.CommandKind) int64 {
-	var n int64
-	for _, c := range r.Commands {
-		if c.Kind == kind {
-			n++
-		}
+	if kind < 0 || int(kind) >= len(r.KindCounts) {
+		return 0
 	}
-	return n
+	return r.KindCounts[kind]
 }
 
 // AverageCyclesPerAccess returns TotalCycles divided by the number of
 // serviced requests; it is the steady-state cost metric reported by the
 // Fig. 1 characterization.
 func (r *Result) AverageCyclesPerAccess() float64 {
-	if len(r.Serviced) == 0 {
+	if r.ServicedCount == 0 {
 		return 0
 	}
-	return float64(r.TotalCycles) / float64(len(r.Serviced))
+	return float64(r.TotalCycles) / float64(r.ServicedCount)
 }
 
 // Histogram counts serviced requests by access condition.
@@ -152,14 +186,18 @@ type Controller struct {
 	maxOpen int
 
 	banks []bankState // flattened [channel][rank][bank]
+	// subBacking is the flat backing array the banks' sub slices cut
+	// into, so a reset re-initializes in place instead of reallocating
+	// one slice per bank.
+	subBacking []subarrayState
 
-	// busBusy records occupied command-bus cycles per channel. The
-	// controller schedules each command at the first free cycle that
-	// satisfies its timing constraints; commands generated for a later
-	// request may therefore slot in front of an earlier request's tail,
-	// exactly as a real FCFS controller with a visible queue window
-	// issues them.
-	busBusy     []map[int64]struct{}
+	// bus records occupied command-bus cycles per channel as a sliding
+	// bitset window. The controller schedules each command at the first
+	// free cycle that satisfies its timing constraints; commands
+	// generated for a later request may therefore slot in front of an
+	// earlier request's tail, exactly as a real FCFS controller with a
+	// visible queue window issues them.
+	bus         []busWindow
 	dataBusFree []int64   // per channel: cycle the data bus frees up
 	lastColCmd  []int64   // per channel: issue cycle of last RD/WR
 	lastRDIssue []int64   // per rank (flattened): last RD issue
@@ -168,6 +206,11 @@ type Controller struct {
 
 	nextRefresh int64
 	reqFloor    int64
+	// reqFirstCycle is the issue cycle of the first command generated
+	// for the request in flight (noCycle before any), replacing the
+	// log-indexing the per-request start cycle used when retention was
+	// unconditional.
+	reqFirstCycle int64
 
 	deviceOpenBanks  int
 	deviceActiveFrom int64
@@ -175,6 +218,13 @@ type Controller struct {
 
 	prevAddr    dram.Address
 	hasPrevAddr bool
+
+	// busProbe, when non-nil, observes every bus reservation as
+	// (channel, earliest free cycle requested, cycle granted). It is a
+	// test seam: the equivalence suite replays the recorded earliest
+	// cycles through the retired map-based probe loop and asserts the
+	// bitset window granted the identical cycle. Nil in production.
+	busProbe func(ch int, earliest, issued int64)
 }
 
 // New builds a controller for the configuration. It returns an error if
@@ -205,44 +255,72 @@ func (c *Controller) reset() {
 		c.maxOpen = g.Subarrays
 	}
 
+	// Everything below reuses prior capacity: New and NewAgent both
+	// reset, and the simulate path builds one controller per tile
+	// stream, so re-initializing in place instead of reallocating is a
+	// large share of the per-run allocation win.
 	nBanks := g.Channels * g.Ranks * g.Banks
-	c.banks = make([]bankState, nBanks)
+	nSubs := nBanks * c.stateSubarrays
+	if cap(c.subBacking) < nSubs {
+		c.subBacking = make([]subarrayState, nSubs)
+	}
+	c.subBacking = c.subBacking[:nSubs]
+	if cap(c.banks) < nBanks {
+		c.banks = make([]bankState, nBanks)
+	}
+	c.banks = c.banks[:nBanks]
 	for i := range c.banks {
-		c.banks[i] = bankState{
-			sub:      make([]subarrayState, c.stateSubarrays),
-			selected: -1,
-			lastACT:  -1 << 40,
-		}
-		for s := range c.banks[i].sub {
-			c.banks[i].sub[s] = subarrayState{
+		sub := c.subBacking[i*c.stateSubarrays : (i+1)*c.stateSubarrays]
+		for s := range sub {
+			sub[s] = subarrayState{
 				openRow: -1, lastACT: -1 << 40, lastPRE: -1 << 40,
 				readyCol: 0, lastRD: -1 << 40, lastWREnd: -1 << 40,
 			}
 		}
+		c.banks[i] = bankState{
+			sub:      sub,
+			selected: -1,
+			lastACT:  -1 << 40,
+		}
 	}
-	c.busBusy = make([]map[int64]struct{}, g.Channels)
-	for i := range c.busBusy {
-		c.busBusy[i] = make(map[int64]struct{})
+	if cap(c.bus) < g.Channels {
+		c.bus = make([]busWindow, g.Channels)
 	}
-	c.dataBusFree = make([]int64, g.Channels)
-	c.lastColCmd = make([]int64, g.Channels)
-	for i := range c.lastColCmd {
-		c.lastColCmd[i] = -1 << 40
+	c.bus = c.bus[:g.Channels]
+	for i := range c.bus {
+		c.bus[i].reset()
 	}
+	c.dataBusFree = resetInt64(c.dataBusFree, g.Channels, 0)
+	c.lastColCmd = resetInt64(c.lastColCmd, g.Channels, -1<<40)
 	nRanks := g.Channels * g.Ranks
-	c.lastRDIssue = make([]int64, nRanks)
-	c.lastWREnd = make([]int64, nRanks)
-	for i := 0; i < nRanks; i++ {
-		c.lastRDIssue[i] = -1 << 40
-		c.lastWREnd[i] = -1 << 40
+	c.lastRDIssue = resetInt64(c.lastRDIssue, nRanks, -1<<40)
+	c.lastWREnd = resetInt64(c.lastWREnd, nRanks, -1<<40)
+	if cap(c.actTimes) < nRanks {
+		c.actTimes = make([][]int64, nRanks)
 	}
-	c.actTimes = make([][]int64, nRanks)
+	c.actTimes = c.actTimes[:nRanks]
+	for i := range c.actTimes {
+		c.actTimes[i] = c.actTimes[i][:0]
+	}
 	c.nextRefresh = int64(c.cfg.Timing.TREFI)
 	c.reqFloor = 0
+	c.reqFirstCycle = noCycle
 	c.deviceOpenBanks = 0
 	c.deviceActiveFrom = 0
 	c.result = Result{}
 	c.hasPrevAddr = false
+}
+
+// resetInt64 resizes s to n elements of value v, reusing capacity.
+func resetInt64(s []int64, n int, v int64) []int64 {
+	if cap(s) < n {
+		s = make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
 }
 
 func (c *Controller) bankIndex(a dram.Address) int {
@@ -306,11 +384,14 @@ func (c *Controller) classify(r trace.Request) trace.AccessKind {
 	}
 }
 
+// noCycle marks "no command recorded yet" for reqFirstCycle; issue
+// cycles are always >= 0.
+const noCycle = int64(-1)
+
 // issueCmd places a command on the channel's command bus at the first
-// free cycle at or after `earliest`, honouring refresh windows, appends
-// it to the log, and returns the issue cycle.
+// free cycle at or after `earliest`, honouring refresh windows, records
+// it, and returns the issue cycle.
 func (c *Controller) issueCmd(kind trace.CommandKind, addr dram.Address, earliest int64) int64 {
-	ch := addr.Channel
 	t := earliest
 	if t < c.reqFloor {
 		t = c.reqFloor
@@ -321,16 +402,29 @@ func (c *Controller) issueCmd(kind trace.CommandKind, addr dram.Address, earlies
 	if c.opt.EnableRefresh {
 		t = c.applyRefresh(addr, t)
 	}
-	busy := c.busBusy[ch]
-	for {
-		if _, taken := busy[t]; !taken {
-			break
-		}
-		t++
+	earliestFree := t
+	t = c.bus[addr.Channel].reserve(t)
+	if c.busProbe != nil {
+		c.busProbe(addr.Channel, earliestFree, t)
 	}
-	busy[t] = struct{}{}
-	c.result.Commands = append(c.result.Commands, trace.Command{Kind: kind, Addr: addr, Cycle: t})
+	c.record(trace.Command{Kind: kind, Addr: addr, Cycle: t})
 	return t
+}
+
+// record maintains the per-kind census, the in-flight request's first
+// command cycle, the optional full log, and the optional observer for
+// one generated command.
+func (c *Controller) record(cmd trace.Command) {
+	c.result.KindCounts[cmd.Kind]++
+	if c.reqFirstCycle == noCycle {
+		c.reqFirstCycle = cmd.Cycle
+	}
+	if c.opt.RetainCommands {
+		c.result.Commands = append(c.result.Commands, cmd)
+	}
+	if c.opt.Observer != nil {
+		c.opt.Observer.ObserveCommand(cmd)
+	}
 }
 
 // applyRefresh blocks commands that would land inside a refresh window
@@ -341,7 +435,7 @@ func (c *Controller) applyRefresh(addr dram.Address, t int64) int64 {
 		refCycle := c.nextRefresh
 		// All banks are precharged by the refresh; account and close.
 		c.closeAllRows(refCycle)
-		c.result.Commands = append(c.result.Commands, trace.Command{
+		c.record(trace.Command{
 			Kind: trace.CmdREF, Addr: dram.Address{Channel: addr.Channel, Rank: addr.Rank}, Cycle: refCycle,
 		})
 		c.result.Refreshes++
@@ -576,7 +670,7 @@ func (c *Controller) service(r trace.Request) {
 	sa := c.stateSubarray(r.Addr)
 	kind := c.classify(r)
 
-	firstCmd := len(c.result.Commands)
+	c.reqFirstCycle = noCycle
 	readyCol := c.ensureRowOpen(r.Addr, bank, sa)
 
 	// Column command constraints.
@@ -627,16 +721,19 @@ func (c *Controller) service(r trace.Request) {
 		c.precharge(r.Addr, bank, sa)
 	}
 
-	startCycle := t
-	if firstCmd < len(c.result.Commands) {
-		startCycle = c.result.Commands[firstCmd].Cycle
+	c.result.ServicedCount++
+	if !c.opt.DiscardServiced {
+		startCycle := t
+		if c.reqFirstCycle != noCycle {
+			startCycle = c.reqFirstCycle
+		}
+		c.result.Serviced = append(c.result.Serviced, trace.ServicedRequest{
+			Request:    r,
+			Kind:       kind,
+			IssueCycle: startCycle,
+			DoneCycle:  burstEnd,
+		})
 	}
-	c.result.Serviced = append(c.result.Serviced, trace.ServicedRequest{
-		Request:    r,
-		Kind:       kind,
-		IssueCycle: startCycle,
-		DoneCycle:  burstEnd,
-	})
 	if burstEnd > c.result.TotalCycles {
 		c.result.TotalCycles = burstEnd
 	}

@@ -12,6 +12,7 @@ import (
 // mustRun services the requests or fails the test.
 func mustRun(t *testing.T, cfg dram.Config, opt Options, reqs []trace.Request) *Result {
 	t.Helper()
+	opt.RetainCommands = true // tests inspect individual commands
 	c, err := New(cfg, opt)
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -45,7 +45,7 @@ func TestRandomAccessAcceptance(t *testing.T) {
 		for _, seed := range []int64{1, 42, 20200720} {
 			cfg := dram.ConfigFor(arch)
 			reqs := randomRequests(seed, n, cfg.Geometry)
-			c, err := New(cfg, Options{})
+			c, err := New(cfg, Options{RetainCommands: true})
 			if err != nil {
 				t.Fatalf("%v: New: %v", arch, err)
 			}
@@ -106,7 +106,7 @@ func TestRandomAccessReproducible(t *testing.T) {
 	for _, arch := range dram.Archs {
 		cfg := dram.ConfigFor(arch)
 		run := func(seed int64) *Result {
-			c, err := New(cfg, Options{})
+			c, err := New(cfg, Options{RetainCommands: true})
 			if err != nil {
 				t.Fatalf("%v: New: %v", arch, err)
 			}

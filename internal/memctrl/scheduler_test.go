@@ -171,6 +171,7 @@ func TestFRFCFSNeverSlowerProperty(t *testing.T) {
 }
 
 func mustRunQuick(cfg dram.Config, opt Options, reqs []trace.Request) *Result {
+	opt.RetainCommands = true // property tests compare command logs
 	c, err := New(cfg, opt)
 	if err != nil {
 		return nil

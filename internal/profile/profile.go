@@ -123,9 +123,9 @@ func streamCost(cfg dram.Config, model *vampire.Model, opt memctrl.Options, reqs
 	if err != nil {
 		return Cost{}, err
 	}
-	act := vampire.ActivityFrom(stream.Commands, stream.DeviceActiveCycles, stream.TotalCycles)
+	act := vampire.ActivityFromCounts(stream.KindCounts, stream.DeviceActiveCycles, stream.TotalCycles)
 	act.ExtraOpenSubarrayCycles = stream.ExtraOpenSubarrayCycles
-	n := float64(len(stream.Serviced))
+	n := float64(stream.ServicedCount)
 	return Cost{
 		Cycles: stream.AverageCyclesPerAccess(),
 		Energy: model.Energy(act).Total() / n,

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"runtime"
@@ -9,24 +8,63 @@ import (
 	"sync/atomic"
 )
 
+// schedShards is the number of sub-queues Schedule calls fan out over.
+// Each domain hashes to one shard, so concurrent handlers of different
+// domains rarely contend on the same mutex; the shards drain into the
+// global tick heap between rounds, on the run goroutine.
+const schedShards = 16
+
+// schedShard is one Schedule sub-queue.
+type schedShard struct {
+	mu    sync.Mutex
+	items []eventItem
+	// pad spaces shards apart so their mutexes do not false-share one
+	// cache line.
+	_ [40]byte
+}
+
+// domainRun is the reusable per-partition scratch of one round: the
+// partition's events in delivery order and the outcome of running them.
+type domainRun struct {
+	events []eventItem
+	err    error
+}
+
 // ParallelEngine delivers the events of one tick concurrently across
 // domains, with a barrier before the clock advances: within a domain,
 // events fire in (tick, schedule-order) exactly as the serial engine
-// delivers them; across domains, they overlap on the worker pool.
-// Events a handler schedules at the current tick join the same tick in
-// a later round (the barrier repeats until the tick drains), so the
-// serial-engine semantics are preserved whenever same-tick events of
-// different domains touch disjoint state. Schedule is safe to call
+// delivers them; across domains, they overlap on a persistent worker
+// pool. Events a handler schedules at the current tick join the same
+// tick in a later round (the barrier repeats until the tick drains), so
+// the serial-engine semantics are preserved whenever same-tick events
+// of different domains touch disjoint state. Schedule is safe to call
 // from concurrent handlers; Run is not reentrant.
 type ParallelEngine struct {
 	workers int
 
-	mu        sync.Mutex
-	queue     eventHeap
-	scheduled int64
+	// queue is the global (tick, seq) min-heap. It is only touched by
+	// the run goroutine (or pre-Run single-threaded scheduling via
+	// drainPending), never under a lock: Schedule appends to the shards.
+	queue  eventHeap
+	shards [schedShards]schedShard
 
-	now     atomic.Int64
-	started atomic.Bool
+	scheduled atomic.Int64
+	now       atomic.Int64
+	started   atomic.Bool
+
+	// Round scratch, reused across rounds so steady-state rounds
+	// allocate nothing: batch receives the popped round, order is the
+	// first-appearance partition order, groups maps domain key to its
+	// partition, free pools retired domainRun scratch.
+	batch  []eventItem
+	order  []any
+	groups map[any]*domainRun
+	free   []*domainRun
+
+	// jobs feeds partitions to the pool workers for the current Run;
+	// roundWG is the per-round barrier.
+	jobs    chan *domainRun
+	roundWG sync.WaitGroup
 }
 
 // NewParallelEngine builds a parallel engine running at most workers
@@ -39,28 +77,102 @@ func NewParallelEngine(workers int) *ParallelEngine {
 	return &ParallelEngine{workers: workers}
 }
 
+// shardOf picks the Schedule sub-queue for an event's handler: the
+// domain's assigned shard, or shard 0 for handlers without a domain.
+func shardOf(h Handler) uint32 {
+	if d, ok := h.(Domained); ok {
+		if dom := d.Domain(); dom != nil {
+			return dom.shard % schedShards
+		}
+	}
+	return 0
+}
+
 // Schedule enqueues an event; scheduling before the current tick
-// panics (see Engine). Safe for concurrent use.
+// panics (see Engine). Safe for concurrent use: the global sequence
+// number comes from an atomic counter and the item lands on the
+// handler's shard, so concurrent domains do not serialize on a single
+// engine mutex.
 func (e *ParallelEngine) Schedule(ev Event) {
 	if e.started.Load() && ev.Tick() < e.now.Load() {
 		panic(fmt.Sprintf("sim: scheduling event at tick %d before current tick %d", ev.Tick(), e.now.Load()))
 	}
-	e.mu.Lock()
-	e.scheduled++
-	heap.Push(&e.queue, eventItem{ev: ev, tick: ev.Tick(), seq: e.scheduled})
-	e.mu.Unlock()
+	it := eventItem{ev: ev, tick: ev.Tick(), seq: e.scheduled.Add(1)}
+	sh := &e.shards[shardOf(ev.Handler())]
+	sh.mu.Lock()
+	sh.items = append(sh.items, it)
+	sh.mu.Unlock()
+}
+
+// drainPending collects every sharded item into the reused round
+// buffer. uniform reports that the items all share a single tick AND
+// that every shard held its items in ascending schedule order - the
+// two conditions under which the concatenated batch already delivers
+// each domain's events in (tick, seq) order and the heap can be
+// skipped. A shard can be out of order only when one handler's events
+// were scheduled from racing goroutines (or two same-shard domains
+// interleaved); the check is conservative, so those rounds just take
+// the heap path. Called between rounds (and before the first), when
+// no handler is running.
+func (e *ParallelEngine) drainPending() (batch []eventItem, tick int64, uniform bool) {
+	batch = e.batch[:0]
+	uniform = true
+	first := true
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		prev := int64(-1)
+		for _, it := range sh.items {
+			if first {
+				tick, first = it.tick, false
+			} else if it.tick != tick {
+				uniform = false
+			}
+			if it.seq < prev {
+				uniform = false
+			}
+			prev = it.seq
+			batch = append(batch, it)
+		}
+		clear(sh.items)
+		sh.items = sh.items[:0]
+		sh.mu.Unlock()
+	}
+	e.batch = batch
+	return batch, tick, uniform
 }
 
 // Run delivers rounds of same-tick events until the queue drains, a
 // handler fails, or ctx is canceled. Each round takes every currently
 // queued event of the minimum tick, partitions them by domain, and
-// runs the partitions on the worker pool behind a barrier; the first
-// error (in domain partition order, for determinism) aborts the run.
+// runs the partitions on a pool of persistent workers behind a
+// barrier; the first error (in domain partition order, for
+// determinism) aborts the run.
 func (e *ParallelEngine) Run(ctx context.Context) error {
+	e.startWorkers(ctx)
+	defer e.stopWorkers()
 	for {
-		batch, tick, ok := e.popRound()
-		if !ok {
-			return nil
+		batch, tick, uniform := e.drainPending()
+		if uniform && len(batch) > 0 && len(e.queue) == 0 {
+			// Every pending event shares one tick and nothing is
+			// buffered from earlier rounds: the drained batch IS the
+			// round, with no heap traffic at all. Each domain's items
+			// sit in its shard in schedule order, so the per-domain
+			// delivery sequence is exactly the heap's - only the
+			// across-domain interleaving (which the barrier ignores)
+			// differs. This is the steady state of a gap-free run,
+			// where every arrival of a tick schedules at that tick.
+		} else {
+			// Mixed ticks or a non-empty heap: buffer everything and
+			// pop the minimum tick in (tick, seq) order.
+			for _, it := range batch {
+				e.queue.push(it)
+			}
+			var ok bool
+			batch, tick, ok = e.popRound()
+			if !ok {
+				return nil
+			}
 		}
 		e.now.Store(tick)
 		e.started.Store(true)
@@ -70,60 +182,116 @@ func (e *ParallelEngine) Run(ctx context.Context) error {
 	}
 }
 
+// startWorkers launches the Run's worker pool: the workers outlive
+// every round, so a round dispatches partitions over a channel instead
+// of spawning one goroutine per domain.
+func (e *ParallelEngine) startWorkers(ctx context.Context) {
+	jobs := make(chan *domainRun)
+	e.jobs = jobs
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			for dr := range jobs {
+				dr.err = runDomain(ctx, dr.events)
+				e.roundWG.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers shuts the pool down at the end of a Run; a later Run
+// starts a fresh pool against its own context.
+func (e *ParallelEngine) stopWorkers() {
+	close(e.jobs)
+	e.jobs = nil
+}
+
 // popRound removes and returns every queued event of the minimum tick,
-// in (tick, schedule-order).
+// in (tick, schedule-order), into the reused round buffer.
 func (e *ParallelEngine) popRound() ([]eventItem, int64, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return nil, 0, false
 	}
 	tick := e.queue[0].tick
-	var batch []eventItem
-	for e.queue.Len() > 0 && e.queue[0].tick == tick {
-		batch = append(batch, heap.Pop(&e.queue).(eventItem))
+	batch := e.batch[:0]
+	for len(e.queue) > 0 && e.queue[0].tick == tick {
+		batch = append(batch, e.queue.pop())
 	}
+	e.batch = batch
 	return batch, tick, true
 }
 
-// runRound partitions a round's events by domain (first-appearance
-// order, so error selection is deterministic) and runs the partitions
-// concurrently with a barrier.
+// takeRun pops a pooled domainRun or makes a fresh one.
+func (e *ParallelEngine) takeRun() *domainRun {
+	if n := len(e.free); n > 0 {
+		dr := e.free[n-1]
+		e.free = e.free[:n-1]
+		return dr
+	}
+	return &domainRun{}
+}
+
+// runRound partitions a round's events by domain and runs the
+// partitions concurrently on the worker pool. On failure the error of
+// the partition whose first event has the lowest schedule sequence
+// wins - a deterministic pick that does not depend on how the round's
+// items happened to interleave across shards.
 func (e *ParallelEngine) runRound(ctx context.Context, batch []eventItem) error {
-	var order []any
-	groups := make(map[any][]eventItem)
+	if e.groups == nil {
+		e.groups = make(map[any]*domainRun)
+	}
+	order := e.order[:0]
+	// Consecutive events usually belong to the same domain (an agent
+	// schedules its next window in one burst), so memoizing the last
+	// key turns the per-event map lookup into a pointer compare.
+	var lastK any
+	var lastDr *domainRun
 	for _, it := range batch {
 		k := domainKey(it.ev.Handler())
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
+		if k != lastK {
+			dr := e.groups[k]
+			if dr == nil {
+				dr = e.takeRun()
+				e.groups[k] = dr
+				order = append(order, k)
+			}
+			lastK, lastDr = k, dr
 		}
-		groups[k] = append(groups[k], it)
+		lastDr.events = append(lastDr.events, it)
 	}
+	var err error
 	if len(order) == 1 {
-		return runDomain(ctx, groups[order[0]])
-	}
-	errs := make([]error, len(order))
-	sem := make(chan struct{}, e.workers)
-	var wg sync.WaitGroup
-	for i, k := range order {
-		// Acquire before spawning: with one domain per tile stream a
-		// round can hold thousands of partitions, and taking the slot
-		// inside the goroutine would launch them all just to park.
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int, events []eventItem) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = runDomain(ctx, events)
-		}(i, groups[k])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+		// Single partition: run inline, skipping the channel handoff.
+		err = runDomain(ctx, e.groups[order[0]].events)
+	} else {
+		e.roundWG.Add(len(order))
+		for _, k := range order {
+			e.jobs <- e.groups[k]
+		}
+		e.roundWG.Wait()
+		errSeq := int64(-1)
+		for _, k := range order {
+			dr := e.groups[k]
+			if dr.err == nil {
+				continue
+			}
+			if s := dr.events[0].seq; errSeq < 0 || s < errSeq {
+				err, errSeq = dr.err, s
+			}
 		}
 	}
-	return nil
+	// Retire the round's scratch for reuse. Events are zeroed so pooled
+	// slices do not pin handlers between rounds.
+	for i, k := range order {
+		dr := e.groups[k]
+		clear(dr.events)
+		dr.events = dr.events[:0]
+		dr.err = nil
+		e.free = append(e.free, dr)
+		order[i] = nil
+	}
+	clear(e.groups)
+	e.order = order[:0]
+	return err
 }
 
 // runDomain delivers one domain's slice of a round sequentially,
@@ -145,8 +313,4 @@ func runDomain(ctx context.Context, events []eventItem) error {
 func (e *ParallelEngine) Now() int64 { return e.now.Load() }
 
 // Scheduled returns how many events have been scheduled in total.
-func (e *ParallelEngine) Scheduled() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.scheduled
-}
+func (e *ParallelEngine) Scheduled() int64 { return e.scheduled.Load() }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 )
@@ -28,18 +27,18 @@ func (e *SerialEngine) Schedule(ev Event) {
 		panic(fmt.Sprintf("sim: scheduling event at tick %d before current tick %d", ev.Tick(), e.now))
 	}
 	e.scheduled++
-	heap.Push(&e.queue, eventItem{ev: ev, tick: ev.Tick(), seq: e.scheduled})
+	e.queue.push(eventItem{ev: ev, tick: ev.Tick(), seq: e.scheduled})
 }
 
 // Run drains the queue in (tick, schedule-order). ctx is checked
 // before every delivery, so a cancel interrupts even a single-tick run
 // at event granularity.
 func (e *SerialEngine) Run(ctx context.Context) error {
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		it := heap.Pop(&e.queue).(eventItem)
+		it := e.queue.pop()
 		e.now = it.tick
 		e.started = true
 		if err := it.ev.Handler().Handle(it.ev); err != nil {

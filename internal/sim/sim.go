@@ -16,7 +16,10 @@
 // the paper's controllers.
 package sim
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // Event is one scheduled occurrence: a tick at which it fires and the
 // handler that consumes it. Events are values; schedule a new one
@@ -42,11 +45,19 @@ type Handler interface {
 // each their own implicit domain.
 type Domain struct {
 	name string
+	// shard spreads the domain's Schedule calls across the parallel
+	// engine's sub-queues so concurrent handlers do not contend on one
+	// mutex; assigned round-robin at construction.
+	shard uint32
 }
+
+var domainShards atomic.Uint32
 
 // NewDomain names a scheduling domain. The name is only for debugging;
 // identity is the pointer.
-func NewDomain(name string) *Domain { return &Domain{name: name} }
+func NewDomain(name string) *Domain {
+	return &Domain{name: name, shard: domainShards.Add(1)}
+}
 
 // Name returns the domain's debug name.
 func (d *Domain) Name() string {
@@ -94,24 +105,60 @@ type eventItem struct {
 	seq  int64
 }
 
-// eventHeap is a min-heap of eventItems (container/heap interface).
+// eventHeap is a min-heap of eventItems. It implements sift-up and
+// sift-down directly on the concrete element type: container/heap's
+// Push(any)/Pop() any interface boxes every eventItem into an
+// allocation, which at one event per request arrival dominated the
+// simulate path's allocation profile.
 type eventHeap []eventItem
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].tick != h[j].tick {
 		return h[i].tick < h[j].tick
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(eventItem)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push adds an item and restores the heap invariant.
+func (h *eventHeap) push(it eventItem) {
+	*h = append(*h, it)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum item. The vacated slot is zeroed
+// so the heap's backing array does not pin delivered events.
+func (h *eventHeap) pop() eventItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = eventItem{}
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 // domainKey resolves the scheduling domain of an event's handler: the

@@ -59,6 +59,10 @@ const (
 	CmdSASEL
 	// CmdREF performs one refresh cycle on a rank.
 	CmdREF
+
+	// NumCommandKinds is the number of distinct command kinds; it sizes
+	// dense per-kind counters such as memctrl's command census.
+	NumCommandKinds = iota
 )
 
 var commandNames = [...]string{"ACT", "PRE", "RD", "WR", "SASEL", "REF"}

@@ -55,6 +55,22 @@ func ActivityFrom(cmds []trace.Command, activeCycles, totalCycles int64) Activit
 	return a
 }
 
+// ActivityFromCounts derives an Activity from a dense per-kind command
+// census (indexed by trace.CommandKind) and the controller's cycle
+// accounting - the allocation-free equivalent of ActivityFrom for
+// callers that do not retain the command log.
+func ActivityFromCounts(counts [trace.NumCommandKinds]int64, activeCycles, totalCycles int64) Activity {
+	return Activity{
+		ACTs:         counts[trace.CmdACT],
+		Reads:        counts[trace.CmdRD],
+		Writes:       counts[trace.CmdWR],
+		SASELs:       counts[trace.CmdSASEL],
+		REFs:         counts[trace.CmdREF],
+		ActiveCycles: activeCycles,
+		TotalCycles:  totalCycles,
+	}
+}
+
 // Accesses returns the number of column accesses in the activity.
 func (a Activity) Accesses() int64 { return a.Reads + a.Writes }
 

@@ -156,7 +156,7 @@ func TestHitStreamCheaperThanConflictStream(t *testing.T) {
 	cfg := dram.DDR3Config()
 	m := newModel(t, cfg)
 	run := func(reqs []trace.Request) float64 {
-		c, err := memctrl.New(cfg, memctrl.Options{})
+		c, err := memctrl.New(cfg, memctrl.Options{RetainCommands: true})
 		if err != nil {
 			t.Fatal(err)
 		}
