@@ -16,13 +16,16 @@ package drmap_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"drmap"
 	"drmap/internal/core"
+	"drmap/internal/dram"
 	"drmap/internal/sweep"
+	"drmap/internal/trace"
 )
 
 func benchEvaluators(b *testing.B) []*drmap.Evaluator {
@@ -734,6 +737,45 @@ func benchSimulate(b *testing.B, parallel bool) {
 		}
 	}
 	b.ReportMetric(cycles, "sim-cycles")
+}
+
+// BenchmarkMemctrlRun measures the controller hot loop by itself -
+// one cycle-accurate controller servicing a seeded mixed read/write
+// stream with refresh on, no network-level harness around it
+// (BENCH_10.json). The controller is reused across iterations, so the
+// steady state exercises the buffer-reuse path of reset; the reported
+// ctrl-cycles metric anchors correctness across runs.
+func BenchmarkMemctrlRun(b *testing.B) {
+	cfg := drmap.ConfigFor(drmap.SALP2)
+	g := cfg.Geometry
+	rng := rand.New(rand.NewSource(1020))
+	reqs := make([]drmap.Request, 16384)
+	for i := range reqs {
+		op := trace.Read
+		if rng.Intn(4) == 0 {
+			op = trace.Write
+		}
+		reqs[i] = drmap.Request{Op: op, Addr: dram.Address{
+			Bank:   rng.Intn(g.Banks),
+			Row:    rng.Intn(g.Rows),
+			Column: rng.Intn(g.Columns),
+		}}
+	}
+	ctrl, err := drmap.NewController(cfg, drmap.ControllerOptions{EnableRefresh: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles float64
+	for i := 0; i < b.N; i++ {
+		res, err := ctrl.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = float64(res.TotalCycles)
+	}
+	b.ReportMetric(cycles, "ctrl-cycles")
 }
 
 // BenchmarkSimulateSerial / BenchmarkSimulateParallel: the same

@@ -1,18 +1,23 @@
 // Command drmap-benchguard gates benchmark regressions in CI. It reads
 // two `go test -json -bench` output files - a committed baseline and
-// the current run - extracts the best (minimum) ns/op per benchmark
-// across repetitions, and fails when a selected benchmark's current
-// best exceeds the baseline's by more than the allowed ratio.
+// the current run - extracts the best (minimum) ns/op, B/op and
+// allocs/op per benchmark across repetitions, and fails when a
+// selected benchmark's current best exceeds the baseline's by more
+// than the allowed ratio in any gated dimension.
 //
 // Usage:
 //
 //	drmap-benchguard -baseline BENCH_7.json -current bench_new.json \
-//	    -bench 'BenchmarkBatchMultiBackend/warm' [-max-ratio 2.0]
+//	    -bench 'BenchmarkBatchMultiBackend/warm' [-max-ratio 2.0] \
+//	    [-max-bytes-ratio 2.0] [-max-allocs-ratio 2.0]
 //
 // The minimum across -count repetitions is used on both sides, so a
 // single noisy repetition on a loaded CI box cannot fail (or pass) the
-// gate by itself. A benchmark missing from the baseline passes with a
-// notice - a freshly added benchmark has nothing to regress against.
+// gate by itself. Time is always gated; the memory dimensions are
+// gated only when both runs report them (-benchmem), so a baseline
+// recorded without memory stats does not fail fresh runs. A benchmark
+// missing from the baseline passes with a notice - a freshly added
+// benchmark has nothing to regress against.
 package main
 
 import (
@@ -34,30 +39,72 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
+// benchStats is the per-benchmark minimum of each reported dimension.
+// Bytes and Allocs are only meaningful when HasMem is set (the run
+// used -benchmem); custom metrics between ns/op and B/op are ignored.
+type benchStats struct {
+	Ns     float64
+	Bytes  float64
+	Allocs float64
+	HasMem bool
+}
+
 // benchLine matches a go benchmark result line, e.g.
 // "BenchmarkRepriceFlat/flat-8   1000   25321 ns/op   0 B/op   0 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+// The memory columns are optional (-benchmem), and custom metrics such
+// as "2818328 sim-cycles" may sit between the time and memory columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// parseBench extracts the minimum ns/op per benchmark name from a
-// `go test -json` stream (plain `go test -bench` text also parses:
+// procsSuffix is the "-8" GOMAXPROCS suffix go test appends to
+// benchmark names on multi-core machines. It is stripped before
+// matching (as benchstat does), so a baseline recorded on a box with a
+// different core count still gates the current run instead of being
+// skipped as "no baseline".
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts the per-dimension minima per benchmark name from
+// a `go test -json` stream (plain `go test -bench` text also parses:
 // non-JSON lines are scanned directly). A single benchmark result is
 // often split across two output events - the runner flushes the name
 // when the benchmark starts and the numbers when it finishes - so
-// output fragments are reassembled into lines before matching.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	best := map[string]float64{}
+// output fragments are reassembled into lines before matching. Each
+// dimension's minimum is taken independently: the cheapest repetition
+// in time need not be the cheapest in bytes, and the guard compares
+// best case against best case per dimension.
+func parseBench(r io.Reader) (map[string]benchStats, error) {
+	best := map[string]benchStats{}
 	record := func(line string) error {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
 			return nil
 		}
+		name := procsSuffix.ReplaceAllString(m[1], "")
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			return fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
-		if cur, ok := best[m[1]]; !ok || ns < cur {
-			best[m[1]] = ns
+		st, ok := best[name]
+		if !ok || ns < st.Ns {
+			st.Ns = ns
 		}
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			if !st.HasMem || b < st.Bytes {
+				st.Bytes = b
+			}
+			if !st.HasMem || a < st.Allocs {
+				st.Allocs = a
+			}
+			st.HasMem = true
+		}
+		best[name] = st
 		return nil
 	}
 	sc := bufio.NewScanner(r)
@@ -97,7 +144,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 }
 
 // parseBenchFile is parseBench over a file path.
-func parseBenchFile(path string) (map[string]float64, error) {
+func parseBenchFile(path string) (map[string]benchStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -106,9 +153,39 @@ func parseBenchFile(path string) (map[string]float64, error) {
 	return parseBench(f)
 }
 
+// ratios bounds the allowed current/baseline growth per dimension.
+// Bytes and Allocs apply only when both runs report memory stats.
+type ratios struct {
+	Ns     float64
+	Bytes  float64
+	Allocs float64
+}
+
+// gateDim checks one dimension of one benchmark, writing a verdict
+// line and reporting failure. A zero baseline only passes a zero
+// current: there is no meaningful ratio against zero, and a benchmark
+// that was allocation-free must stay allocation-free.
+func gateDim(report io.Writer, name, unit string, base, cur, maxRatio float64) (failed bool) {
+	ratio := 1.0
+	switch {
+	case base > 0:
+		ratio = cur / base
+	case cur > 0:
+		ratio = maxRatio + 1 // 0 -> non-0: always a regression
+	}
+	verdict := "ok"
+	if ratio > maxRatio {
+		verdict = "REGRESSION"
+		failed = true
+	}
+	fmt.Fprintf(report, "benchguard: %s: baseline %.0f %s, current %.0f %s, ratio %.2f (max %.2f) %s\n",
+		name, base, unit, cur, unit, ratio, maxRatio, verdict)
+	return failed
+}
+
 // guard compares current against baseline for every benchmark matching
 // pattern and returns the failures (and a human report).
-func guard(baseline, current map[string]float64, pattern *regexp.Regexp, maxRatio float64, report io.Writer) (failures int) {
+func guard(baseline, current map[string]benchStats, pattern *regexp.Regexp, max ratios, report io.Writer) (failures int) {
 	names := make([]string, 0, len(current))
 	for name := range current {
 		if pattern.MatchString(name) {
@@ -126,14 +203,19 @@ func guard(baseline, current map[string]float64, pattern *regexp.Regexp, maxRati
 			fmt.Fprintf(report, "benchguard: %s: no baseline (new benchmark), skipping\n", name)
 			continue
 		}
-		ratio := cur / base
-		verdict := "ok"
-		if ratio > maxRatio {
-			verdict = "REGRESSION"
+		if gateDim(report, name, "ns/op", base.Ns, cur.Ns, max.Ns) {
 			failures++
 		}
-		fmt.Fprintf(report, "benchguard: %s: baseline %.0f ns/op, current %.0f ns/op, ratio %.2f (max %.2f) %s\n",
-			name, base, cur, ratio, maxRatio, verdict)
+		if base.HasMem && cur.HasMem {
+			if gateDim(report, name, "B/op", base.Bytes, cur.Bytes, max.Bytes) {
+				failures++
+			}
+			if gateDim(report, name, "allocs/op", base.Allocs, cur.Allocs, max.Allocs) {
+				failures++
+			}
+		} else if cur.HasMem != base.HasMem {
+			fmt.Fprintf(report, "benchguard: %s: memory stats on one side only, skipping B/op and allocs/op\n", name)
+		}
 	}
 	return failures
 }
@@ -143,6 +225,8 @@ func main() {
 	currentPath := flag.String("current", "", "fresh go test -json bench output")
 	benchPat := flag.String("bench", ".", "regexp selecting which benchmarks to gate")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current/baseline min ns/op exceeds this")
+	maxBytes := flag.Float64("max-bytes-ratio", 2.0, "fail when current/baseline min B/op exceeds this (needs -benchmem on both runs)")
+	maxAllocs := flag.Float64("max-allocs-ratio", 2.0, "fail when current/baseline min allocs/op exceeds this (needs -benchmem on both runs)")
 	flag.Parse()
 
 	if *baselinePath == "" || *currentPath == "" {
@@ -164,7 +248,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: current:", err)
 		os.Exit(2)
 	}
-	if failures := guard(baseline, current, pattern, *maxRatio, os.Stdout); failures > 0 {
+	max := ratios{Ns: *maxRatio, Bytes: *maxBytes, Allocs: *maxAllocs}
+	if failures := guard(baseline, current, pattern, max, os.Stdout); failures > 0 {
 		os.Exit(1)
 	}
 }

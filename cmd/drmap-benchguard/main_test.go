@@ -20,19 +20,34 @@ func TestParseBenchJSONStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Minimum across repetitions, full sub-benchmark names, fractional
-	// ns/op accepted.
-	want := map[string]float64{
-		"BenchmarkBatchMultiBackend/warm-8":    21000000,
-		"BenchmarkBatchMultiBackend/recount-8": 188000000,
-		"BenchmarkRepriceFlat/flat-8":          25321.5,
+	// ns/op accepted, memory stats only where reported.
+	want := map[string]benchStats{
+		"BenchmarkBatchMultiBackend/warm":    {Ns: 21000000, HasMem: true},
+		"BenchmarkBatchMultiBackend/recount": {Ns: 188000000},
+		"BenchmarkRepriceFlat/flat":          {Ns: 25321.5},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %v, want %v", got, want)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+	for name, st := range want {
+		if got[name] != st {
+			t.Errorf("%s = %+v, want %+v", name, got[name], st)
 		}
+	}
+}
+
+func TestParseBenchMemAndCustomMetrics(t *testing.T) {
+	// Custom metrics (sim-cycles) sit between ns/op and B/op; each
+	// dimension's minimum is taken independently across repetitions.
+	stream := "BenchmarkSimulateSerial   \t       1\t   5000000 ns/op\t   2818328 sim-cycles\t  500000 B/op\t     300 allocs/op\n" +
+		"BenchmarkSimulateSerial   \t       1\t   6000000 ns/op\t   2818328 sim-cycles\t  455560 B/op\t     290 allocs/op\n"
+	got, err := parseBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := benchStats{Ns: 5000000, Bytes: 455560, Allocs: 290, HasMem: true}
+	if got["BenchmarkSimulateSerial"] != want {
+		t.Errorf("parsed %+v, want %+v", got["BenchmarkSimulateSerial"], want)
 	}
 }
 
@@ -50,8 +65,9 @@ func TestParseBenchSplitEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkRegistrySweep/delta-8"] != 26901691 {
-		t.Errorf("split-event parse: %v", got)
+	st := got["BenchmarkRegistrySweep/delta"]
+	if st.Ns != 26901691 || st.Bytes != 9297712 || st.Allocs != 21306 || !st.HasMem {
+		t.Errorf("split-event parse: %+v", st)
 	}
 }
 
@@ -61,21 +77,23 @@ func TestParseBenchPlainText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX-4"] != 500 {
+	if got["BenchmarkX"].Ns != 500 {
 		t.Errorf("plain text parse: %v", got)
 	}
 }
 
+var defaultRatios = ratios{Ns: 2.0, Bytes: 2.0, Allocs: 2.0}
+
 func TestGuardVerdicts(t *testing.T) {
-	baseline := map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 100}
+	baseline := map[string]benchStats{"BenchmarkA-8": {Ns: 100}, "BenchmarkB-8": {Ns: 100}}
 	pat := regexp.MustCompile("BenchmarkA")
 
 	var rep strings.Builder
-	if f := guard(baseline, map[string]float64{"BenchmarkA-8": 150}, pat, 2.0, &rep); f != 0 {
+	if f := guard(baseline, map[string]benchStats{"BenchmarkA-8": {Ns: 150}}, pat, defaultRatios, &rep); f != 0 {
 		t.Errorf("1.5x under a 2.0 cap failed: %s", rep.String())
 	}
 	rep.Reset()
-	if f := guard(baseline, map[string]float64{"BenchmarkA-8": 250}, pat, 2.0, &rep); f != 1 {
+	if f := guard(baseline, map[string]benchStats{"BenchmarkA-8": {Ns: 250}}, pat, defaultRatios, &rep); f != 1 {
 		t.Errorf("2.5x under a 2.0 cap passed: %s", rep.String())
 	}
 	if !strings.Contains(rep.String(), "REGRESSION") {
@@ -83,13 +101,61 @@ func TestGuardVerdicts(t *testing.T) {
 	}
 	// A benchmark with no baseline passes (nothing to regress against)...
 	rep.Reset()
-	if f := guard(map[string]float64{}, map[string]float64{"BenchmarkA-8": 250}, pat, 2.0, &rep); f != 0 {
+	if f := guard(map[string]benchStats{}, map[string]benchStats{"BenchmarkA-8": {Ns: 250}}, pat, defaultRatios, &rep); f != 0 {
 		t.Errorf("missing baseline failed the gate: %s", rep.String())
 	}
 	// ...but a pattern matching nothing current fails loudly (the gate
 	// must not silently pass when the benchmark was renamed away).
 	rep.Reset()
-	if f := guard(baseline, map[string]float64{"BenchmarkB-8": 10}, pat, 2.0, &rep); f == 0 {
+	if f := guard(baseline, map[string]benchStats{"BenchmarkB-8": {Ns: 10}}, pat, defaultRatios, &rep); f == 0 {
 		t.Error("pattern matching no current benchmark passed")
+	}
+}
+
+func TestGuardMemoryDimensions(t *testing.T) {
+	pat := regexp.MustCompile("BenchmarkA")
+	base := map[string]benchStats{
+		"BenchmarkA-8": {Ns: 100, Bytes: 1000, Allocs: 10, HasMem: true},
+	}
+
+	// Time fine, bytes 3x: one failure.
+	var rep strings.Builder
+	cur := map[string]benchStats{"BenchmarkA-8": {Ns: 100, Bytes: 3000, Allocs: 10, HasMem: true}}
+	if f := guard(base, cur, pat, defaultRatios, &rep); f != 1 {
+		t.Errorf("3x B/op under a 2.0 cap: failures=%d: %s", f, rep.String())
+	}
+	if !strings.Contains(rep.String(), "B/op") || !strings.Contains(rep.String(), "REGRESSION") {
+		t.Errorf("report does not name the B/op regression: %s", rep.String())
+	}
+
+	// Allocs 5x and bytes 5x: two failures.
+	rep.Reset()
+	cur = map[string]benchStats{"BenchmarkA-8": {Ns: 100, Bytes: 5000, Allocs: 50, HasMem: true}}
+	if f := guard(base, cur, pat, defaultRatios, &rep); f != 2 {
+		t.Errorf("5x both memory dims: failures=%d: %s", f, rep.String())
+	}
+
+	// A zero-alloc baseline must stay zero-alloc.
+	rep.Reset()
+	zeroBase := map[string]benchStats{"BenchmarkA-8": {Ns: 100, HasMem: true}}
+	cur = map[string]benchStats{"BenchmarkA-8": {Ns: 100, Bytes: 8, Allocs: 1, HasMem: true}}
+	if f := guard(zeroBase, cur, pat, defaultRatios, &rep); f != 2 {
+		t.Errorf("0 -> non-0 memory: failures=%d: %s", f, rep.String())
+	}
+	rep.Reset()
+	cur = map[string]benchStats{"BenchmarkA-8": {Ns: 100, HasMem: true}}
+	if f := guard(zeroBase, cur, pat, defaultRatios, &rep); f != 0 {
+		t.Errorf("0 -> 0 memory flagged: %s", rep.String())
+	}
+
+	// Memory stats on one side only: gate time, skip memory.
+	rep.Reset()
+	cur = map[string]benchStats{"BenchmarkA-8": {Ns: 150, Bytes: 1 << 30, Allocs: 1 << 20, HasMem: true}}
+	noMemBase := map[string]benchStats{"BenchmarkA-8": {Ns: 100}}
+	if f := guard(noMemBase, cur, pat, defaultRatios, &rep); f != 0 {
+		t.Errorf("one-sided memory stats gated: %s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "skipping B/op") {
+		t.Errorf("report does not note the skipped memory gate: %s", rep.String())
 	}
 }
